@@ -1,0 +1,158 @@
+// Command esh is the search tool of the reproduction: given a query
+// procedure and a target database of procedures in assembler-text form,
+// it prints the targets ranked by the statistical similarity (GES) of the
+// paper, alongside the S-VCP and S-LOG sub-method scores.
+//
+// Usage:
+//
+//	esh -query q.s [-db dir-or-file.s ...] [-top 20] [-method esh]
+//
+// Files hold procedures in the Intel-like assembler syntax of
+// internal/asm (see Proc.String); a file may contain many procedures.
+// With -demo, esh builds a small demonstration database from the bundled
+// corpus instead of reading files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+func main() {
+	queryPath := flag.String("query", "", "file containing the query procedure (first proc is used)")
+	top := flag.Int("top", 20, "number of ranked targets to print")
+	method := flag.String("method", "esh", "ranking method: esh, slog, svcp")
+	demo := flag.Bool("demo", false, "use the bundled demo corpus as the target database")
+	flag.Parse()
+
+	var m stats.Method
+	switch *method {
+	case "esh":
+		m = stats.Esh
+	case "slog":
+		m = stats.SLOG
+	case "svcp":
+		m = stats.SVCP
+	default:
+		fail("unknown method %q (esh, slog, svcp)", *method)
+	}
+
+	db := core.NewDB(core.Options{})
+	var query *asm.Proc
+
+	if *demo {
+		procs, err := corpus.Build(corpus.BuildConfig{
+			Toolchains:     compile.Toolchains()[:4],
+			IncludePatched: true,
+		})
+		if err != nil {
+			fail("build demo corpus: %v", err)
+		}
+		for _, p := range procs {
+			if err := db.AddTarget(p); err != nil {
+				fail("index %s: %v", p.Name, err)
+			}
+		}
+		if *queryPath == "" {
+			icc, _ := compile.ByName("icc-15.0.1")
+			q, err := corpus.CompileVuln(corpus.Vulns()[0], icc, false)
+			if err != nil {
+				fail("compile demo query: %v", err)
+			}
+			query = q
+		}
+	}
+
+	for _, path := range flag.Args() {
+		if err := loadInto(db, path); err != nil {
+			fail("%v", err)
+		}
+	}
+
+	if *queryPath != "" {
+		data, err := os.ReadFile(*queryPath)
+		if err != nil {
+			fail("read query: %v", err)
+		}
+		procs, err := asm.Parse(string(data))
+		if err != nil {
+			fail("parse query: %v", err)
+		}
+		if len(procs) == 0 {
+			fail("query file %s contains no procedures", *queryPath)
+		}
+		query = procs[0]
+	}
+	if query == nil {
+		fail("no query: pass -query file.s (or -demo)")
+	}
+	if db.NumTargets() == 0 {
+		fail("no targets: pass database files as arguments (or -demo)")
+	}
+
+	rep, err := db.Query(query)
+	if err != nil {
+		fail("query: %v", err)
+	}
+	fmt.Printf("query %s: %d blocks, %d strands; database: %d procedures, %d unique strands\n",
+		rep.QueryName, rep.NumBlocks, rep.NumStrands, db.NumTargets(), db.NumUniqueStrands())
+	fmt.Printf("%-4s %-52s %12s\n", "rank", "procedure", m.String())
+	for i, ts := range rep.Rank(m) {
+		if i >= *top {
+			break
+		}
+		fmt.Printf("%-4d %-52s %12.3f\n", i+1, ts.Target.Name, ts.Score(m))
+	}
+}
+
+// loadInto parses one .s file or all .s files under a directory.
+func loadInto(db *core.DB, path string) error {
+	info, err := os.Stat(path)
+	if err != nil {
+		return err
+	}
+	var files []string
+	if info.IsDir() {
+		err := filepath.WalkDir(path, func(p string, d os.DirEntry, err error) error {
+			if err == nil && !d.IsDir() && strings.HasSuffix(p, ".s") {
+				files = append(files, p)
+			}
+			return err
+		})
+		if err != nil {
+			return err
+		}
+	} else {
+		files = []string{path}
+	}
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			return err
+		}
+		procs, err := asm.Parse(string(data))
+		if err != nil {
+			return fmt.Errorf("parse %s: %w", f, err)
+		}
+		for _, p := range procs {
+			if err := db.AddTarget(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "esh: "+format+"\n", args...)
+	os.Exit(1)
+}

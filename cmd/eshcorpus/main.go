@@ -1,0 +1,123 @@
+// Command eshcorpus builds the simulated test-bed (§5.2–5.3) and either
+// describes it or writes every compiled procedure out as assembler text,
+// producing a database the esh command can search.
+//
+// Usage:
+//
+//	eshcorpus -describe
+//	eshcorpus -out corpusdir [-scale full] [-patched]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+)
+
+func main() {
+	describe := flag.Bool("describe", false, "print the corpus inventory and exit")
+	out := flag.String("out", "", "directory to write per-package .s files into")
+	scale := flag.String("scale", "full", "small (3 toolchains), medium (5), full (7)")
+	patched := flag.Bool("patched", true, "include patched variants of the vulnerable procedures")
+	synth := flag.Int("synth", 40, "number of generated decoy packages")
+	flag.Parse()
+
+	// Scales match the experiments package: small = one toolchain per
+	// vendor, medium = five, full = all seven.
+	var tcs []compile.Toolchain
+	pick := func(names ...string) []compile.Toolchain {
+		var out []compile.Toolchain
+		for _, n := range names {
+			tc, ok := compile.ByName(n)
+			if !ok {
+				fail("unknown toolchain %q", n)
+			}
+			out = append(out, tc)
+		}
+		return out
+	}
+	switch *scale {
+	case "small":
+		tcs = pick("gcc-4.9", "clang-3.5", "icc-15.0.1")
+	case "medium":
+		tcs = pick("gcc-4.6", "gcc-4.9", "clang-3.4", "clang-3.5", "icc-15.0.1")
+	case "full":
+		tcs = compile.Toolchains()
+	default:
+		fail("unknown scale %q", *scale)
+	}
+
+	if *describe {
+		fmt.Println("Vulnerable procedures (Table 1):")
+		for _, v := range corpus.Vulns() {
+			fmt.Printf("  #%d %-18s CVE-%-10s %s :: %s\n", v.ID, v.Alias, v.CVE, v.Package, v.FuncName)
+		}
+		fmt.Println("Decoy packages:")
+		for _, d := range corpus.Decoys() {
+			fmt.Printf("  %s\n", d.Name)
+		}
+		fmt.Printf("Toolchains (%d):", len(tcs))
+		for _, tc := range tcs {
+			fmt.Printf(" %s", tc.Name())
+		}
+		fmt.Println()
+		return
+	}
+	if *out == "" {
+		fail("pass -describe or -out dir")
+	}
+
+	procs, err := corpus.Build(corpus.BuildConfig{
+		Toolchains:     tcs,
+		IncludePatched: *patched,
+		SynthVariants:  *synth,
+	})
+	if err != nil {
+		fail("build: %v", err)
+	}
+	files := map[string]*strings.Builder{}
+	for _, p := range procs {
+		key := sanitize(p.Source.Package + "_" + p.Source.Toolchain)
+		if p.Source.Patched {
+			key += "_patched"
+		}
+		b, ok := files[key]
+		if !ok {
+			b = &strings.Builder{}
+			files[key] = b
+		}
+		b.WriteString(p.String())
+		b.WriteByte('\n')
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		fail("mkdir: %v", err)
+	}
+	for name, b := range files {
+		path := filepath.Join(*out, name+".s")
+		if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
+			fail("write %s: %v", path, err)
+		}
+	}
+	fmt.Printf("wrote %d procedures into %d files under %s\n", len(procs), len(files), *out)
+}
+
+func sanitize(s string) string {
+	return strings.Map(func(r rune) rune {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == '-', r == '_', r == '.':
+			return r
+		default:
+			return '_'
+		}
+	}, s)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "eshcorpus: "+format+"\n", args...)
+	os.Exit(1)
+}

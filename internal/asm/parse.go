@@ -1,0 +1,269 @@
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// mnemonics maps full mnemonic text (including condition suffixes) to
+// opcode and condition.
+var mnemonics = func() map[string]Inst {
+	m := make(map[string]Inst)
+	plain := []Op{NOP, MOV, MOVZX, MOVSX, LEA, ADD, SUB, IMUL, NEG, NOT,
+		AND, OR, XOR, SHL, SHR, SAR, INC, DEC, CMP, TEST, PUSH, POP,
+		CALL, RET, JMP, CQO, IDIV}
+	for _, op := range plain {
+		m[op.String()] = Inst{Op: op}
+	}
+	for cc := CC(0); cc < numCCs; cc++ {
+		m["j"+cc.String()] = Inst{Op: JCC, CC: cc}
+		m["set"+cc.String()] = Inst{Op: SETCC, CC: cc}
+		m["cmov"+cc.String()] = Inst{Op: CMOVCC, CC: cc}
+	}
+	return m
+}()
+
+// regByName maps every register name at every width to (Reg, Width).
+var regByName = func() map[string]Operand {
+	m := make(map[string]Operand)
+	for r := Reg(0); r < NumRegs; r++ {
+		for _, w := range []Width{Width1, Width2, Width4, Width8} {
+			m[r.Name(w)] = R(r, w)
+		}
+	}
+	return m
+}()
+
+// Parse reads assembler text in the format emitted by Proc.String and
+// returns the procedures it contains.
+func Parse(src string) ([]*Proc, error) {
+	var procs []*Proc
+	var cur *Proc
+	for lineNo, raw := range strings.Split(src, "\n") {
+		line := strings.TrimSpace(raw)
+		if i := strings.IndexByte(line, ';'); i >= 0 {
+			line = strings.TrimSpace(line[:i])
+		}
+		if line == "" {
+			continue
+		}
+		fail := func(format string, args ...any) error {
+			return fmt.Errorf("line %d: %s", lineNo+1, fmt.Sprintf(format, args...))
+		}
+		switch {
+		case strings.HasPrefix(line, "proc "):
+			if cur != nil {
+				return nil, fail("nested proc")
+			}
+			cur = &Proc{Name: strings.TrimSpace(strings.TrimPrefix(line, "proc "))}
+		case line == "endp":
+			if cur == nil {
+				return nil, fail("endp outside proc")
+			}
+			procs = append(procs, cur)
+			cur = nil
+		case strings.HasSuffix(line, ":"):
+			if cur == nil {
+				return nil, fail("label outside proc")
+			}
+			cur.Insts = append(cur.Insts, Label(strings.TrimSuffix(line, ":")))
+		default:
+			if cur == nil {
+				return nil, fail("instruction outside proc")
+			}
+			inst, err := parseInst(line)
+			if err != nil {
+				return nil, fail("%v", err)
+			}
+			cur.Insts = append(cur.Insts, inst)
+		}
+	}
+	if cur != nil {
+		return nil, fmt.Errorf("unterminated proc %q", cur.Name)
+	}
+	return procs, nil
+}
+
+// ParseProc parses text containing exactly one procedure.
+func ParseProc(src string) (*Proc, error) {
+	procs, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) != 1 {
+		return nil, fmt.Errorf("expected 1 procedure, found %d", len(procs))
+	}
+	return procs[0], nil
+}
+
+func parseInst(line string) (Inst, error) {
+	mnem, rest, _ := strings.Cut(line, " ")
+	proto, ok := mnemonics[mnem]
+	if !ok {
+		return Inst{}, fmt.Errorf("unknown mnemonic %q", mnem)
+	}
+	inst := proto
+	rest = strings.TrimSpace(rest)
+	switch inst.Op {
+	case NOP, RET, CQO:
+		if rest != "" {
+			return Inst{}, fmt.Errorf("%s takes no operands", mnem)
+		}
+		return inst, nil
+	case JMP, JCC, CALL:
+		if rest == "" {
+			return Inst{}, fmt.Errorf("%s needs a target", mnem)
+		}
+		inst.Sym = rest
+		return inst, nil
+	}
+	ops, err := splitOperands(rest)
+	if err != nil {
+		return Inst{}, err
+	}
+	switch len(ops) {
+	case 1:
+		inst.Dst, err = parseOperand(ops[0])
+	case 2:
+		inst.Dst, err = parseOperand(ops[0])
+		if err == nil {
+			inst.Src, err = parseOperand(ops[1])
+		}
+	default:
+		return Inst{}, fmt.Errorf("%s: expected 1 or 2 operands, got %d", mnem, len(ops))
+	}
+	if err != nil {
+		return Inst{}, err
+	}
+	// Immediates adopt the width of a register/memory destination.
+	if inst.Src.Kind == KindImm && inst.Dst.Kind != KindNone {
+		inst.Src.Width = inst.Dst.Width
+	}
+	return inst, nil
+}
+
+func splitOperands(s string) ([]string, error) {
+	if s == "" {
+		return nil, fmt.Errorf("missing operands")
+	}
+	var parts []string
+	depth := 0
+	start := 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '[':
+			depth++
+		case ']':
+			depth--
+		case ',':
+			if depth == 0 {
+				parts = append(parts, strings.TrimSpace(s[start:i]))
+				start = i + 1
+			}
+		}
+	}
+	parts = append(parts, strings.TrimSpace(s[start:]))
+	return parts, nil
+}
+
+func parseOperand(s string) (Operand, error) {
+	if op, ok := regByName[s]; ok {
+		return op, nil
+	}
+	w := Width8
+	for prefix, pw := range map[string]Width{"byte ": Width1, "word ": Width2, "dword ": Width4, "qword ": Width8} {
+		if strings.HasPrefix(s, prefix) {
+			w = pw
+			s = strings.TrimSpace(strings.TrimPrefix(s, prefix))
+			break
+		}
+	}
+	if strings.HasPrefix(s, "[") && strings.HasSuffix(s, "]") {
+		return parseMem(s[1:len(s)-1], w)
+	}
+	v, err := parseImm(s)
+	if err != nil {
+		return Operand{}, err
+	}
+	return Imm(v), nil
+}
+
+func parseImm(s string) (int64, error) {
+	neg := false
+	if strings.HasPrefix(s, "-") {
+		neg = true
+		s = s[1:]
+	}
+	var v uint64
+	var err error
+	if strings.HasPrefix(s, "0x") {
+		v, err = strconv.ParseUint(s[2:], 16, 64)
+	} else {
+		v, err = strconv.ParseUint(s, 10, 64)
+	}
+	if err != nil {
+		return 0, fmt.Errorf("bad immediate %q", s)
+	}
+	if neg {
+		return -int64(v), nil
+	}
+	return int64(v), nil
+}
+
+// parseMem parses the inside of a bracketed memory operand:
+// base, base+disp, base+index*scale+disp, index*scale+disp, disp.
+func parseMem(s string, w Width) (Operand, error) {
+	op := Operand{Kind: KindMem, Width: w, Base: NoReg, Index: NoReg, Scale: 1}
+	// Split into +/- terms.
+	var terms []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if (s[i] == '+' || s[i] == '-') && i > start {
+			terms = append(terms, strings.TrimSpace(s[start:i]))
+			if s[i] == '-' {
+				start = i // keep the minus with the term
+			} else {
+				start = i + 1
+			}
+		}
+	}
+	terms = append(terms, strings.TrimSpace(s[start:]))
+	for _, t := range terms {
+		if t == "" {
+			continue
+		}
+		if reg, mul, ok := strings.Cut(t, "*"); ok {
+			r, isReg := regByName[strings.TrimSpace(reg)]
+			if !isReg || r.Width != Width8 {
+				return Operand{}, fmt.Errorf("bad index register %q", reg)
+			}
+			sc, err := strconv.Atoi(strings.TrimSpace(mul))
+			if err != nil || (sc != 1 && sc != 2 && sc != 4 && sc != 8) {
+				return Operand{}, fmt.Errorf("bad scale %q", mul)
+			}
+			op.Index = r.Reg
+			op.Scale = uint8(sc)
+			continue
+		}
+		if r, isReg := regByName[t]; isReg {
+			if r.Width != Width8 {
+				return Operand{}, fmt.Errorf("memory operand register %q must be 64-bit", t)
+			}
+			if op.Base == NoReg {
+				op.Base = r.Reg
+			} else if op.Index == NoReg {
+				op.Index = r.Reg
+			} else {
+				return Operand{}, fmt.Errorf("too many registers in %q", s)
+			}
+			continue
+		}
+		v, err := parseImm(t)
+		if err != nil {
+			return Operand{}, fmt.Errorf("bad memory term %q", t)
+		}
+		op.Disp += v
+	}
+	return op, nil
+}

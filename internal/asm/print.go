@@ -1,0 +1,100 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders the operand in Intel syntax.
+func (o Operand) String() string {
+	switch o.Kind {
+	case KindReg:
+		return o.Reg.Name(o.Width)
+	case KindImm:
+		if o.Imm >= 0 && o.Imm < 10 {
+			return fmt.Sprintf("%d", o.Imm)
+		}
+		if o.Imm < 0 {
+			return fmt.Sprintf("-0x%x", uint64(-o.Imm))
+		}
+		return fmt.Sprintf("0x%x", uint64(o.Imm))
+	case KindMem:
+		var b strings.Builder
+		b.WriteString(sizePrefix(o.Width))
+		b.WriteByte('[')
+		wrote := false
+		if o.Base != NoReg {
+			b.WriteString(o.Base.Name(Width8))
+			wrote = true
+		}
+		if o.Index != NoReg {
+			if wrote {
+				b.WriteByte('+')
+			}
+			b.WriteString(o.Index.Name(Width8))
+			if o.Scale > 1 {
+				fmt.Fprintf(&b, "*%d", o.Scale)
+			}
+			wrote = true
+		}
+		if o.Disp != 0 || !wrote {
+			if o.Disp < 0 {
+				fmt.Fprintf(&b, "-0x%x", uint64(-o.Disp))
+			} else {
+				if wrote {
+					b.WriteByte('+')
+				}
+				fmt.Fprintf(&b, "0x%x", uint64(o.Disp))
+			}
+		}
+		b.WriteByte(']')
+		return b.String()
+	default:
+		return "<none>"
+	}
+}
+
+func sizePrefix(w Width) string {
+	switch w {
+	case Width1:
+		return "byte "
+	case Width2:
+		return "word "
+	case Width4:
+		return "dword "
+	default:
+		return "qword "
+	}
+}
+
+// String renders the instruction in Intel syntax; LABEL pseudo-instructions
+// render as "name:".
+func (i Inst) String() string {
+	switch i.Op {
+	case LABEL:
+		return i.Sym + ":"
+	case JMP, JCC, CALL:
+		return i.Mnemonic() + " " + i.Sym
+	case RET, NOP, CQO:
+		return i.Mnemonic()
+	}
+	if i.Src.IsZero() {
+		return i.Mnemonic() + " " + i.Dst.String()
+	}
+	return i.Mnemonic() + " " + i.Dst.String() + ", " + i.Src.String()
+}
+
+// String renders the procedure as assembler text parsable by Parse.
+func (p *Proc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "proc %s\n", p.Name)
+	for _, in := range p.Insts {
+		if in.Op == LABEL {
+			fmt.Fprintf(&b, "%s\n", in)
+		} else {
+			fmt.Fprintf(&b, "\t%s\n", in)
+		}
+	}
+	b.WriteString("endp\n")
+	return b.String()
+}

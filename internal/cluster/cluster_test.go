@@ -1,0 +1,236 @@
+package cluster
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/core"
+	"repro/internal/minic"
+)
+
+// Four distinct source procedures, each compiled with several toolchains.
+// Clustering must recover the source grouping; kNN must label a held-out
+// compilation correctly.
+
+var sources = map[string]string{
+	"hash_loop": `
+func hash_loop(buf, len) {
+	var h = 0x1505;
+	var i = 0;
+	while (i < len) {
+		h = h * 33 + load8(buf + i);
+		h = h ^ (h >>u 7);
+		i = i + 1;
+	}
+	return h;
+}`,
+	"range_clip": `
+func range_clip(arr, n, lo, hi) {
+	var i = 0;
+	var fixed = 0;
+	while (i < n) {
+		var v = load64(arr + i * 8);
+		if (v < lo) {
+			store64(arr + i * 8, lo);
+			fixed = fixed + 1;
+		} else {
+			if (v > hi) {
+				store64(arr + i * 8, hi);
+				fixed = fixed + 1;
+			}
+		}
+		i = i + 1;
+	}
+	return fixed;
+}`,
+	"fmt_dec": `
+func fmt_dec(v, out) {
+	var tmp = v;
+	var digits = 0;
+	while (tmp > 0) {
+		tmp = tmp / 10;
+		digits = digits + 1;
+	}
+	if (digits == 0) {
+		digits = 1;
+	}
+	var pos = digits;
+	tmp = v;
+	while (pos > 0) {
+		pos = pos - 1;
+		store8(out + pos, 0x30 + tmp % 10);
+		tmp = tmp / 10;
+	}
+	store8(out + digits, 0);
+	return digits;
+}`,
+	"pair_swap": `
+func pair_swap(arr, n) {
+	var i = 0;
+	var swaps = 0;
+	while (i + 1 < n) {
+		var a = load64(arr + i * 8);
+		var b = load64(arr + (i + 1) * 8);
+		if (a > b) {
+			store64(arr + i * 8, b);
+			store64(arr + (i + 1) * 8, a);
+			swaps = swaps + 1;
+		}
+		i = i + 2;
+	}
+	return swaps;
+}`,
+}
+
+// buildSet compiles each source with the given toolchains.
+func buildSet(t *testing.T, tcNames []string) ([]*asm.Proc, []string) {
+	t.Helper()
+	var procs []*asm.Proc
+	var srcOf []string
+	for name, src := range map[string]string(sources) {
+		prog := minic.MustParse(src)
+		for _, tcName := range tcNames {
+			tc, ok := compile.ByName(tcName)
+			if !ok {
+				t.Fatalf("no toolchain %s", tcName)
+			}
+			p, err := compile.Compile(prog, name, tc, compile.O2())
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.Name = name + "@" + tcName
+			p.Source.SourceSym = name
+			procs = append(procs, p)
+			srcOf = append(srcOf, name)
+		}
+	}
+	return procs, srcOf
+}
+
+func TestPairwiseGESMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustering is slow")
+	}
+	procs, _ := buildSet(t, []string{"gcc-4.9", "clang-3.5"})
+	m, err := PairwiseGES(procs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := len(procs)
+	for i := 0; i < n; i++ {
+		if m.Sim[i][i] < 0.99 {
+			t.Errorf("self similarity of %s = %v", m.Labels[i], m.Sim[i][i])
+		}
+		for j := 0; j < n; j++ {
+			if m.Sim[i][j] != m.Sim[j][i] {
+				t.Fatal("matrix not symmetric")
+			}
+			if m.Sim[i][j] < 0 || m.Sim[i][j] > 1 {
+				t.Fatalf("similarity out of range: %v", m.Sim[i][j])
+			}
+		}
+	}
+}
+
+func TestAgglomerateRecoversSources(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustering is slow")
+	}
+	procs, srcOf := buildSet(t, []string{"gcc-4.9", "gcc-4.8", "clang-3.5"})
+	m, err := PairwiseGES(procs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	clusters := Agglomerate(m, 0.5)
+	// Every cluster must be pure (one source), and the majority of
+	// sources must form a multi-member cluster.
+	multi := 0
+	for _, c := range clusters {
+		src := srcOf[c[0]]
+		for _, i := range c[1:] {
+			if srcOf[i] != src {
+				t.Errorf("mixed cluster: %v", labelsOf(m, c))
+			}
+		}
+		if len(c) >= 2 {
+			multi++
+		}
+	}
+	if multi < 3 {
+		t.Errorf("only %d multi-member clusters; clustering failed to group compilations: %v",
+			multi, clusters)
+	}
+}
+
+func labelsOf(m *Matrix, c []int) []string {
+	out := make([]string, len(c))
+	for i, idx := range c {
+		out[i] = m.Labels[idx]
+	}
+	return out
+}
+
+func TestClassifyHeldOut(t *testing.T) {
+	if testing.Short() {
+		t.Skip("clustering is slow")
+	}
+	procs, srcOf := buildSet(t, []string{"gcc-4.9", "gcc-4.6", "clang-3.5"})
+	m, err := PairwiseGES(procs, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	correct, total := 0, 0
+	for hold := range procs {
+		labels := make([]string, len(procs))
+		for i := range procs {
+			if i != hold {
+				labels[i] = srcOf[i]
+			}
+		}
+		got, weight := Classify(m, labels, hold, 3)
+		if weight <= 0 {
+			t.Fatalf("no vote weight for %s", m.Labels[hold])
+		}
+		total++
+		if got == srcOf[hold] {
+			correct++
+		}
+	}
+	// The gcc-gcc pairs are trivial; cross-vendor holds are harder. A
+	// strong majority must classify correctly.
+	if correct*4 < total*3 {
+		t.Errorf("kNN classified %d/%d correctly", correct, total)
+	}
+}
+
+func TestAgglomerateThresholdOne(t *testing.T) {
+	// With an impossible threshold nothing merges.
+	m := &Matrix{
+		Labels: []string{"a", "b"},
+		Sim:    [][]float64{{1, 0.2}, {0.2, 1}},
+	}
+	clusters := Agglomerate(m, 1.1)
+	if len(clusters) != 2 {
+		t.Errorf("clusters = %v", clusters)
+	}
+	// With a permissive threshold everything merges.
+	clusters = Agglomerate(m, 0.1)
+	if len(clusters) != 1 {
+		t.Errorf("clusters = %v", clusters)
+	}
+}
+
+func TestPairwiseGESEmpty(t *testing.T) {
+	if _, err := PairwiseGES(nil, core.Options{}); err == nil {
+		t.Error("empty set accepted")
+	}
+}
+
+func TestClassifyNoLabels(t *testing.T) {
+	m := &Matrix{Labels: []string{"a", "b"}, Sim: [][]float64{{1, 0.5}, {0.5, 1}}}
+	got, w := Classify(m, []string{"", ""}, 0, 3)
+	if got != "" || w > 0 {
+		t.Errorf("classification without labels returned %q (%v)", got, w)
+	}
+}

@@ -1,0 +1,1197 @@
+package compile
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+)
+
+// Options controls compilation.
+type Options struct {
+	// OptLevel is 0 (everything on the stack, naive selection), 1
+	// (limited register promotion, naive selection) or 2 (full register
+	// promotion, idiomatic selection and structural transforms). The
+	// paper's corpus default is -O2.
+	OptLevel int
+}
+
+// O2 returns the default optimization options.
+func O2() Options { return Options{OptLevel: 2} }
+
+var argRegs = [6]asm.Reg{asm.RDI, asm.RSI, asm.RDX, asm.RCX, asm.R8, asm.R9}
+
+var calleeSaved = map[asm.Reg]bool{
+	asm.RBX: true, asm.R12: true, asm.R13: true, asm.R14: true, asm.R15: true,
+}
+
+// Compile compiles one MiniC function under the toolchain.
+func Compile(prog *minic.Program, fn string, tc Toolchain, opt Options) (*asm.Proc, error) {
+	f, ok := prog.Lookup(fn)
+	if !ok {
+		return nil, fmt.Errorf("compile: unknown function %q", fn)
+	}
+	g := &gen{prog: prog, f: f, tc: tc, opt: opt}
+	return g.compile()
+}
+
+// CompileAll compiles every function of the program.
+func CompileAll(prog *minic.Program, tc Toolchain, opt Options) ([]*asm.Proc, error) {
+	var out []*asm.Proc
+	for _, f := range prog.Funcs {
+		p, err := Compile(prog, f.Name, tc, opt)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// home is a local variable's storage location.
+type home struct {
+	reg   asm.Reg
+	inReg bool
+	slot  int // frame slot index when !inReg
+}
+
+type loopCtx struct {
+	condLbl, endLbl string
+}
+
+type gen struct {
+	prog *minic.Program
+	f    *minic.Func
+	tc   Toolchain
+	opt  Options
+
+	body      []asm.Inst
+	homes     map[string]home
+	scratch   []asm.Reg // effective scratch registers, preference order
+	saved     []asm.Reg // callee-saved registers to preserve
+	nslots    int
+	pushDepth int
+	labelGen  int
+	loops     []loopCtx
+	err       error
+}
+
+func (g *gen) compile() (*asm.Proc, error) {
+	g.homes = map[string]home{}
+
+	// Collect locals in declaration order and count uses.
+	locals := append([]string{}, g.f.Params...)
+	uses := map[string]int{}
+	collectLocals(g.f.Body, &locals)
+	countUses(g.f.Body, uses)
+	for _, p := range g.f.Params {
+		uses[p]++ // params are written once at entry
+	}
+
+	// Promote the hottest locals to callee-saved registers at -O1 and
+	// above (-O1 promotes at most two).
+	promoted := map[string]asm.Reg{}
+	if g.opt.OptLevel >= 1 {
+		ranked := append([]string{}, locals...)
+		sort.SliceStable(ranked, func(i, j int) bool { return uses[ranked[i]] > uses[ranked[j]] })
+		n := g.tc.MaxRegLocals
+		if g.opt.OptLevel == 1 && n > 2 {
+			n = 2
+		}
+		if n > len(g.tc.CalleeOrder) {
+			n = len(g.tc.CalleeOrder)
+		}
+		for i := 0; i < n && i < len(ranked); i++ {
+			promoted[ranked[i]] = g.tc.CalleeOrder[i]
+		}
+	}
+	for _, name := range locals {
+		if r, ok := promoted[name]; ok {
+			g.homes[name] = home{reg: r, inReg: true}
+		} else {
+			g.homes[name] = home{slot: g.nslots}
+			g.nslots++
+		}
+	}
+
+	// Effective scratch registers: the toolchain's preference order minus
+	// registers promoted to locals.
+	taken := map[asm.Reg]bool{}
+	for _, r := range promoted {
+		taken[r] = true
+	}
+	for _, r := range g.tc.ScratchOrder {
+		if !taken[r] {
+			g.scratch = append(g.scratch, r)
+		}
+	}
+	if len(g.scratch) < 2 {
+		return nil, fmt.Errorf("compile: toolchain %s leaves %d scratch registers", g.tc.Name(), len(g.scratch))
+	}
+
+	// Callee-saved registers to preserve: promoted homes plus any
+	// callee-saved scratch, in a deterministic order.
+	seen := map[asm.Reg]bool{}
+	for _, r := range g.tc.CalleeOrder {
+		if taken[r] && !seen[r] {
+			seen[r] = true
+			g.saved = append(g.saved, r)
+		}
+	}
+	for _, r := range g.scratch {
+		if calleeSaved[r] && !seen[r] {
+			seen[r] = true
+			g.saved = append(g.saved, r)
+		}
+	}
+
+	// Move parameters to their homes.
+	for i, p := range g.f.Params {
+		h := g.homes[p]
+		if h.inReg {
+			g.emit(asm.MkInst(asm.MOV, asm.R64(h.reg), asm.R64(argRegs[i])))
+		} else {
+			g.emit(asm.MkInst(asm.MOV, g.slotOperand(h.slot), asm.R64(argRegs[i])))
+		}
+	}
+
+	// Body.
+	endsWithReturn := g.stmts(g.f.Body)
+	if g.err != nil {
+		return nil, fmt.Errorf("compile %s (%s): %w", g.f.Name, g.tc.Name(), g.err)
+	}
+	if !endsWithReturn {
+		// Falling off the end returns 0.
+		g.emitZero(asm.RAX)
+	}
+
+	return g.wrap(), nil
+}
+
+// frame layout ------------------------------------------------------------
+
+// savedMovSlots is the number of extra frame slots when callee-saved
+// registers are saved with mov (icc style).
+func (g *gen) savedMovSlots() int {
+	if g.tc.SaveWithMov {
+		return len(g.saved)
+	}
+	return 0
+}
+
+func (g *gen) frameBytes() int64 { return int64(8 * (g.nslots + g.savedMovSlots())) }
+
+// slotOperand addresses frame slot i from inside the body.
+func (g *gen) slotOperand(i int) asm.Operand {
+	if g.tc.OmitFP {
+		return asm.Mem(asm.RSP, int64(8*(i+g.pushDepth)), asm.Width8)
+	}
+	// rbp frame: pushes of callee-saved (push style) sit between rbp and
+	// the locals.
+	pushedCS := 0
+	if !g.tc.SaveWithMov {
+		pushedCS = len(g.saved)
+	}
+	return asm.Mem(asm.RBP, -int64(8*(pushedCS+i+1)), asm.Width8)
+}
+
+// savedMovOperand addresses the j-th mov-saved callee register slot.
+func (g *gen) savedMovOperand(j int) asm.Operand {
+	if g.tc.OmitFP {
+		return asm.Mem(asm.RSP, int64(8*(g.nslots+j)), asm.Width8)
+	}
+	return asm.Mem(asm.RBP, -int64(8*(g.nslots+j+1)), asm.Width8)
+}
+
+// wrap adds prologue and epilogue around the generated body.
+func (g *gen) wrap() *asm.Proc {
+	var out []asm.Inst
+	frame := g.frameBytes()
+	if !g.tc.OmitFP {
+		out = append(out,
+			asm.MkUnary(asm.PUSH, asm.R64(asm.RBP)),
+			asm.MkInst(asm.MOV, asm.R64(asm.RBP), asm.R64(asm.RSP)),
+		)
+	}
+	if !g.tc.SaveWithMov {
+		for _, r := range g.saved {
+			out = append(out, asm.MkUnary(asm.PUSH, asm.R64(r)))
+		}
+	}
+	if frame > 0 {
+		out = append(out, asm.MkInst(asm.SUB, asm.R64(asm.RSP), asm.Imm(frame)))
+	}
+	if g.tc.SaveWithMov {
+		for j, r := range g.saved {
+			op := g.savedMovOperandProlog(j)
+			out = append(out, asm.MkInst(asm.MOV, op, asm.R64(r)))
+		}
+	}
+
+	body := g.body
+	if g.opt.OptLevel >= 2 && g.tc.SchedSeed != 0 {
+		body = schedule(body, g.tc.SchedSeed)
+	}
+	out = append(out, body...)
+
+	out = append(out, asm.Label(".Lret"))
+	if g.tc.SaveWithMov {
+		for j := len(g.saved) - 1; j >= 0; j-- {
+			op := g.savedMovOperandProlog(j)
+			out = append(out, asm.MkInst(asm.MOV, asm.R64(g.saved[j]), op))
+		}
+	}
+	if frame > 0 {
+		out = append(out, asm.MkInst(asm.ADD, asm.R64(asm.RSP), asm.Imm(frame)))
+	}
+	if !g.tc.SaveWithMov {
+		for i := len(g.saved) - 1; i >= 0; i-- {
+			out = append(out, asm.MkUnary(asm.POP, asm.R64(g.saved[i])))
+		}
+	}
+	if !g.tc.OmitFP {
+		out = append(out, asm.MkUnary(asm.POP, asm.R64(asm.RBP)))
+	}
+	out = append(out, asm.Inst{Op: asm.RET})
+	return &asm.Proc{Name: g.f.Name, Insts: out}
+}
+
+// savedMovOperandProlog is savedMovOperand as seen from the prologue and
+// epilogue (push depth zero).
+func (g *gen) savedMovOperandProlog(j int) asm.Operand {
+	saved := g.pushDepth
+	g.pushDepth = 0
+	op := g.savedMovOperand(j)
+	g.pushDepth = saved
+	return op
+}
+
+// emit helpers -------------------------------------------------------------
+
+func (g *gen) emit(in asm.Inst) { g.body = append(g.body, in) }
+
+func (g *gen) fail(format string, args ...any) {
+	if g.err == nil {
+		g.err = fmt.Errorf(format, args...)
+	}
+}
+
+func (g *gen) push(r asm.Reg) {
+	g.emit(asm.MkUnary(asm.PUSH, asm.R64(r)))
+	g.pushDepth++
+}
+
+func (g *gen) pop(r asm.Reg) {
+	g.emit(asm.MkUnary(asm.POP, asm.R64(r)))
+	g.pushDepth--
+}
+
+func (g *gen) label() string {
+	g.labelGen++
+	return fmt.Sprintf(".L%d", g.labelGen)
+}
+
+func (g *gen) emitZero(r asm.Reg) {
+	if g.tc.ZeroWithMov {
+		g.emit(asm.MkInst(asm.MOV, asm.R64(r), asm.Imm(0)))
+	} else {
+		g.emit(asm.MkInst(asm.XOR, asm.R32(r), asm.R32(r)))
+	}
+}
+
+// statements ----------------------------------------------------------------
+
+// stmts compiles a statement list and reports whether it definitely ends
+// in a return on every path (used for fall-off handling at the top level).
+func (g *gen) stmts(list []minic.Stmt) bool {
+	ends := false
+	for _, s := range list {
+		ends = g.stmt(s)
+		if g.err != nil {
+			return false
+		}
+	}
+	return ends
+}
+
+func (g *gen) stmt(s minic.Stmt) (endsWithReturn bool) {
+	switch t := s.(type) {
+	case *minic.VarDecl:
+		g.assignLocal(t.Name, t.Init)
+	case *minic.AssignStmt:
+		g.assignLocal(t.Name, t.Val)
+	case *minic.StoreStmt:
+		g.store(t)
+	case *minic.IfStmt:
+		g.ifStmt(t)
+	case *minic.WhileStmt:
+		g.whileStmt(t)
+	case *minic.ReturnStmt:
+		g.expr(t.Val, 0)
+		g.emit(asm.MkInst(asm.MOV, asm.R64(asm.RAX), asm.R64(g.scratch[0])))
+		g.emit(asm.MkJump(".Lret"))
+		return true
+	case *minic.ExprStmt:
+		g.expr(t.X, 0)
+	case *minic.BreakStmt:
+		if len(g.loops) == 0 {
+			g.fail("break outside loop")
+			return false
+		}
+		g.emit(asm.MkJump(g.loops[len(g.loops)-1].endLbl))
+	case *minic.ContinueStmt:
+		if len(g.loops) == 0 {
+			g.fail("continue outside loop")
+			return false
+		}
+		g.emit(asm.MkJump(g.loops[len(g.loops)-1].condLbl))
+	}
+	return false
+}
+
+// assignLocal compiles "name = val". Register-homed locals are computed
+// directly into their home register when the value expression permits it
+// (this is what makes -O2 output read like real compiler output: "i = i
+// + 1" becomes a single inc on the home register).
+func (g *gen) assignLocal(name string, val minic.Expr) {
+	h, ok := g.homes[name]
+	if !ok {
+		g.fail("unknown local %q", name)
+		return
+	}
+	if h.inReg && g.opt.OptLevel >= 1 && g.safeDirect(val, h.reg) {
+		g.genInto(val, h.reg, 0)
+		return
+	}
+	g.expr(val, 0)
+	if h.inReg {
+		g.emit(asm.MkInst(asm.MOV, asm.R64(h.reg), asm.R64(g.scratch[0])))
+	} else {
+		g.emit(asm.MkInst(asm.MOV, g.slotOperand(h.slot), asm.R64(g.scratch[0])))
+	}
+}
+
+func widthOf(bytes int) asm.Width { return asm.Width(bytes) }
+
+func (g *gen) store(t *minic.StoreStmt) {
+	// Value first (depth 0), then address.
+	g.expr(t.Val, 0)
+	w := widthOf(t.Width)
+	if op, ok := g.foldAddr(t.Addr, w); ok {
+		g.emit(asm.MkInst(asm.MOV, op, asm.R(g.scratch[0], w)))
+		return
+	}
+	g.expr(t.Addr, 1)
+	g.emit(asm.MkInst(asm.MOV, asm.Mem(g.scratch[1], 0, w), asm.R(g.scratch[0], w)))
+}
+
+func (g *gen) ifStmt(t *minic.IfStmt) {
+	if g.tc.IfConversion && g.opt.OptLevel >= 2 && g.ifConvert(t) {
+		return
+	}
+	thenLbl, elseLbl, endLbl := g.label(), g.label(), g.label()
+	if len(t.Else) == 0 {
+		elseLbl = endLbl
+	}
+	if g.tc.InvertBranches && len(t.Else) > 0 {
+		// Lay the else block first.
+		g.branch(t.Cond, thenLbl, elseLbl, elseLbl)
+		g.emit(asm.Label(elseLbl))
+		g.stmts(t.Else)
+		g.emit(asm.MkJump(endLbl))
+		g.emit(asm.Label(thenLbl))
+		g.stmts(t.Then)
+		g.emit(asm.Label(endLbl))
+		return
+	}
+	g.branch(t.Cond, thenLbl, elseLbl, thenLbl)
+	g.emit(asm.Label(thenLbl))
+	g.stmts(t.Then)
+	if len(t.Else) > 0 {
+		g.emit(asm.MkJump(endLbl))
+		g.emit(asm.Label(elseLbl))
+		g.stmts(t.Else)
+	}
+	g.emit(asm.Label(endLbl))
+}
+
+// ifConvert recognizes "if (a <op> b) x = e1; [else x = e2;]" with pure
+// condition and arms and compiles it to a cmov, eliminating the diamond
+// (clang's if-conversion). Reports whether it emitted code.
+func (g *gen) ifConvert(t *minic.IfStmt) bool {
+	cond, ok := t.Cond.(*minic.Binary)
+	if !ok {
+		return false
+	}
+	cc, ok := ccOf[cond.Op]
+	if !ok || !pureExpr(cond.X) || !pureExpr(cond.Y) {
+		return false
+	}
+	asgn := func(list []minic.Stmt) (*minic.AssignStmt, bool) {
+		if len(list) != 1 {
+			return nil, false
+		}
+		a, ok := list[0].(*minic.AssignStmt)
+		if !ok || !pureExpr(a.Val) {
+			return nil, false
+		}
+		return a, true
+	}
+	thenA, ok := asgn(t.Then)
+	if !ok {
+		return false
+	}
+	var elseVal minic.Expr = &minic.Ident{Name: thenA.Name}
+	if len(t.Else) > 0 {
+		elseA, ok := asgn(t.Else)
+		if !ok || elseA.Name != thenA.Name {
+			return false
+		}
+		elseVal = elseA.Val
+	}
+	if len(g.scratch) < 3 {
+		return false
+	}
+	// Evaluate both arms first (ALU ops clobber flags), then compare,
+	// then select.
+	g.genInto(elseVal, g.scratch[0], 1)
+	g.genInto(thenA.Val, g.scratch[1], 2)
+	g.genInto(cond.X, g.scratch[2], 3)
+	if lit, isLit := cond.Y.(*minic.NumLit); isLit && fitsImm(lit.Val) {
+		g.emit(asm.MkInst(asm.CMP, asm.R64(g.scratch[2]), asm.Imm(lit.Val)))
+	} else {
+		g.push(g.scratch[2])
+		g.genInto(cond.Y, g.scratch[2], 3)
+		g.pop(asm.RAX)
+		g.emit(asm.MkInst(asm.CMP, asm.R64(asm.RAX), asm.R64(g.scratch[2])))
+	}
+	g.emit(asm.Inst{Op: asm.CMOVCC, CC: cc, Dst: asm.R64(g.scratch[0]), Src: asm.R64(g.scratch[1])})
+	h, ok := g.homes[thenA.Name]
+	if !ok {
+		g.fail("unknown local %q", thenA.Name)
+		return true
+	}
+	if h.inReg {
+		g.emit(asm.MkInst(asm.MOV, asm.R64(h.reg), asm.R64(g.scratch[0])))
+	} else {
+		g.emit(asm.MkInst(asm.MOV, g.slotOperand(h.slot), asm.R64(g.scratch[0])))
+	}
+	return true
+}
+
+func (g *gen) whileStmt(t *minic.WhileStmt) {
+	condLbl, bodyLbl, endLbl := g.label(), g.label(), g.label()
+	g.loops = append(g.loops, loopCtx{condLbl: condLbl, endLbl: endLbl})
+	defer func() { g.loops = g.loops[:len(g.loops)-1] }()
+
+	if g.tc.GuardedLoops && g.opt.OptLevel >= 2 {
+		// gcc-style loop inversion: an entry guard plus a bottom test.
+		// The condition code is emitted twice, changing the CFG shape
+		// relative to both the rotated and the top-test styles.
+		g.branch(t.Cond, bodyLbl, endLbl, bodyLbl)
+		g.emit(asm.Label(bodyLbl))
+		g.stmts(t.Body)
+		g.emit(asm.Label(condLbl)) // continue target
+		g.branch(t.Cond, bodyLbl, endLbl, endLbl)
+		g.emit(asm.Label(endLbl))
+		return
+	}
+	if g.tc.RotateLoops {
+		// gcc style: entry jump to the bottom test.
+		g.emit(asm.MkJump(condLbl))
+		g.emit(asm.Label(bodyLbl))
+		g.stmts(t.Body)
+		g.emit(asm.Label(condLbl))
+		g.branch(t.Cond, bodyLbl, endLbl, endLbl)
+		g.emit(asm.Label(endLbl))
+		return
+	}
+	// top-test style
+	g.emit(asm.Label(condLbl))
+	g.branch(t.Cond, bodyLbl, endLbl, bodyLbl)
+	g.emit(asm.Label(bodyLbl))
+	g.stmts(t.Body)
+	g.emit(asm.MkJump(condLbl))
+	g.emit(asm.Label(endLbl))
+}
+
+// pureExpr reports whether e can be evaluated eagerly: no calls (side
+// effects) and no division (traps on zero). Loads are pure in this ISA.
+func pureExpr(e minic.Expr) bool {
+	switch t := e.(type) {
+	case *minic.NumLit, *minic.Ident:
+		return true
+	case *minic.Unary:
+		return pureExpr(t.X)
+	case *minic.Sext:
+		return pureExpr(t.X)
+	case *minic.Load:
+		return pureExpr(t.Addr)
+	case *minic.Binary:
+		if t.Op == minic.OpDiv || t.Op == minic.OpRem {
+			return false
+		}
+		return pureExpr(t.X) && pureExpr(t.Y)
+	}
+	return false
+}
+
+// genBool compiles a pure boolean expression to a 0/1 value in dst with
+// setcc and bitwise ops, without branches (the clang idiom enabled by
+// BranchlessLogic).
+func (g *gen) genBool(e minic.Expr, dst asm.Reg, free int) {
+	if t, ok := e.(*minic.Binary); ok {
+		switch t.Op {
+		case minic.OpLAnd, minic.OpLOr:
+			op := asm.AND
+			if t.Op == minic.OpLOr {
+				op = asm.OR
+			}
+			g.withTwoBool(t.X, t.Y, dst, free, op)
+			return
+		}
+		if cc, ok := ccOf[t.Op]; ok {
+			g.withTwo(t.X, t.Y, dst, free, func(a asm.Reg, b asm.Operand) {
+				g.emit(asm.MkInst(asm.CMP, asm.R64(a), b))
+				g.emit(asm.Inst{Op: asm.SETCC, CC: cc, Dst: asm.R8L(a)})
+				g.emit(asm.MkInst(asm.MOVZX, asm.R32(a), asm.R8L(a)))
+			})
+			return
+		}
+	}
+	if t, ok := e.(*minic.Unary); ok && t.Op == minic.OpLNot {
+		g.genBool(t.X, dst, free)
+		g.emit(asm.MkInst(asm.XOR, asm.R64(dst), asm.Imm(1)))
+		return
+	}
+	// Generic truthiness.
+	g.genInto(e, dst, free)
+	g.testZero(dst)
+	g.emit(asm.Inst{Op: asm.SETCC, CC: asm.NE, Dst: asm.R8L(dst)})
+	g.emit(asm.MkInst(asm.MOVZX, asm.R32(dst), asm.R8L(dst)))
+}
+
+// withTwoBool combines two boolean subexpressions with a bitwise op.
+func (g *gen) withTwoBool(x, y minic.Expr, dst asm.Reg, free int, op asm.Op) {
+	if free < len(g.scratch) && g.scratch[free] != dst {
+		b := g.scratch[free]
+		g.genBool(x, dst, free)
+		g.genBool(y, b, free+1)
+		g.emit(asm.MkInst(op, asm.R64(dst), asm.R64(b)))
+		return
+	}
+	g.genBool(x, dst, free)
+	g.push(dst)
+	g.genBool(y, dst, free)
+	g.pop(asm.RAX)
+	g.emit(asm.MkInst(op, asm.R64(asm.RAX), asm.R64(dst)))
+	g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.R64(asm.RAX)))
+}
+
+// branch compiles e as control flow: jump to trueLbl when e != 0, else to
+// falseLbl. next names the label that immediately follows, letting the
+// fall-through jump be elided.
+func (g *gen) branch(e minic.Expr, trueLbl, falseLbl, next string) {
+	// Clang-style: pure short-circuit chains become one branchless 0/1
+	// value followed by a single conditional jump.
+	if g.tc.BranchlessLogic && g.opt.OptLevel >= 2 {
+		if t, ok := e.(*minic.Binary); ok &&
+			(t.Op == minic.OpLAnd || t.Op == minic.OpLOr) && pureExpr(e) {
+			g.genBool(e, g.scratch[0], 1)
+			g.testZero(g.scratch[0])
+			g.emitCondJump(asm.NE, trueLbl, falseLbl, next)
+			return
+		}
+	}
+	switch t := e.(type) {
+	case *minic.Binary:
+		if cc, ok := ccOf[t.Op]; ok {
+			// Left side: a register-homed local compares in place.
+			var left asm.Reg
+			if op, isLeaf := g.operandLeaf(t.X); isLeaf && op.Kind == asm.KindReg && g.opt.OptLevel >= 2 {
+				left = op.Reg
+			} else {
+				g.expr(t.X, 0)
+				left = g.scratch[0]
+			}
+			if op, isLeaf := g.operandLeaf(t.Y); isLeaf && g.opt.OptLevel >= 2 {
+				g.emit(asm.MkInst(asm.CMP, asm.R64(left), op))
+			} else if lit, isLit := t.Y.(*minic.NumLit); isLit && fitsImm(lit.Val) {
+				g.emit(asm.MkInst(asm.CMP, asm.R64(left), asm.Imm(lit.Val)))
+			} else {
+				g.expr(t.Y, 1)
+				g.emit(asm.MkInst(asm.CMP, asm.R64(left), asm.R64(g.scratch[1])))
+			}
+			g.emitCondJump(cc, trueLbl, falseLbl, next)
+			return
+		}
+		switch t.Op {
+		case minic.OpLAnd:
+			mid := g.label()
+			g.branch(t.X, mid, falseLbl, mid)
+			g.emit(asm.Label(mid))
+			g.branch(t.Y, trueLbl, falseLbl, next)
+			return
+		case minic.OpLOr:
+			mid := g.label()
+			g.branch(t.X, trueLbl, mid, mid)
+			g.emit(asm.Label(mid))
+			g.branch(t.Y, trueLbl, falseLbl, next)
+			return
+		}
+	case *minic.Unary:
+		if t.Op == minic.OpLNot {
+			g.branch(t.X, falseLbl, trueLbl, next)
+			return
+		}
+	}
+	// Generic truthiness.
+	g.expr(e, 0)
+	g.testZero(g.scratch[0])
+	g.emitCondJump(asm.NE, trueLbl, falseLbl, next)
+}
+
+func (g *gen) testZero(r asm.Reg) {
+	if g.tc.CmpZero {
+		g.emit(asm.MkInst(asm.CMP, asm.R64(r), asm.Imm(0)))
+	} else {
+		g.emit(asm.MkInst(asm.TEST, asm.R64(r), asm.R64(r)))
+	}
+}
+
+func (g *gen) emitCondJump(cc asm.CC, trueLbl, falseLbl, next string) {
+	if trueLbl == next {
+		g.emit(asm.MkJcc(cc.Negate(), falseLbl))
+		return
+	}
+	g.emit(asm.MkJcc(cc, trueLbl))
+	if falseLbl != next {
+		g.emit(asm.MkJump(falseLbl))
+	}
+}
+
+var ccOf = map[minic.BinOp]asm.CC{
+	minic.OpEq: asm.E, minic.OpNe: asm.NE,
+	minic.OpLt: asm.L, minic.OpLe: asm.LE, minic.OpGt: asm.G, minic.OpGe: asm.GE,
+	minic.OpULt: asm.B, minic.OpULe: asm.BE, minic.OpUGt: asm.A, minic.OpUGe: asm.AE,
+}
+
+func fitsImm(v int64) bool { return v >= -(1<<31) && v < (1<<31) }
+
+// expressions ----------------------------------------------------------------
+
+// expr compiles e, leaving the value in g.scratch[d] (temporaries use
+// scratch registers above d).
+func (g *gen) expr(e minic.Expr, d int) {
+	if d >= len(g.scratch) {
+		g.fail("internal: scratch depth overflow")
+		return
+	}
+	g.genInto(e, g.scratch[d], d+1)
+}
+
+// refsLocalReg reports whether e reads a local homed in reg.
+func (g *gen) refsLocalReg(e minic.Expr, reg asm.Reg) bool {
+	switch t := e.(type) {
+	case *minic.Ident:
+		h := g.homes[t.Name]
+		return h.inReg && h.reg == reg
+	case *minic.Binary:
+		return g.refsLocalReg(t.X, reg) || g.refsLocalReg(t.Y, reg)
+	case *minic.Unary:
+		return g.refsLocalReg(t.X, reg)
+	case *minic.Load:
+		return g.refsLocalReg(t.Addr, reg)
+	case *minic.Sext:
+		return g.refsLocalReg(t.X, reg)
+	case *minic.Call:
+		for _, a := range t.Args {
+			if g.refsLocalReg(a, reg) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// safeDirect reports whether e can be compiled directly into dst even
+// though dst is the home of a local that e may read: dst must only be
+// read before the first write to it. Left spines are evaluated first, so
+// a left-spine read is safe; calls and short-circuit forms write dst
+// last and are always safe.
+func (g *gen) safeDirect(e minic.Expr, dst asm.Reg) bool {
+	switch t := e.(type) {
+	case *minic.NumLit, *minic.Ident, *minic.Call:
+		return true
+	case *minic.Unary:
+		return g.safeDirect(t.X, dst)
+	case *minic.Sext:
+		return g.safeDirect(t.X, dst)
+	case *minic.Load:
+		return g.safeDirect(t.Addr, dst)
+	case *minic.Binary:
+		if t.Op == minic.OpLAnd || t.Op == minic.OpLOr {
+			return true // dst written only at the join labels
+		}
+		return g.safeDirect(t.X, dst) && !g.refsLocalReg(t.Y, dst)
+	}
+	return false
+}
+
+// genInto compiles e into dst; scratch registers from index free upward
+// are available for temporaries. dst is never rax or rdx (those are
+// reserved for division and returns).
+func (g *gen) genInto(e minic.Expr, dst asm.Reg, free int) {
+	if g.err != nil {
+		return
+	}
+	switch t := e.(type) {
+	case *minic.NumLit:
+		if t.Val == 0 {
+			g.emitZero(dst)
+		} else {
+			g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.Imm(t.Val)))
+		}
+
+	case *minic.Ident:
+		h := g.homes[t.Name]
+		if h.inReg {
+			if h.reg != dst {
+				g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.R64(h.reg)))
+			}
+		} else {
+			g.emit(asm.MkInst(asm.MOV, asm.R64(dst), g.slotOperand(h.slot)))
+		}
+
+	case *minic.Unary:
+		g.genInto(t.X, dst, free)
+		switch t.Op {
+		case minic.OpNeg:
+			g.emit(asm.MkUnary(asm.NEG, asm.R64(dst)))
+		case minic.OpNot:
+			g.emit(asm.MkUnary(asm.NOT, asm.R64(dst)))
+		case minic.OpLNot:
+			g.testZero(dst)
+			g.emit(asm.Inst{Op: asm.SETCC, CC: asm.E, Dst: asm.R8L(dst)})
+			g.emit(asm.MkInst(asm.MOVZX, asm.R32(dst), asm.R8L(dst)))
+		}
+
+	case *minic.Binary:
+		g.binary(t, dst, free)
+
+	case *minic.Load:
+		w := widthOf(t.Width)
+		var mem asm.Operand
+		if op, ok := g.foldAddr(t.Addr, w); ok {
+			mem = op
+		} else {
+			g.genInto(t.Addr, dst, free)
+			mem = asm.Mem(dst, 0, w)
+		}
+		if t.Width == 8 {
+			g.emit(asm.MkInst(asm.MOV, asm.R64(dst), mem))
+		} else {
+			g.emit(asm.MkInst(asm.MOVZX, asm.R32(dst), mem))
+		}
+
+	case *minic.Sext:
+		g.genInto(t.X, dst, free)
+		g.emit(asm.MkInst(asm.MOVSX, asm.R64(dst), asm.R(dst, widthOf(t.Width))))
+
+	case *minic.Call:
+		g.call(t, dst, free)
+
+	default:
+		g.fail("cannot compile expression %T", e)
+	}
+}
+
+// binary compiles a binary operator into dst.
+func (g *gen) binary(t *minic.Binary, dst asm.Reg, free int) {
+	// Pure short-circuit chains under BranchlessLogic become setcc and
+	// bitwise ops with no branches at all.
+	if (t.Op == minic.OpLAnd || t.Op == minic.OpLOr) &&
+		g.tc.BranchlessLogic && g.opt.OptLevel >= 2 && pureExpr(t) {
+		g.genBool(t, dst, free)
+		return
+	}
+	// Short-circuit operators materialize 0/1 through branches. branch
+	// compiles its condition at scratch depth 0, so live partial results
+	// are preserved around it.
+	if t.Op == minic.OpLAnd || t.Op == minic.OpLOr {
+		for i := 0; i < free; i++ {
+			if g.scratch[i] != dst {
+				g.push(g.scratch[i])
+			}
+		}
+		trueLbl, falseLbl, endLbl := g.label(), g.label(), g.label()
+		g.branch(t, trueLbl, falseLbl, trueLbl)
+		g.emit(asm.Label(trueLbl))
+		g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.Imm(1)))
+		g.emit(asm.MkJump(endLbl))
+		g.emit(asm.Label(falseLbl))
+		g.emitZero(dst)
+		g.emit(asm.Label(endLbl))
+		for i := free - 1; i >= 0; i-- {
+			if g.scratch[i] != dst {
+				g.pop(g.scratch[i])
+			}
+		}
+		return
+	}
+
+	// Constant right operands get folded instruction selections.
+	if lit, ok := t.Y.(*minic.NumLit); ok && fitsImm(lit.Val) {
+		g.genInto(t.X, dst, free)
+		g.binaryWithConst(t.Op, dst, lit.Val)
+		return
+	}
+
+	// Comparisons producing a value.
+	if cc, ok := ccOf[t.Op]; ok {
+		g.withTwo(t.X, t.Y, dst, free, func(a asm.Reg, b asm.Operand) {
+			g.emit(asm.MkInst(asm.CMP, asm.R64(a), b))
+			g.emit(asm.Inst{Op: asm.SETCC, CC: cc, Dst: asm.R8L(a)})
+			g.emit(asm.MkInst(asm.MOVZX, asm.R32(a), asm.R8L(a)))
+		})
+		return
+	}
+
+	switch t.Op {
+	case minic.OpDiv, minic.OpRem:
+		g.withTwo(t.X, t.Y, dst, free, func(a asm.Reg, b asm.Operand) {
+			g.emit(asm.MkInst(asm.MOV, asm.R64(asm.RAX), asm.R64(a)))
+			g.emit(asm.Inst{Op: asm.CQO})
+			g.emit(asm.MkUnary(asm.IDIV, b))
+			res := asm.RAX
+			if t.Op == minic.OpRem {
+				res = asm.RDX
+			}
+			g.emit(asm.MkInst(asm.MOV, asm.R64(a), asm.R64(res)))
+		})
+	case minic.OpShl, minic.OpShr, minic.OpShrU:
+		op := asm.SHL
+		switch t.Op {
+		case minic.OpShr:
+			op = asm.SAR // MiniC >> is arithmetic
+		case minic.OpShrU:
+			op = asm.SHR
+		}
+		g.withTwo(t.X, t.Y, dst, free, func(a asm.Reg, b asm.Operand) {
+			g.emit(asm.MkInst(op, asm.R64(a), b))
+		})
+	default:
+		op, ok := simpleOp[t.Op]
+		if !ok {
+			g.fail("bad binary operator %v", t.Op)
+			return
+		}
+		g.withTwo(t.X, t.Y, dst, free, func(a asm.Reg, b asm.Operand) {
+			g.emit(asm.MkInst(op, asm.R64(a), b))
+		})
+	}
+}
+
+var simpleOp = map[minic.BinOp]asm.Op{
+	minic.OpAdd: asm.ADD, minic.OpSub: asm.SUB, minic.OpMul: asm.IMUL,
+	minic.OpAnd: asm.AND, minic.OpOr: asm.OR, minic.OpXor: asm.XOR,
+}
+
+// operandLeaf returns a direct operand for expressions that need no code:
+// integer literals and homed locals (register or frame slot). Users must
+// only read the operand (ALU source position).
+func (g *gen) operandLeaf(e minic.Expr) (asm.Operand, bool) {
+	switch t := e.(type) {
+	case *minic.NumLit:
+		if fitsImm(t.Val) {
+			return asm.Imm(t.Val), true
+		}
+	case *minic.Ident:
+		h, ok := g.homes[t.Name]
+		if !ok {
+			return asm.Operand{}, false
+		}
+		if h.inReg {
+			return asm.R64(h.reg), true
+		}
+		return g.slotOperand(h.slot), true
+	}
+	return asm.Operand{}, false
+}
+
+// withTwo evaluates x into dst and y into the next free scratch register
+// (spilling through the stack and rax when scratch runs out), runs fn on
+// the two registers (fn leaves its result in the first), and ensures the
+// result ends in dst.
+func (g *gen) withTwo(x, y minic.Expr, dst asm.Reg, free int, fn func(a asm.Reg, b asm.Operand)) {
+	// A homed right operand needs no code: use it directly as the ALU
+	// source, the way real compilers fold locals into instructions.
+	if op, ok := g.operandLeaf(y); ok && g.opt.OptLevel >= 2 {
+		if !(op.Kind == asm.KindReg && op.Reg == dst) {
+			g.genInto(x, dst, free)
+			fn(dst, op)
+			return
+		}
+	}
+	if free < len(g.scratch) {
+		b := g.scratch[free]
+		if b == dst {
+			// dst is itself scratch[free]; take the next one.
+			if free+1 < len(g.scratch) {
+				b = g.scratch[free+1]
+				g.genInto(x, dst, free+1)
+				g.genInto(y, b, free+2)
+				fn(dst, asm.R64(b))
+				return
+			}
+		} else {
+			g.genInto(x, dst, free)
+			g.genInto(y, b, free+1)
+			fn(dst, asm.R64(b))
+			return
+		}
+	}
+	// Spill: x goes to the stack while y is computed into dst.
+	g.genInto(x, dst, free)
+	g.push(dst)
+	g.genInto(y, dst, free)
+	g.pop(asm.RAX)
+	fn(asm.RAX, asm.R64(dst))
+	g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.R64(asm.RAX)))
+}
+
+// binaryWithConst lowers op with a constant right operand, applying the
+// toolchain's instruction-selection idioms.
+func (g *gen) binaryWithConst(op minic.BinOp, dst asm.Reg, c int64) {
+	switch op {
+	case minic.OpAdd:
+		switch {
+		case c == 1 && g.tc.UseIncDec:
+			g.emit(asm.MkUnary(asm.INC, asm.R64(dst)))
+		case c == -1 && g.tc.UseIncDec:
+			g.emit(asm.MkUnary(asm.DEC, asm.R64(dst)))
+		case g.tc.UseLeaAdd && g.opt.OptLevel >= 2:
+			g.emit(asm.MkInst(asm.LEA, asm.R64(dst), asm.Mem(dst, c, asm.Width8)))
+		default:
+			g.emit(asm.MkInst(asm.ADD, asm.R64(dst), asm.Imm(c)))
+		}
+	case minic.OpSub:
+		switch {
+		case c == 1 && g.tc.UseIncDec:
+			g.emit(asm.MkUnary(asm.DEC, asm.R64(dst)))
+		case g.tc.UseLeaAdd && g.opt.OptLevel >= 2:
+			g.emit(asm.MkInst(asm.LEA, asm.R64(dst), asm.Mem(dst, -c, asm.Width8)))
+		default:
+			g.emit(asm.MkInst(asm.SUB, asm.R64(dst), asm.Imm(c)))
+		}
+	case minic.OpMul:
+		g.mulConst(dst, c)
+	case minic.OpAnd:
+		g.emit(asm.MkInst(asm.AND, asm.R64(dst), asm.Imm(c)))
+	case minic.OpOr:
+		g.emit(asm.MkInst(asm.OR, asm.R64(dst), asm.Imm(c)))
+	case minic.OpXor:
+		g.emit(asm.MkInst(asm.XOR, asm.R64(dst), asm.Imm(c)))
+	case minic.OpShl:
+		g.emit(asm.MkInst(asm.SHL, asm.R64(dst), asm.Imm(c&63)))
+	case minic.OpShr:
+		g.emit(asm.MkInst(asm.SAR, asm.R64(dst), asm.Imm(c&63)))
+	case minic.OpShrU:
+		g.emit(asm.MkInst(asm.SHR, asm.R64(dst), asm.Imm(c&63)))
+	case minic.OpDiv, minic.OpRem:
+		// No constant-divisor tricks: mov the constant and divide.
+		g.emit(asm.MkInst(asm.MOV, asm.R64(asm.RAX), asm.R64(dst)))
+		g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.Imm(c)))
+		g.emit(asm.Inst{Op: asm.CQO})
+		g.emit(asm.MkUnary(asm.IDIV, asm.R64(dst)))
+		res := asm.RAX
+		if op == minic.OpRem {
+			res = asm.RDX
+		}
+		g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.R64(res)))
+	default:
+		if cc, ok := ccOf[op]; ok {
+			g.emit(asm.MkInst(asm.CMP, asm.R64(dst), asm.Imm(c)))
+			g.emit(asm.Inst{Op: asm.SETCC, CC: cc, Dst: asm.R8L(dst)})
+			g.emit(asm.MkInst(asm.MOVZX, asm.R32(dst), asm.R8L(dst)))
+			return
+		}
+		g.fail("bad const binary operator %v", op)
+	}
+}
+
+// mulConst lowers dst *= c per the toolchain's style.
+func (g *gen) mulConst(dst asm.Reg, c int64) {
+	if g.opt.OptLevel < 2 || g.tc.Mul == MulImul {
+		g.emit(asm.MkInst(asm.IMUL, asm.R64(dst), asm.Imm(c)))
+		return
+	}
+	switch {
+	case c > 0 && c&(c-1) == 0: // power of two
+		sh := int64(0)
+		for v := c; v > 1; v >>= 1 {
+			sh++
+		}
+		if g.tc.Mul == MulLeaPreferred && (c == 2 || c == 4 || c == 8) {
+			g.emit(asm.MkInst(asm.LEA, asm.R64(dst),
+				asm.MemIdx(asm.NoReg, dst, uint8(c), 0, asm.Width8)))
+		} else {
+			g.emit(asm.MkInst(asm.SHL, asm.R64(dst), asm.Imm(sh)))
+		}
+	case c == 3 || c == 5 || c == 9:
+		g.emit(asm.MkInst(asm.LEA, asm.R64(dst),
+			asm.MemIdx(dst, dst, uint8(c-1), 0, asm.Width8)))
+	default:
+		g.emit(asm.MkInst(asm.IMUL, asm.R64(dst), asm.Imm(c)))
+	}
+}
+
+// foldAddr recognizes addressing patterns over register-homed locals and
+// folds them into a memory operand (when the toolchain folds addressing).
+// Folding succeeds only with no code emitted.
+func (g *gen) foldAddr(e minic.Expr, w asm.Width) (asm.Operand, bool) {
+	if !g.tc.FoldAddressing || g.opt.OptLevel < 2 {
+		return asm.Operand{}, false
+	}
+	regOf := func(x minic.Expr) (asm.Reg, bool) {
+		id, ok := x.(*minic.Ident)
+		if !ok {
+			return 0, false
+		}
+		h := g.homes[id.Name]
+		if !h.inReg {
+			return 0, false
+		}
+		return h.reg, true
+	}
+	switch t := e.(type) {
+	case *minic.Ident:
+		if r, ok := regOf(t); ok {
+			return asm.Mem(r, 0, w), true
+		}
+	case *minic.Binary:
+		if t.Op != minic.OpAdd {
+			break
+		}
+		base, baseOK := regOf(t.X)
+		if !baseOK {
+			break
+		}
+		switch y := t.Y.(type) {
+		case *minic.NumLit:
+			if fitsImm(y.Val) {
+				return asm.Mem(base, y.Val, w), true
+			}
+		case *minic.Ident:
+			if idx, ok := regOf(y); ok {
+				return asm.MemIdx(base, idx, 1, 0, w), true
+			}
+		case *minic.Binary:
+			if y.Op == minic.OpMul {
+				if idx, ok := regOf(y.X); ok {
+					if sc, isLit := y.Y.(*minic.NumLit); isLit &&
+						(sc.Val == 2 || sc.Val == 4 || sc.Val == 8) {
+						return asm.MemIdx(base, idx, uint8(sc.Val), 0, w), true
+					}
+				}
+			}
+		}
+	}
+	return asm.Operand{}, false
+}
+
+// call compiles a function call into dst. Partial results held in
+// scratch registers below free are preserved across the call; argument
+// values travel through the stack so that every argument can use the
+// full scratch set.
+func (g *gen) call(t *minic.Call, dst asm.Reg, free int) {
+	var saved []asm.Reg
+	for i := 0; i < free && i < len(g.scratch); i++ {
+		if g.scratch[i] != dst {
+			saved = append(saved, g.scratch[i])
+		}
+	}
+	for _, r := range saved {
+		g.push(r)
+	}
+	// Evaluate arguments left to right onto the stack.
+	for _, a := range t.Args {
+		g.expr(a, 0)
+		g.push(g.scratch[0])
+	}
+	// Pop into the ABI registers, last argument first.
+	for i := len(t.Args) - 1; i >= 0; i-- {
+		g.pop(argRegs[i])
+	}
+	g.emit(asm.MkCall(t.Name))
+	g.emit(asm.MkInst(asm.MOV, asm.R64(dst), asm.R64(asm.RAX)))
+	for i := len(saved) - 1; i >= 0; i-- {
+		g.pop(saved[i])
+	}
+}
+
+// collectLocals appends declared variable names in declaration order.
+// Same-named variables in sibling scopes share a home; their lifetimes
+// are disjoint, so the sharing is safe.
+func collectLocals(stmts []minic.Stmt, out *[]string) {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *minic.VarDecl:
+			*out = append(*out, t.Name)
+		case *minic.IfStmt:
+			collectLocals(t.Then, out)
+			collectLocals(t.Else, out)
+		case *minic.WhileStmt:
+			collectLocals(t.Body, out)
+		}
+	}
+}
+
+// countUses tallies identifier reads and writes per local.
+func countUses(stmts []minic.Stmt, uses map[string]int) {
+	var walkExpr func(e minic.Expr)
+	walkExpr = func(e minic.Expr) {
+		switch t := e.(type) {
+		case *minic.Ident:
+			uses[t.Name]++
+		case *minic.Binary:
+			walkExpr(t.X)
+			walkExpr(t.Y)
+		case *minic.Unary:
+			walkExpr(t.X)
+		case *minic.Load:
+			walkExpr(t.Addr)
+		case *minic.Sext:
+			walkExpr(t.X)
+		case *minic.Call:
+			for _, a := range t.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *minic.VarDecl:
+			uses[t.Name]++
+			walkExpr(t.Init)
+		case *minic.AssignStmt:
+			uses[t.Name]++
+			walkExpr(t.Val)
+		case *minic.StoreStmt:
+			walkExpr(t.Addr)
+			walkExpr(t.Val)
+		case *minic.IfStmt:
+			walkExpr(t.Cond)
+			countUses(t.Then, uses)
+			countUses(t.Else, uses)
+		case *minic.WhileStmt:
+			walkExpr(t.Cond)
+			countUses(t.Body, uses)
+		case *minic.ReturnStmt:
+			walkExpr(t.Val)
+		case *minic.ExprStmt:
+			walkExpr(t.X)
+		}
+	}
+}

@@ -1,0 +1,418 @@
+package compile
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/minic"
+)
+
+// testPrograms exercises every language feature: arithmetic, bitwise ops,
+// signed/unsigned comparisons, memory, control flow, calls, deep
+// expressions (spills), and division.
+var testPrograms = []struct {
+	name string
+	src  string
+	fn   string
+	args int  // number of integer args
+	mem  bool // function takes a buffer pointer as first arg
+}{
+	{
+		name: "arith",
+		src: `func f(a, b) {
+			var x = a * 2 + b;
+			var y = x - b * 3;
+			return x ^ y + (a & 0xFF);
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "compare",
+		src: `func f(a, b) {
+			var r = 0;
+			if (a < b) { r = r + 1; }
+			if (a <u b) { r = r + 2; }
+			if (a >= b) { r = r + 4; }
+			if (a == b) { r = r + 8; }
+			if (a != 0 && b != 0) { r = r + 16; }
+			if (a > 100 || b > 100) { r = r + 32; }
+			return r;
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "loops",
+		src: `func f(n, step) {
+			var s = 0;
+			var i = 0;
+			var bound = n & 0x3F;
+			while (i < bound) {
+				s = s + i * step;
+				i = i + 1;
+			}
+			return s;
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "breakcontinue",
+		src: `func f(n) {
+			var limit = n & 0x1F;
+			var i = 0;
+			var s = 0;
+			while (1) {
+				i = i + 1;
+				if (i > limit) { break; }
+				if (i % 3 == 0) { continue; }
+				s = s + i;
+			}
+			return s;
+		}`,
+		fn: "f", args: 1,
+	},
+	{
+		name: "division",
+		src: `func f(a, b) {
+			var d = (b & 0xFF) + 1;
+			return a / d + a % d;
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "shifts",
+		src: `func f(a, b) {
+			var s = b & 31;
+			return (a << s) ^ (a >> s) ^ (a >> 3);
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "mulstyles",
+		src: `func f(a) {
+			return a*2 + a*3 + a*4 + a*5 + a*7 + a*8 + a*9 + a*16 + a*100;
+		}`,
+		fn: "f", args: 1,
+	},
+	{
+		name: "deepexpr",
+		src: `func f(a, b) {
+			return ((a + 1) * (b + 2) + (a - 3) * (b - 4)) ^ ((a * b + 5) * ((a ^ b) + ((a & b) | 7)));
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "memory",
+		src: `func f(buf, n) {
+			var i = 0;
+			var cnt = n & 0xF;
+			while (i < cnt) {
+				store8(buf + i, i * 7 + 1);
+				i = i + 1;
+			}
+			var s = 0;
+			i = 0;
+			while (i < cnt) {
+				s = s + load8(buf + i);
+				i = i + 1;
+			}
+			store32(buf + 64, s);
+			return load32(buf + 64) + load16(buf);
+		}`,
+		fn: "f", args: 2, mem: true,
+	},
+	{
+		name: "widemem",
+		src: `func f(buf, v) {
+			store64(buf, v);
+			store16(buf + 8, v >> 3);
+			var lo = load32(buf);
+			var hi = load32(buf + 4);
+			return lo ^ hi ^ sext8(load8(buf + 1));
+		}`,
+		fn: "f", args: 2, mem: true,
+	},
+	{
+		name: "calls",
+		src: `
+		func sq(x) { return x * x; }
+		func add3(a, b, c) { return a + b + c; }
+		func f(a, b) {
+			return sq(a) + add3(a, b, sq(b)) + sq(a + b);
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "callinexpr",
+		src: `
+		func g(x) { return x + 7; }
+		func f(a, b) {
+			return a * g(b) + g(a) * g(g(b));
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "manylocals",
+		src: `func f(a, b) {
+			var c = a + 1;
+			var d = b + 2;
+			var e = c * d;
+			var g = e - a;
+			var h = g ^ d;
+			var i = h + c;
+			var j = i | 0xF0;
+			return j - h + e;
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "logicalvalue",
+		src: `func f(a, b) {
+			var x = a > 0 && b > 0;
+			var y = a < 0 || b < 0;
+			return x * 10 + y + (a != 0 && (b / (a + (a == 0))) > 2);
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "nestedif",
+		src: `func f(a, b) {
+			if (a > b) {
+				if (a > 2 * b) { return 3; } else { return 2; }
+			} else {
+				if (b > 2 * a) { return 0; } else { return 1; }
+			}
+		}`,
+		fn: "f", args: 2,
+	},
+	{
+		name: "unsignedbounds",
+		src: `func f(len, off) {
+			var cap = 0x100;
+			if (off + 8 >u cap) { return 0 - 1; }
+			if (len >u cap - off) { return 0 - 2; }
+			return off + len;
+		}`,
+		fn: "f", args: 2,
+	},
+}
+
+const memBase = 0x4000
+
+// TestCompilerAgainstInterpreter differentially tests every toolchain and
+// optimization level against the MiniC reference interpreter: same
+// arguments, same initial (empty) memory, equal return values and equal
+// final memory contents.
+func TestCompilerAgainstInterpreter(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, tp := range testPrograms {
+		prog, err := minic.Parse(tp.src)
+		if err != nil {
+			t.Fatalf("%s: parse: %v", tp.name, err)
+		}
+		for _, tc := range Toolchains() {
+			for _, opt := range []Options{{OptLevel: 0}, {OptLevel: 1}, {OptLevel: 2}} {
+				procs, err := CompileAll(prog, tc, opt)
+				if err != nil {
+					t.Fatalf("%s/%s/O%d: compile: %v", tp.name, tc.Name(), opt.OptLevel, err)
+				}
+				for trial := 0; trial < 12; trial++ {
+					args := make([]int64, tp.args)
+					for i := range args {
+						switch trial % 3 {
+						case 0:
+							args[i] = int64(rng.Intn(200) - 100)
+						case 1:
+							args[i] = rng.Int63()
+						default:
+							args[i] = -rng.Int63()
+						}
+					}
+					if tp.mem {
+						args[0] = memBase
+					}
+
+					// Reference run.
+					ip := minic.NewInterp(prog)
+					want, werr := ip.Call(tp.fn, args...)
+
+					// Emulated run.
+					m := asm.NewMachine()
+					for _, p := range procs {
+						m.AddProc(p)
+					}
+					for i, a := range args {
+						m.Regs[argRegs[i]] = uint64(a)
+					}
+					got, gerr := m.Run(tp.fn)
+
+					if (werr != nil) != (gerr != nil) {
+						t.Fatalf("%s/%s/O%d trial %d: error mismatch: interp=%v emu=%v",
+							tp.name, tc.Name(), opt.OptLevel, trial, werr, gerr)
+					}
+					if werr != nil {
+						continue
+					}
+					if got != uint64(want) {
+						t.Fatalf("%s/%s/O%d args=%v: emu=%#x interp=%#x\n%s",
+							tp.name, tc.Name(), opt.OptLevel, args, got, uint64(want), procs[len(procs)-1])
+					}
+					if tp.mem {
+						for off := uint64(0); off < 0x100; off++ {
+							wantB := byte(ip.LoadMem(memBase+off, 1))
+							gotB := byte(m.ReadMem(memBase+off, asm.Width1))
+							if wantB != gotB {
+								t.Fatalf("%s/%s/O%d: memory differs at +%#x: emu=%#x interp=%#x",
+									tp.name, tc.Name(), opt.OptLevel, off, gotB, wantB)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestStackBalance: rsp must return to its initial value.
+func TestStackBalance(t *testing.T) {
+	for _, tp := range testPrograms {
+		if tp.mem {
+			continue
+		}
+		prog := minic.MustParse(tp.src)
+		for _, tc := range Toolchains() {
+			procs, err := CompileAll(prog, tc, O2())
+			if err != nil {
+				t.Fatal(err)
+			}
+			m := asm.NewMachine()
+			for _, p := range procs {
+				m.AddProc(p)
+			}
+			m.Regs[asm.RDI] = 13
+			m.Regs[asm.RSI] = 5
+			if _, err := m.Run(tp.fn); err != nil {
+				t.Fatalf("%s/%s: %v", tp.name, tc.Name(), err)
+			}
+			if m.Regs[asm.RSP] != asm.StackTop {
+				t.Fatalf("%s/%s: rsp unbalanced: %#x", tp.name, tc.Name(), m.Regs[asm.RSP])
+			}
+		}
+	}
+}
+
+// TestCalleeSavedPreserved: compiled procedures must preserve the
+// callee-saved registers.
+func TestCalleeSavedPreserved(t *testing.T) {
+	prog := minic.MustParse(testPrograms[0].src)
+	for _, tc := range Toolchains() {
+		procs, err := CompileAll(prog, tc, O2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := asm.NewMachine()
+		for _, p := range procs {
+			m.AddProc(p)
+		}
+		saved := map[asm.Reg]uint64{}
+		for r := range calleeSaved {
+			m.Regs[r] = 0x1000 + uint64(r)
+			saved[r] = m.Regs[r]
+		}
+		m.Regs[asm.RDI] = 3
+		m.Regs[asm.RSI] = 4
+		if _, err := m.Run("f"); err != nil {
+			t.Fatal(err)
+		}
+		for r, want := range saved {
+			if m.Regs[r] != want {
+				t.Errorf("%s: callee-saved %v clobbered", tc.Name(), r)
+			}
+		}
+	}
+}
+
+// TestToolchainsDiverge: the whole point of the simulation — different
+// toolchains must produce syntactically different code for the same
+// source.
+func TestToolchainsDiverge(t *testing.T) {
+	prog := minic.MustParse(testPrograms[0].src)
+	texts := map[string]string{}
+	for _, tc := range Toolchains() {
+		p, err := Compile(prog, "f", tc, O2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		texts[tc.Name()] = p.String()
+	}
+	if len(texts) != 7 {
+		t.Fatalf("toolchains = %d, want 7", len(texts))
+	}
+	distinct := map[string]bool{}
+	for _, txt := range texts {
+		distinct[txt] = true
+	}
+	if len(distinct) < 6 {
+		t.Errorf("only %d distinct outputs across 7 toolchains", len(distinct))
+	}
+	// O0 and O2 differ too.
+	tc := Toolchains()[0]
+	p0, _ := Compile(prog, "f", tc, Options{OptLevel: 0})
+	p2, _ := Compile(prog, "f", tc, O2())
+	if p0.String() == p2.String() {
+		t.Error("O0 == O2")
+	}
+}
+
+func TestCompileDeterministic(t *testing.T) {
+	prog := minic.MustParse(testPrograms[8].src) // memory program
+	tc := Toolchains()[3]
+	a, err := Compile(prog, "f", tc, O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := Compile(prog, "f", tc, O2())
+	if a.String() != b.String() {
+		t.Error("compilation not deterministic")
+	}
+}
+
+func TestExternCalls(t *testing.T) {
+	prog := minic.MustParse(`func f(a) { return helper_ext(a, a + 1) * 2; }`)
+	for _, tc := range Toolchains() {
+		p, err := Compile(prog, "f", tc, O2())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := asm.NewMachine()
+		m.AddProc(p)
+		m.AddExtern("helper_ext", func(m *asm.Machine) uint64 {
+			return m.Regs[asm.RDI] + m.Regs[asm.RSI]*10
+		})
+		m.Regs[asm.RDI] = 4
+		got, err := m.Run("f")
+		if err != nil {
+			t.Fatalf("%s: %v", tc.Name(), err)
+		}
+		if got != (4+5*10)*2 {
+			t.Errorf("%s: got %d", tc.Name(), got)
+		}
+	}
+}
+
+func TestCompileUnknownFunction(t *testing.T) {
+	prog := minic.MustParse("func f() { return 1; }")
+	if _, err := Compile(prog, "nope", Toolchains()[0], O2()); err == nil {
+		t.Error("unknown function compiled")
+	}
+}
+
+func TestByName(t *testing.T) {
+	tc, ok := ByName("gcc-4.9")
+	if !ok || tc.Vendor != "gcc" || tc.Version != "4.9" {
+		t.Errorf("ByName(gcc-4.9) = %+v, %v", tc, ok)
+	}
+	if _, ok := ByName("msvc-2015"); ok {
+		t.Error("unknown toolchain found")
+	}
+}

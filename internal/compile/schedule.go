@@ -1,0 +1,188 @@
+package compile
+
+import (
+	"repro/internal/asm"
+)
+
+// The post-pass scheduler reorders adjacent independent instructions
+// deterministically per toolchain, reproducing the paper's "program
+// ordering" divergence class: two compilers emitting the same operations
+// in different orders. Reordering respects register, flag, memory,
+// stack and control dependencies, so it is semantics-preserving (and is
+// covered by the differential test suite like every other knob).
+
+// regSet is a bitmask over the sixteen general-purpose registers.
+type regSet uint32
+
+func (s regSet) has(r asm.Reg) bool     { return s&(1<<uint(r)) != 0 }
+func (s *regSet) add(r asm.Reg)         { *s |= 1 << uint(r) }
+func (s regSet) overlaps(o regSet) bool { return s&o != 0 }
+
+// instEffects summarizes one instruction's dependencies.
+type instEffects struct {
+	reads, writes regSet
+	readsFlags    bool
+	writesFlags   bool
+	memRead       bool
+	memWrite      bool
+	control       bool // labels, branches, calls, ret: scheduling barriers
+}
+
+func operandRegs(o asm.Operand) regSet {
+	var s regSet
+	switch o.Kind {
+	case asm.KindReg:
+		s.add(o.Reg)
+	case asm.KindMem:
+		if o.Base != asm.NoReg {
+			s.add(o.Base)
+		}
+		if o.Index != asm.NoReg {
+			s.add(o.Index)
+		}
+	}
+	return s
+}
+
+func effectsOf(in asm.Inst) instEffects {
+	var e instEffects
+	switch in.Op {
+	case asm.LABEL, asm.JMP, asm.JCC, asm.CALL, asm.RET:
+		e.control = true
+		if in.Op == asm.JCC {
+			e.readsFlags = true
+		}
+		return e
+	case asm.PUSH, asm.POP:
+		// Stack ops move rsp and touch memory; treat as barriers-lite.
+		e.memRead = true
+		e.memWrite = true
+		e.reads.add(asm.RSP)
+		e.writes.add(asm.RSP)
+		if in.Op == asm.PUSH {
+			e.reads = e.reads | operandRegs(in.Dst)
+			if in.Dst.Kind == asm.KindMem {
+				e.memRead = true
+			}
+		} else {
+			e.writes = e.writes | operandRegs(in.Dst)
+		}
+		return e
+	case asm.CQO:
+		e.reads.add(asm.RAX)
+		e.writes.add(asm.RDX)
+		return e
+	case asm.IDIV:
+		e.reads.add(asm.RAX)
+		e.reads.add(asm.RDX)
+		e.writes.add(asm.RAX)
+		e.writes.add(asm.RDX)
+		e.reads = e.reads | operandRegs(in.Dst)
+		if in.Dst.Kind == asm.KindMem {
+			e.memRead = true
+		}
+		e.writesFlags = true
+		return e
+	}
+
+	// Generic two-operand instructions.
+	e.reads = operandRegs(in.Src)
+	if in.Src.Kind == asm.KindMem {
+		e.memRead = true
+	}
+	switch in.Op {
+	case asm.MOV, asm.MOVZX, asm.MOVSX, asm.LEA:
+		// Dst is written (registers) or stored (memory); mov does not
+		// read its register destination at full width, but sub-width
+		// register writes merge, which reads the old value.
+		if in.Dst.Kind == asm.KindMem {
+			e.memWrite = true
+			e.reads = e.reads | operandRegs(in.Dst)
+		} else {
+			e.writes = e.writes | operandRegs(in.Dst)
+			if in.Dst.Width == asm.Width1 || in.Dst.Width == asm.Width2 {
+				e.reads.add(in.Dst.Reg)
+			}
+		}
+		if in.Op == asm.LEA {
+			e.reads = e.reads | operandRegs(in.Src)
+			e.memRead = false // lea computes the address only
+		}
+	case asm.CMP, asm.TEST:
+		e.reads = e.reads | operandRegs(in.Dst)
+		if in.Dst.Kind == asm.KindMem {
+			e.memRead = true
+		}
+		e.writesFlags = true
+	case asm.SETCC:
+		e.readsFlags = true
+		if in.Dst.Kind == asm.KindMem {
+			e.memWrite = true
+			e.reads = e.reads | operandRegs(in.Dst)
+		} else {
+			e.writes = e.writes | operandRegs(in.Dst)
+			e.reads.add(in.Dst.Reg) // 8-bit write merges
+		}
+	case asm.CMOVCC:
+		e.readsFlags = true
+		e.reads = e.reads | operandRegs(in.Dst)
+		e.writes = e.writes | operandRegs(in.Dst)
+	default:
+		// ALU read-modify-write: ADD, SUB, IMUL, NEG, NOT, AND, OR, XOR,
+		// SHL, SHR, SAR, INC, DEC.
+		e.reads = e.reads | operandRegs(in.Dst)
+		if in.Dst.Kind == asm.KindMem {
+			e.memRead = true
+			e.memWrite = true
+		} else {
+			e.writes = e.writes | operandRegs(in.Dst)
+		}
+		e.writesFlags = true
+	}
+	return e
+}
+
+// independent reports whether two adjacent instructions may swap.
+func independent(a, b instEffects) bool {
+	if a.control || b.control {
+		return false
+	}
+	// Register dependencies: RAW, WAR, WAW.
+	if a.writes.overlaps(b.reads) || a.reads.overlaps(b.writes) || a.writes.overlaps(b.writes) {
+		return false
+	}
+	// Flag dependencies.
+	if (a.writesFlags && (b.readsFlags || b.writesFlags)) ||
+		(a.readsFlags && b.writesFlags) {
+		return false
+	}
+	// Memory dependencies (no alias analysis: any write conflicts).
+	if (a.memWrite && (b.memRead || b.memWrite)) || (a.memRead && b.memWrite) {
+		return false
+	}
+	return true
+}
+
+// schedule performs one bubble pass over the instruction list, swapping
+// adjacent independent pairs selected by a deterministic per-position
+// hash of the seed. Different seeds produce different (but individually
+// stable) orderings.
+func schedule(insts []asm.Inst, seed uint64) []asm.Inst {
+	if seed == 0 {
+		return insts
+	}
+	out := make([]asm.Inst, len(insts))
+	copy(out, insts)
+	for i := 0; i+1 < len(out); i++ {
+		h := seed*0x9E3779B97F4A7C15 + uint64(i)*0xBF58476D1CE4E5B9
+		h ^= h >> 29
+		if h&3 != 0 {
+			continue // swap roughly a quarter of eligible pairs
+		}
+		if independent(effectsOf(out[i]), effectsOf(out[i+1])) {
+			out[i], out[i+1] = out[i+1], out[i]
+			i++ // do not immediately reconsider the moved instruction
+		}
+	}
+	return out
+}

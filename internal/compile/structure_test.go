@@ -1,0 +1,259 @@
+package compile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/minic"
+)
+
+// Tests for the structural divergence knobs: guarded loops, branchless
+// logic and if-conversion must change the emitted shape — and stay
+// semantically correct (the differential suite in compile_test.go already
+// runs every program under every toolchain).
+
+const loopProg = `
+func f(n) {
+	var s = 0;
+	var i = 0;
+	while (i < n) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}`
+
+func mustCompile(t *testing.T, src, fn string, tc Toolchain) *asm.Proc {
+	t.Helper()
+	p, err := Compile(minic.MustParse(src), fn, tc, O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func blocksOf(t *testing.T, p *asm.Proc) *cfg.Graph {
+	t.Helper()
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestLoopStylesDiffer(t *testing.T) {
+	byStyle := map[string]string{}
+	for _, name := range []string{"gcc-4.6", "gcc-4.9", "icc-15.0.1"} {
+		tc, _ := ByName(name)
+		p := mustCompile(t, loopProg, "f", tc)
+		byStyle[name] = p.String()
+	}
+	// gcc-4.6 rotates (jmp to a bottom test), gcc-4.9 guards (condition
+	// emitted twice), icc top-tests. All three must differ structurally.
+	g46 := blocksOf(t, mustCompileNamed(t, loopProg, "f", "gcc-4.6"))
+	g49 := blocksOf(t, mustCompileNamed(t, loopProg, "f", "gcc-4.9"))
+	gicc := blocksOf(t, mustCompileNamed(t, loopProg, "f", "icc-15.0.1"))
+	if g46.NumEdges() == g49.NumEdges() && len(g46.Blocks) == len(g49.Blocks) {
+		t.Errorf("rotated (B=%d E=%d) and guarded (B=%d E=%d) loops have identical shape",
+			len(g46.Blocks), g46.NumEdges(), len(g49.Blocks), g49.NumEdges())
+	}
+	// The guarded style duplicates the comparison.
+	cmps := strings.Count(byStyle["gcc-4.9"], "cmp ")
+	if cmps < 2 {
+		t.Errorf("guarded loop emitted %d cmps, want the condition twice", cmps)
+	}
+	_ = gicc
+}
+
+func mustCompileNamed(t *testing.T, src, fn, tcName string) *asm.Proc {
+	t.Helper()
+	tc, ok := ByName(tcName)
+	if !ok {
+		t.Fatalf("no toolchain %s", tcName)
+	}
+	return mustCompile(t, src, fn, tc)
+}
+
+func TestBranchlessLogicRemovesBranches(t *testing.T) {
+	src := `
+func f(a, b) {
+	var r = 0;
+	if (a > 0 && b > 0 && a < b) {
+		r = 1;
+	}
+	return r;
+}`
+	withBranches := blocksOf(t, mustCompileNamed(t, src, "f", "gcc-4.9"))
+	branchless := blocksOf(t, mustCompileNamed(t, src, "f", "clang-3.5"))
+	if len(branchless.Blocks) >= len(withBranches.Blocks) {
+		t.Errorf("branchless logic did not reduce blocks: clang=%d gcc=%d",
+			len(branchless.Blocks), len(withBranches.Blocks))
+	}
+	// clang's output contains setcc + and.
+	text := mustCompileNamed(t, src, "f", "clang-3.5").String()
+	if !strings.Contains(text, "set") {
+		t.Errorf("no setcc in branchless output:\n%s", text)
+	}
+}
+
+func TestBranchlessLogicPreservesShortCircuitWhenImpure(t *testing.T) {
+	// Division on the right side must keep the branching form under
+	// every toolchain (otherwise a guarded divide-by-zero would trap).
+	src := `func f(a, b) { return a != 0 && b / a > 2; }`
+	for _, tcName := range []string{"clang-3.5", "clang-3.4"} {
+		p := mustCompileNamed(t, src, "f", tcName)
+		m := asm.NewMachine()
+		m.AddProc(p)
+		m.Regs[asm.RDI] = 0 // a == 0: the division must not run
+		m.Regs[asm.RSI] = 7
+		got, err := m.Run("f")
+		if err != nil {
+			t.Fatalf("%s: guarded division executed: %v", tcName, err)
+		}
+		if got != 0 {
+			t.Errorf("%s: f(0,7) = %d", tcName, got)
+		}
+	}
+}
+
+func TestIfConversionEmitsCmov(t *testing.T) {
+	src := `
+func f(a, b) {
+	var m = a;
+	if (b < a) {
+		m = b;
+	}
+	return m;
+}`
+	clang := mustCompileNamed(t, src, "f", "clang-3.5")
+	if !strings.Contains(clang.String(), "cmov") {
+		t.Errorf("clang-3.5 min() did not if-convert:\n%s", clang)
+	}
+	gcc := mustCompileNamed(t, src, "f", "gcc-4.9")
+	if strings.Contains(gcc.String(), "cmov") {
+		t.Errorf("gcc-4.9 unexpectedly emitted cmov")
+	}
+	// The converted form is straight-line except for the shared
+	// epilogue label every function carries.
+	if got := len(blocksOf(t, clang).Blocks); got > 2 {
+		t.Errorf("if-converted min() has %d blocks, want <= 2", got)
+	}
+	// Semantics both ways.
+	for _, tcName := range []string{"clang-3.5", "gcc-4.9"} {
+		for _, args := range [][2]uint64{{3, 9}, {9, 3}, {5, 5}} {
+			p := mustCompileNamed(t, src, "f", tcName)
+			m := asm.NewMachine()
+			m.AddProc(p)
+			m.Regs[asm.RDI] = args[0]
+			m.Regs[asm.RSI] = args[1]
+			got, err := m.Run("f")
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := args[0]
+			if args[1] < args[0] {
+				want = args[1]
+			}
+			if got != want {
+				t.Errorf("%s: min(%d,%d) = %d", tcName, args[0], args[1], got)
+			}
+		}
+	}
+}
+
+func TestIfConversionSkipsImpureArms(t *testing.T) {
+	// A call in the arm must not be if-converted (it would always run).
+	src := `
+func g(x) { return x * 2; }
+func f(a, b) {
+	var m = a;
+	if (b < a) {
+		m = g(b);
+	}
+	return m;
+}`
+	clang := mustCompileNamed(t, src, "f", "clang-3.5")
+	if strings.Contains(clang.String(), "cmov") {
+		t.Errorf("call arm was if-converted:\n%s", clang)
+	}
+}
+
+func TestIfConversionElseArm(t *testing.T) {
+	src := `
+func f(a, b) {
+	var r = 0;
+	if (a == b) {
+		r = 0x11;
+	} else {
+		r = 0x22;
+	}
+	return r;
+}`
+	clang := mustCompileNamed(t, src, "f", "clang-3.5")
+	if !strings.Contains(clang.String(), "cmov") {
+		t.Errorf("two-arm select not converted:\n%s", clang)
+	}
+	m := asm.NewMachine()
+	m.AddProc(clang)
+	m.Regs[asm.RDI] = 4
+	m.Regs[asm.RSI] = 4
+	if got, _ := m.Run("f"); got != 0x11 {
+		t.Errorf("f(4,4) = %#x", got)
+	}
+	m2 := asm.NewMachine()
+	m2.AddProc(clang)
+	m2.Regs[asm.RDI] = 4
+	m2.Regs[asm.RSI] = 5
+	if got, _ := m2.Run("f"); got != 0x22 {
+		t.Errorf("f(4,5) = %#x", got)
+	}
+}
+
+func TestO0DisablesStructuralTransforms(t *testing.T) {
+	src := `
+func f(a, b) {
+	var m = a;
+	if (b < a) {
+		m = b;
+	}
+	var i = 0;
+	while (i < m && i < 100) {
+		i = i + 1;
+	}
+	return i;
+}`
+	tc, _ := ByName("clang-3.5")
+	p, err := Compile(minic.MustParse(src), "f", tc, Options{OptLevel: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(p.String(), "cmov") {
+		t.Error("O0 output contains cmov")
+	}
+	if strings.Contains(p.String(), "set") {
+		t.Error("O0 output contains setcc fusion")
+	}
+}
+
+func TestPureExpr(t *testing.T) {
+	pure := []string{"a + b", "load8(a)", "~a", "a << 3", "a < b && b < 10"}
+	impure := []string{"a / b", "a % b", "g(a)", "a + g(b)", "a != 0 && b / a > 1"}
+	parse := func(expr string) minic.Expr {
+		prog := minic.MustParse("func g(x) { return x; }\nfunc t(a, b) { return " + expr + "; }")
+		f, _ := prog.Lookup("t")
+		ret := f.Body[len(f.Body)-1].(*minic.ReturnStmt)
+		return ret.Val
+	}
+	for _, e := range pure {
+		if !pureExpr(parse(e)) {
+			t.Errorf("%q should be pure", e)
+		}
+	}
+	for _, e := range impure {
+		if pureExpr(parse(e)) {
+			t.Errorf("%q should be impure", e)
+		}
+	}
+}

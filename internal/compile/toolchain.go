@@ -1,0 +1,189 @@
+// Package compile is the simulated multi-vendor C toolchain: it compiles
+// MiniC functions to the synthetic x86-64 subset of package asm under
+// seven toolchains modelled after the paper's test-bed (gcc 4.6/4.8/4.9,
+// clang 3.4/3.5, icc 14.0.4/15.0.1).
+//
+// The toolchains produce semantically identical but syntactically diverse
+// code, reproducing the divergence classes the paper identifies:
+// different register allocation preferences, instruction selection
+// (lea vs add, shl vs imul vs lea-scale, xor vs mov for zeroing, test vs
+// cmp), branch and loop layout, frame-pointer usage, and prologue styles.
+// The compilers are differentially tested against the MiniC interpreter.
+package compile
+
+import "repro/internal/asm"
+
+// MulStyle selects how multiplications by constants are lowered.
+type MulStyle int
+
+// Multiplication lowering styles.
+const (
+	MulShiftLea     MulStyle = iota // shifts for powers of two, lea for 3/5/9
+	MulImul                         // imul always (icc-style)
+	MulLeaPreferred                 // lea chains whenever possible (clang-style)
+)
+
+// Toolchain describes one simulated compiler. The fields are the
+// divergence knobs; two toolchains with different knobs produce visibly
+// different assembly from the same source.
+type Toolchain struct {
+	Vendor  string
+	Version string
+
+	// ScratchOrder is the preference order for expression temporaries.
+	// It never contains rax, rdx, rsp, rbp or the ABI argument
+	// registers (keeping the lifter's call-arity heuristic exact).
+	ScratchOrder []asm.Reg
+	// CalleeOrder is the assignment order of callee-saved registers to
+	// hot locals at -O2.
+	CalleeOrder []asm.Reg
+	// MaxRegLocals caps how many locals are promoted to registers.
+	MaxRegLocals int
+	// OmitFP selects rsp-relative frames (no rbp chain).
+	OmitFP bool
+	// SaveWithMov saves callee-saved registers with mov to frame slots
+	// instead of push (an icc idiom).
+	SaveWithMov bool
+	// UseLeaAdd lowers reg+const into lea instead of mov+add.
+	UseLeaAdd bool
+	// Mul selects multiplication lowering.
+	Mul MulStyle
+	// ZeroWithMov materializes 0 as "mov reg, 0" instead of xor.
+	ZeroWithMov bool
+	// CmpZero uses "cmp reg, 0" instead of "test reg, reg".
+	CmpZero bool
+	// UseIncDec emits inc/dec for ±1.
+	UseIncDec bool
+	// RotateLoops emits bottom-tested loops with an entry jump.
+	RotateLoops bool
+	// GuardedLoops emits gcc-style loop inversion: the condition is
+	// duplicated as an entry guard and a bottom test (changes the block
+	// structure relative to both other styles).
+	GuardedLoops bool
+	// BranchlessLogic compiles pure && / || chains with setcc and
+	// bitwise ops instead of branches (clang-style), removing blocks.
+	BranchlessLogic bool
+	// IfConversion turns pure if/else assignments into cmov sequences
+	// (clang-style), removing the diamond entirely.
+	IfConversion bool
+	// InvertBranches lays out else-blocks first.
+	InvertBranches bool
+	// FoldAddressing folds base+disp into memory operands when possible.
+	FoldAddressing bool
+	// SchedSeed, when non-zero, enables the deterministic post-pass
+	// scheduler that swaps adjacent independent instructions — the
+	// paper's "program ordering" divergence. Each seed is a distinct
+	// stable ordering.
+	SchedSeed uint64
+}
+
+// Name returns the canonical "vendor-version" identifier.
+func (tc Toolchain) Name() string { return tc.Vendor + "-" + tc.Version }
+
+// Toolchains returns the seven simulated toolchains of the paper's
+// test-bed (§5.3).
+func Toolchains() []Toolchain {
+	r := func(rs ...asm.Reg) []asm.Reg { return rs }
+	return []Toolchain{
+		{
+			Vendor: "gcc", Version: "4.6",
+			ScratchOrder:   r(asm.R10, asm.R11, asm.RBX, asm.R12),
+			CalleeOrder:    r(asm.RBX, asm.R12, asm.R13),
+			MaxRegLocals:   3,
+			UseLeaAdd:      false,
+			Mul:            MulShiftLea,
+			CmpZero:        true,
+			UseIncDec:      false,
+			RotateLoops:    true,
+			FoldAddressing: true,
+		},
+		{
+			Vendor: "gcc", Version: "4.8",
+			ScratchOrder:   r(asm.R10, asm.R11, asm.RBX, asm.R13),
+			CalleeOrder:    r(asm.RBX, asm.R12, asm.R13, asm.R14),
+			MaxRegLocals:   4,
+			UseLeaAdd:      false,
+			Mul:            MulShiftLea,
+			UseIncDec:      false,
+			GuardedLoops:   true,
+			FoldAddressing: true,
+			SchedSeed:      0x48,
+		},
+		{
+			Vendor: "gcc", Version: "4.9",
+			ScratchOrder:   r(asm.R11, asm.R10, asm.RBX, asm.R12),
+			CalleeOrder:    r(asm.RBX, asm.R12, asm.R13, asm.R14),
+			MaxRegLocals:   4,
+			UseLeaAdd:      true,
+			Mul:            MulShiftLea,
+			UseIncDec:      true,
+			GuardedLoops:   true,
+			FoldAddressing: true,
+			SchedSeed:      0x49,
+		},
+		{
+			Vendor: "clang", Version: "3.4",
+			ScratchOrder:    r(asm.R11, asm.R10, asm.R14, asm.RBX),
+			CalleeOrder:     r(asm.R14, asm.R15, asm.RBX, asm.R12),
+			MaxRegLocals:    4,
+			OmitFP:          true,
+			UseLeaAdd:       true,
+			Mul:             MulLeaPreferred,
+			UseIncDec:       true,
+			InvertBranches:  true,
+			BranchlessLogic: true,
+			FoldAddressing:  true,
+			SchedSeed:       0x34,
+		},
+		{
+			Vendor: "clang", Version: "3.5",
+			ScratchOrder:    r(asm.R10, asm.R11, asm.R15, asm.RBX),
+			CalleeOrder:     r(asm.R14, asm.R15, asm.R12, asm.RBX),
+			MaxRegLocals:    4,
+			OmitFP:          true,
+			UseLeaAdd:       true,
+			Mul:             MulLeaPreferred,
+			UseIncDec:       true,
+			InvertBranches:  true,
+			BranchlessLogic: true,
+			IfConversion:    true,
+			FoldAddressing:  true,
+			SchedSeed:       0x35,
+		},
+		{
+			Vendor: "icc", Version: "14.0.4",
+			ScratchOrder:   r(asm.R12, asm.R13, asm.R10, asm.R11),
+			CalleeOrder:    r(asm.R15, asm.R14, asm.R13, asm.RBX),
+			MaxRegLocals:   4,
+			SaveWithMov:    true,
+			Mul:            MulImul,
+			ZeroWithMov:    true,
+			CmpZero:        true,
+			FoldAddressing: false,
+			SchedSeed:      0x14,
+		},
+		{
+			Vendor: "icc", Version: "15.0.1",
+			ScratchOrder:   r(asm.R13, asm.R12, asm.R11, asm.R10),
+			CalleeOrder:    r(asm.R15, asm.R14, asm.R12, asm.RBX),
+			MaxRegLocals:   4,
+			SaveWithMov:    true,
+			Mul:            MulImul,
+			ZeroWithMov:    true,
+			CmpZero:        true,
+			UseIncDec:      true,
+			FoldAddressing: false,
+			SchedSeed:      0x15,
+		},
+	}
+}
+
+// ByName returns the toolchain with the given Name.
+func ByName(name string) (Toolchain, bool) {
+	for _, tc := range Toolchains() {
+		if tc.Name() == name {
+			return tc, true
+		}
+	}
+	return Toolchain{}, false
+}

@@ -1,0 +1,371 @@
+// Package core is the Esh engine: it indexes a database of binary target
+// procedures (disassembly → CFG → lifting → strand decomposition →
+// verifier preparation) and answers similarity queries, producing the
+// ranked GES scores the paper's evaluation is built on, for the full
+// method and for the S-VCP / S-LOG sub-method decomposition of §6.2.
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/lift"
+	"repro/internal/stats"
+	"repro/internal/strand"
+	"repro/internal/vcp"
+)
+
+// Options configures the engine.
+type Options struct {
+	// VCP holds the verifier and §5.5 heuristic settings.
+	VCP vcp.Config
+	// Workers bounds query parallelism; 0 selects GOMAXPROCS.
+	Workers int
+	// SigmoidK overrides the Esh sigmoid steepness (0 = paper's k=10);
+	// it exists for the k-ablation experiment.
+	SigmoidK float64
+	// PathLen, when >= 2, additionally decomposes procedures with at
+	// most PathMaxBlocks basic blocks into strands over control-flow
+	// paths of PathLen blocks — the paper's §6.6 mitigation for small
+	// procedures whose individual blocks carry no significant strands.
+	PathLen int
+	// PathMaxBlocks bounds the path explosion (0 selects 12).
+	PathMaxBlocks int
+}
+
+// Target is one indexed procedure.
+type Target struct {
+	Name       string
+	Source     asm.Provenance
+	NumBlocks  int
+	NumStrands int // strands surviving the minimum-size filter
+	strandIdx  []int
+}
+
+// DB is an indexed target database. Create with NewDB, populate with
+// AddTarget, then issue Query calls (Query is safe for concurrent use;
+// AddTarget is not).
+type DB struct {
+	opts Options
+
+	uniq    []*vcp.Prepared // unique strands across all targets
+	counts  []int           // corpus multiplicity per unique strand
+	byKey   map[string]int  // canonical key -> index in uniq
+	targets []*Target
+	total   int // Σ counts: |T|, the H0 denominator
+
+	// vcpCache memoizes forward and reverse VCP by (query strand key,
+	// target strand key).
+	mu       sync.Mutex
+	vcpCache map[string]map[string][2]float64
+}
+
+// NewDB returns an empty database.
+func NewDB(opts Options) *DB {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &DB{
+		opts:     opts,
+		byKey:    map[string]int{},
+		vcpCache: map[string]map[string][2]float64{},
+	}
+}
+
+// NumTargets returns the number of indexed procedures.
+func (db *DB) NumTargets() int { return len(db.targets) }
+
+// NumUniqueStrands returns the number of distinct strands in the index.
+func (db *DB) NumUniqueStrands() int { return len(db.uniq) }
+
+// TotalStrands returns |T|, the corpus strand count used for H0.
+func (db *DB) TotalStrands() int { return db.total }
+
+// Targets returns the indexed targets (do not modify).
+func (db *DB) Targets() []*Target { return db.targets }
+
+// decompose runs the front half of the pipeline on one procedure and
+// returns its strands that survive the minimum-size filter, plus the
+// block count.
+func (db *DB) decompose(p *asm.Proc) ([]*strand.Strand, int, error) {
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, 0, err
+	}
+	lp, err := lift.LiftProc(g)
+	if err != nil {
+		return nil, 0, err
+	}
+	all := strand.FromProc(lp)
+	if db.opts.PathLen >= 2 {
+		limit := db.opts.PathMaxBlocks
+		if limit <= 0 {
+			limit = 12
+		}
+		if len(g.Blocks) <= limit {
+			paths, err := lift.LiftPaths(g, db.opts.PathLen)
+			if err != nil {
+				return nil, 0, err
+			}
+			for _, pb := range paths {
+				all = append(all, strand.FromBlock(p.Name, pb)...)
+			}
+		}
+	}
+	minVars := db.opts.VCP.MinVars
+	if minVars <= 0 {
+		minVars = vcp.Default().MinVars
+	}
+	var kept []*strand.Strand
+	for _, s := range all {
+		if s.NumVars() >= minVars {
+			kept = append(kept, s)
+		}
+	}
+	return kept, len(g.Blocks), nil
+}
+
+// AddTarget indexes one target procedure.
+func (db *DB) AddTarget(p *asm.Proc) error {
+	kept, nBlocks, err := db.decompose(p)
+	if err != nil {
+		return fmt.Errorf("core: index %s: %w", p.Name, err)
+	}
+	t := &Target{
+		Name:       p.Name,
+		Source:     p.Source,
+		NumBlocks:  nBlocks,
+		NumStrands: len(kept),
+	}
+	seen := map[int]bool{}
+	for _, s := range kept {
+		key := s.CanonicalKey()
+		idx, ok := db.byKey[key]
+		if !ok {
+			prep := vcp.Prepare(s, db.opts.VCP)
+			if prep.Err() != nil {
+				return fmt.Errorf("core: prepare strand of %s: %w", p.Name, prep.Err())
+			}
+			idx = len(db.uniq)
+			db.uniq = append(db.uniq, prep)
+			db.counts = append(db.counts, 0)
+			db.byKey[key] = idx
+		}
+		db.counts[idx]++
+		db.total++
+		if !seen[idx] {
+			seen[idx] = true
+			t.strandIdx = append(t.strandIdx, idx)
+		}
+	}
+	db.targets = append(db.targets, t)
+	return nil
+}
+
+// TargetScore is one row of a query result: the three method scores for
+// one target, plus ground-truth provenance for evaluation.
+type TargetScore struct {
+	Target *Target
+	SVCP   float64
+	SLOG   float64
+	GES    float64 // the full Esh score
+}
+
+// Score returns the score under the requested method.
+func (ts TargetScore) Score(m stats.Method) float64 {
+	switch m {
+	case stats.SVCP:
+		return ts.SVCP
+	case stats.SLOG:
+		return ts.SLOG
+	default:
+		return ts.GES
+	}
+}
+
+// Report is the result of one query against the database.
+type Report struct {
+	QueryName  string
+	Source     asm.Provenance
+	NumBlocks  int
+	NumStrands int // query strands surviving the size filter
+	// Results holds one entry per target, sorted by descending GES.
+	Results []TargetScore
+}
+
+// Rank returns the results re-sorted by the given method's score
+// (descending). The receiver is unchanged.
+func (r *Report) Rank(m stats.Method) []TargetScore {
+	out := make([]TargetScore, len(r.Results))
+	copy(out, r.Results)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Score(m) > out[j].Score(m) })
+	return out
+}
+
+// Query scores every indexed target against the query procedure.
+func (db *DB) Query(p *asm.Proc) (*Report, error) {
+	kept, nBlocks, err := db.decompose(p)
+	if err != nil {
+		return nil, fmt.Errorf("core: query %s: %w", p.Name, err)
+	}
+	rep := &Report{
+		QueryName:  p.Name,
+		Source:     p.Source,
+		NumBlocks:  nBlocks,
+		NumStrands: len(kept),
+	}
+
+	// Deduplicate query strands, keeping multiplicity as LES weight.
+	type qstrand struct {
+		prep   *vcp.Prepared
+		weight float64
+	}
+	var qs []*qstrand
+	qIdx := map[string]int{}
+	for _, s := range kept {
+		key := s.CanonicalKey()
+		if i, ok := qIdx[key]; ok {
+			qs[i].weight++
+			continue
+		}
+		prep := vcp.Prepare(s, db.opts.VCP)
+		if prep.Err() != nil {
+			return nil, fmt.Errorf("core: prepare query strand: %w", prep.Err())
+		}
+		qIdx[key] = len(qs)
+		qs = append(qs, &qstrand{prep: prep, weight: 1})
+	}
+
+	// For each unique query strand, compute the VCP row against every
+	// unique target strand, in both directions (parallel over query
+	// strands). The forward direction VCP(sq, st) drives S-LOG and Esh;
+	// the reverse direction VCP(st, sq) drives the paper's S-VCP
+	// definition (§6.2), which sums over target strands.
+	rows := make([][]float64, len(qs))
+	revRows := make([][]float64, len(qs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, db.opts.Workers)
+	for i, q := range qs {
+		wg.Add(1)
+		go func(i int, q *qstrand) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			rows[i], revRows[i] = db.vcpRow(q.prep)
+		}(i, q)
+	}
+	wg.Wait()
+
+	// maxRev[j]: the best any query strand contains target strand j.
+	maxRev := make([]float64, len(db.uniq))
+	for i := range qs {
+		for j, v := range revRows[i] {
+			if v > maxRev[j] {
+				maxRev[j] = v
+			}
+		}
+	}
+
+	// H0 estimate per query strand (corpus mean, weighted by
+	// multiplicity), §3.3.2.
+	evidence := make([]stats.StrandEvidence, len(qs))
+	for i, q := range qs {
+		h0 := stats.H0Accumulator{K: db.opts.SigmoidK}
+		for j, v := range rows[i] {
+			h0.Add(v, db.counts[j])
+		}
+		evidence[i] = h0.Evidence(q.weight)
+	}
+
+	// Per-target best VCP per query strand, then GES per method.
+	rep.Results = make([]TargetScore, len(db.targets))
+	maxVCPs := make([]float64, len(qs))
+	for ti, t := range db.targets {
+		for i := range qs {
+			best := 0.0
+			row := rows[i]
+			for _, j := range t.strandIdx {
+				if row[j] > best {
+					best = row[j]
+				}
+			}
+			maxVCPs[i] = best
+		}
+		svcp := 0.0
+		for _, j := range t.strandIdx {
+			svcp += maxRev[j]
+		}
+		rep.Results[ti] = TargetScore{
+			Target: t,
+			SVCP:   svcp,
+			SLOG:   stats.GES(stats.SLOG, maxVCPs, evidence),
+			GES:    stats.GES(stats.Esh, maxVCPs, evidence),
+		}
+	}
+	sort.SliceStable(rep.Results, func(i, j int) bool {
+		return rep.Results[i].GES > rep.Results[j].GES
+	})
+	return rep, nil
+}
+
+// vcpRow computes VCP(q, u) and VCP(u, q) for every unique target strand
+// u, applying the §5.5 size window and the cross-query memo cache. The
+// cache is read once and written back once, so concurrent query strands
+// do not fight over the lock in the inner loop.
+func (db *DB) vcpRow(q *vcp.Prepared) (fwd, rev []float64) {
+	qKey := q.Key()
+	db.mu.Lock()
+	cached := map[string][2]float64{}
+	for k, v := range db.vcpCache[qKey] {
+		cached[k] = v
+	}
+	db.mu.Unlock()
+
+	ratio := db.opts.VCP.SizeRatio
+	if ratio <= 0 {
+		ratio = vcp.Default().SizeRatio
+	}
+
+	fwd = make([]float64, len(db.uniq))
+	rev = make([]float64, len(db.uniq))
+	fresh := map[string][2]float64{}
+	for j, u := range db.uniq {
+		uKey := u.Key()
+		if qKey == uKey {
+			fwd[j], rev[j] = 1.0, 1.0 // identical strands match exactly
+			continue
+		}
+		// The size window is symmetric, so it gates both directions.
+		if !vcp.SizeCompatible(q.S, u.S, ratio) {
+			continue
+		}
+		v, hit := cached[uKey]
+		if !hit {
+			v = [2]float64{
+				vcp.Compute(q, u, db.opts.VCP),
+				vcp.Compute(u, q, db.opts.VCP),
+			}
+			cached[uKey] = v
+			fresh[uKey] = v
+		}
+		fwd[j], rev[j] = v[0], v[1]
+	}
+
+	if len(fresh) > 0 {
+		db.mu.Lock()
+		shared := db.vcpCache[qKey]
+		if shared == nil {
+			shared = map[string][2]float64{}
+			db.vcpCache[qKey] = shared
+		}
+		for k, v := range fresh {
+			shared[k] = v
+		}
+		db.mu.Unlock()
+	}
+	return fwd, rev
+}

@@ -1,0 +1,125 @@
+// Package corpus builds the experiment test-bed of the paper's §5.2–5.3:
+// eight real-world-shaped vulnerable procedures (with patched variants)
+// and a library of Coreutils-like decoy packages, each compiled by every
+// simulated toolchain into the binary target database. Ground truth for
+// evaluation travels in each procedure's asm.Provenance.
+package corpus
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/minic"
+)
+
+// BuildConfig selects what goes into the test-bed.
+type BuildConfig struct {
+	// Toolchains to compile with; nil selects all seven.
+	Toolchains []compile.Toolchain
+	// Opt is the optimization level; the zero value selects -O2, the
+	// paper's default.
+	Opt compile.Options
+	// IncludePatched adds the patched variant of every vulnerable
+	// procedure (the paper's openssl-1.0.1g etc.).
+	IncludePatched bool
+	// SynthVariants adds n generated decoy packages to grow the corpus
+	// toward the paper's 1500-procedure scale.
+	SynthVariants int
+}
+
+// Build compiles the test-bed and returns all target procedures.
+func Build(cfg BuildConfig) ([]*asm.Proc, error) {
+	if cfg.Toolchains == nil {
+		cfg.Toolchains = compile.Toolchains()
+	}
+	if cfg.Opt.OptLevel == 0 {
+		cfg.Opt = compile.O2()
+	}
+	var out []*asm.Proc
+
+	addProgram := func(pkg, src string, patched bool) error {
+		prog, err := minic.Parse(src)
+		if err != nil {
+			return fmt.Errorf("corpus: parse %s: %w", pkg, err)
+		}
+		for _, tc := range cfg.Toolchains {
+			procs, err := compile.CompileAll(prog, tc, cfg.Opt)
+			if err != nil {
+				return fmt.Errorf("corpus: compile %s with %s: %w", pkg, tc.Name(), err)
+			}
+			for _, p := range procs {
+				p.Source = asm.Provenance{
+					Package:   pkg,
+					SourceSym: p.Name,
+					Toolchain: tc.Name(),
+					OptLevel:  fmt.Sprintf("-O%d", cfg.Opt.OptLevel),
+					Patched:   patched,
+				}
+				p.Name = p.Source.Key()
+				out = append(out, p)
+			}
+		}
+		return nil
+	}
+
+	for _, v := range Vulns() {
+		if err := addProgram(v.Package, v.Src, false); err != nil {
+			return nil, err
+		}
+		if cfg.IncludePatched {
+			if err := addProgram(v.Package, v.Patched, true); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, d := range Decoys() {
+		if err := addProgram(d.Name, d.Src, false); err != nil {
+			return nil, err
+		}
+	}
+	for _, d := range GeneratedVariants(cfg.SynthVariants) {
+		if err := addProgram(d.Name, d.Src, false); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// Find returns the first procedure matching the given source symbol,
+// toolchain name and patch state, or nil.
+func Find(procs []*asm.Proc, sym, toolchain string, patched bool) *asm.Proc {
+	for _, p := range procs {
+		if p.Source.SourceSym == sym && p.Source.Toolchain == toolchain && p.Source.Patched == patched {
+			return p
+		}
+	}
+	return nil
+}
+
+// CompileVuln compiles one vulnerable (or patched) procedure with one
+// toolchain and returns only the named CVE procedure (helpers excluded).
+// It is the convenience used to produce experiment queries.
+func CompileVuln(v Vuln, tc compile.Toolchain, patched bool) (*asm.Proc, error) {
+	src := v.Src
+	if patched {
+		src = v.Patched
+	}
+	prog, err := minic.Parse(src)
+	if err != nil {
+		return nil, fmt.Errorf("corpus: parse %s: %w", v.Alias, err)
+	}
+	p, err := compile.Compile(prog, v.FuncName, tc, compile.O2())
+	if err != nil {
+		return nil, err
+	}
+	p.Source = asm.Provenance{
+		Package:   v.Package,
+		SourceSym: v.FuncName,
+		Toolchain: tc.Name(),
+		OptLevel:  "-O2",
+		Patched:   patched,
+	}
+	p.Name = p.Source.Key()
+	return p, nil
+}

@@ -1,0 +1,284 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/minic"
+)
+
+func TestAllSourcesParse(t *testing.T) {
+	for _, v := range Vulns() {
+		if _, err := minic.Parse(v.Src); err != nil {
+			t.Errorf("%s: vulnerable source: %v", v.Alias, err)
+		}
+		if _, err := minic.Parse(v.Patched); err != nil {
+			t.Errorf("%s: patched source: %v", v.Alias, err)
+		}
+		if v.Src == v.Patched {
+			t.Errorf("%s: patch is a no-op", v.Alias)
+		}
+	}
+	for _, d := range Decoys() {
+		if _, err := minic.Parse(d.Src); err != nil {
+			t.Errorf("decoy %s: %v", d.Name, err)
+		}
+	}
+	for _, d := range GeneratedVariants(10) {
+		if _, err := minic.Parse(d.Src); err != nil {
+			t.Errorf("variant %s: %v", d.Name, err)
+		}
+	}
+}
+
+func TestEightVulns(t *testing.T) {
+	vs := Vulns()
+	if len(vs) != 8 {
+		t.Fatalf("Vulns() = %d entries, want 8 (Table 1)", len(vs))
+	}
+	aliases := map[string]bool{}
+	for i, v := range vs {
+		if v.ID != i+1 {
+			t.Errorf("vuln %d has ID %d", i, v.ID)
+		}
+		if v.CVE == "" || v.Alias == "" || v.FuncName == "" {
+			t.Errorf("vuln %d incomplete: %+v", i, v)
+		}
+		aliases[v.Alias] = true
+	}
+	for _, want := range []string{"Heartbleed", "Shellshock", "Venom", "Clobberin' Time",
+		"Shellshock #2", "ws-snmp", "wget", "ffmpeg"} {
+		if !aliases[want] {
+			t.Errorf("missing vuln alias %q", want)
+		}
+	}
+}
+
+// prefill writes the same deterministic byte pattern into a runtime
+// memory region.
+const (
+	regionBase = 0x4000
+	regionSize = 0x2000
+)
+
+func pattern(addr uint64) byte { return byte(addr*7 + 3) }
+
+// TestVulnsDifferentialAllToolchains runs every vulnerable and patched
+// procedure under the interpreter and under every toolchain's compiled
+// code on the emulator, comparing return values and final memory.
+func TestVulnsDifferentialAllToolchains(t *testing.T) {
+	argSets := [][]int64{
+		{regionBase, regionBase + 0x800, regionBase + 0x1000, regionBase + 0x1800, 64, 32},
+		{regionBase + 0x100, 40, regionBase + 0x900, regionBase + 0x1100, 16, 8},
+		{regionBase, 0, regionBase + 0x40, regionBase + 0x80, 1, 2},
+	}
+	for _, v := range Vulns() {
+		for _, src := range []string{v.Src, v.Patched} {
+			prog, err := minic.Parse(src)
+			if err != nil {
+				t.Fatalf("%s: %v", v.Alias, err)
+			}
+			fn, _ := prog.Lookup(v.FuncName)
+			for _, tc := range compile.Toolchains() {
+				procs, err := compile.CompileAll(prog, tc, compile.O2())
+				if err != nil {
+					t.Fatalf("%s/%s: compile: %v", v.Alias, tc.Name(), err)
+				}
+				for _, rawArgs := range argSets {
+					args := rawArgs[:len(fn.Params)]
+
+					// Interpreter run.
+					ip := minic.NewInterp(prog)
+					ip.SetMaxSteps(5_000_000)
+					env1 := NewExternEnv()
+					env1.BindInterp(ip, prog)
+					for a := uint64(0); a < regionSize; a++ {
+						ip.StoreMem(regionBase+a, 1, uint64(pattern(regionBase+a)))
+					}
+					want, werr := ip.Call(v.FuncName, args...)
+
+					// Emulator run.
+					m := asm.NewMachine()
+					m.SetMaxSteps(20_000_000)
+					for _, p := range procs {
+						m.AddProc(p)
+					}
+					env2 := NewExternEnv()
+					env2.BindMachine(m, prog)
+					for a := uint64(0); a < regionSize; a++ {
+						m.WriteMem(regionBase+a, asm.Width1, uint64(pattern(regionBase+a)))
+					}
+					argRegs := [6]asm.Reg{asm.RDI, asm.RSI, asm.RDX, asm.RCX, asm.R8, asm.R9}
+					for i, a := range args {
+						m.Regs[argRegs[i]] = uint64(a)
+					}
+					got, gerr := m.Run(v.FuncName)
+
+					if (werr != nil) != (gerr != nil) {
+						t.Fatalf("%s/%s args=%v: error mismatch interp=%v emu=%v",
+							v.Alias, tc.Name(), args, werr, gerr)
+					}
+					if werr != nil {
+						continue
+					}
+					if got != uint64(want) {
+						t.Fatalf("%s/%s args=%v: emu=%#x interp=%#x",
+							v.Alias, tc.Name(), args, got, uint64(want))
+					}
+					// Compare the shared buffer region.
+					for a := uint64(0); a < regionSize; a += 7 {
+						wb := byte(ip.LoadMem(regionBase+a, 1))
+						gb := byte(m.ReadMem(regionBase+a, asm.Width1))
+						if wb != gb {
+							t.Fatalf("%s/%s args=%v: memory differs at %#x: emu=%#x interp=%#x",
+								v.Alias, tc.Name(), args, regionBase+a, gb, wb)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestHeartbleedPatchChangesSemantics crafts the canonical over-long
+// heartbeat and checks the vulnerable procedure leaks while the patched
+// one refuses.
+func TestHeartbleedPatchChangesSemantics(t *testing.T) {
+	v := Vulns()[0]
+	run := func(src string) int64 {
+		prog := minic.MustParse(src)
+		ip := minic.NewInterp(prog)
+		NewExternEnv().BindInterp(ip, prog)
+		// Record: type=1 (heartbeat request), claimed payload=0x4000,
+		// actual record only 32 bytes long.
+		p := uint64(0x4000)
+		ip.StoreMem(p, 1, 1)
+		ip.StoreMem(p+1, 1, 0x40)
+		ip.StoreMem(p+2, 1, 0x00)
+		got, err := ip.Call(v.FuncName, int64(p), 32, 0x6000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if leak := run(v.Src); leak <= 0 {
+		t.Errorf("vulnerable heartbeat returned %d, expected a leak", leak)
+	}
+	if resp := run(v.Patched); resp != 0 {
+		t.Errorf("patched heartbeat returned %d, want 0 (silently drop)", resp)
+	}
+}
+
+func TestVenomPatchBoundsFifo(t *testing.T) {
+	v := Vulns()[2]
+	run := func(src string) int64 {
+		prog := minic.MustParse(src)
+		ip := minic.NewInterp(prog)
+		NewExternEnv().BindInterp(ip, prog)
+		fdctrl := uint64(0x4000)
+		ip.StoreMem(fdctrl+512, 8, 600) // index already past the FIFO
+		got, err := ip.Call(v.FuncName, int64(fdctrl), 0x8E, 0x55)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	if idx := run(v.Src); idx != 601 {
+		t.Errorf("vulnerable FDC index = %d, want 601 (overflow persists)", idx)
+	}
+	if idx := run(v.Patched); idx != 1 {
+		t.Errorf("patched FDC index = %d, want 1 (wrapped)", idx)
+	}
+}
+
+func TestBuildSmall(t *testing.T) {
+	tcs := compile.Toolchains()[:2]
+	procs, err := Build(BuildConfig{Toolchains: tcs, IncludePatched: true, SynthVariants: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(procs) == 0 {
+		t.Fatal("empty corpus")
+	}
+	// Expected count: (vuln programs incl. patched + decoys + synth) ×
+	// number of functions × 2 toolchains; just sanity-check scale and
+	// provenance.
+	perTC := map[string]int{}
+	vulnSeen := map[string]bool{}
+	for _, p := range procs {
+		if p.Source.Package == "" || p.Source.SourceSym == "" || p.Source.Toolchain == "" {
+			t.Fatalf("missing provenance on %s", p.Name)
+		}
+		perTC[p.Source.Toolchain]++
+		if p.Source.SourceSym == "tls1_process_heartbeat" {
+			vulnSeen[p.Source.Toolchain+patchTag(p.Source.Patched)] = true
+		}
+	}
+	if len(perTC) != 2 {
+		t.Errorf("toolchains in corpus: %v", perTC)
+	}
+	if perTC[tcs[0].Name()] != perTC[tcs[1].Name()] {
+		t.Errorf("unbalanced corpus: %v", perTC)
+	}
+	for _, tc := range tcs {
+		for _, tag := range []string{"", "+p"} {
+			if !vulnSeen[tc.Name()+tag] {
+				t.Errorf("heartbleed variant missing for %s%s", tc.Name(), tag)
+			}
+		}
+	}
+	// Find works.
+	if Find(procs, "tls1_process_heartbeat", tcs[0].Name(), true) == nil {
+		t.Error("Find failed for patched heartbleed")
+	}
+	if Find(procs, "no_such_proc", tcs[0].Name(), false) != nil {
+		t.Error("Find invented a procedure")
+	}
+}
+
+func patchTag(p bool) string {
+	if p {
+		return "+p"
+	}
+	return ""
+}
+
+func TestCompileVuln(t *testing.T) {
+	gcc, _ := compile.ByName("gcc-4.9")
+	for _, v := range Vulns() {
+		p, err := CompileVuln(v, gcc, false)
+		if err != nil {
+			t.Fatalf("%s: %v", v.Alias, err)
+		}
+		if p.Source.SourceSym != v.FuncName || p.Source.Patched {
+			t.Errorf("%s: provenance %+v", v.Alias, p.Source)
+		}
+		if p.NumInsts() < 10 {
+			t.Errorf("%s: suspiciously small (%d insts)", v.Alias, p.NumInsts())
+		}
+	}
+}
+
+func TestFig6NamesPresent(t *testing.T) {
+	// Figure 6 names specific query procedures; the decoy library must
+	// provide them.
+	want := []string{"parse_integer", "dev_ino_compare", "default_format",
+		"print_stat", "cached_umask", "create_hard_link", "i_write",
+		"compare_nodes", "ftp_syst", "ff_rv34_decode_init_thread_copy"}
+	have := map[string]bool{}
+	for _, d := range Decoys() {
+		prog, err := minic.Parse(d.Src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, f := range prog.Funcs {
+			have[f.Name] = true
+		}
+	}
+	for _, name := range want {
+		if !have[name] {
+			t.Errorf("decoy library missing %s", name)
+		}
+	}
+}

@@ -1,0 +1,302 @@
+package corpus
+
+// A second tranche of decoy packages: codecs, text processing and
+// data-structure maintenance procedures in the style of busybox/zlib/
+// glibc internals, further diversifying the strand population.
+
+// Decoys2 returns the additional decoy packages. corpus.Decoys includes
+// them; the split exists only to keep the source files reviewable.
+func Decoys2() []Package {
+	return []Package{
+		{Name: "busybox-1.22/base64", Src: pkgBase64},
+		{Name: "busybox-1.22/vi", Src: pkgViBuf},
+		{Name: "zlib-1.2.8/inflate", Src: pkgInflate},
+		{Name: "glibc-2.19/time", Src: pkgTimeConv},
+		{Name: "glibc-2.19/qsort", Src: pkgQsort},
+		{Name: "protobuf-c/varint", Src: pkgVarint},
+		{Name: "pcre-8.35/study", Src: pkgPcreStudy},
+	}
+}
+
+const pkgBase64 = `
+func b64_encode_block(src, n, dst) {
+	var written = 0;
+	var i = 0;
+	while (i + 3 <= n) {
+		var w = (load8(src + i) << 16) | (load8(src + i + 1) << 8) | load8(src + i + 2);
+		store8(dst + written, b64_char((w >>u 18) & 0x3F));
+		store8(dst + written + 1, b64_char((w >>u 12) & 0x3F));
+		store8(dst + written + 2, b64_char((w >>u 6) & 0x3F));
+		store8(dst + written + 3, b64_char(w & 0x3F));
+		written = written + 4;
+		i = i + 3;
+	}
+	var rem = n - i;
+	if (rem == 1) {
+		var w1 = load8(src + i) << 16;
+		store8(dst + written, b64_char((w1 >>u 18) & 0x3F));
+		store8(dst + written + 1, b64_char((w1 >>u 12) & 0x3F));
+		store8(dst + written + 2, 0x3D);
+		store8(dst + written + 3, 0x3D);
+		written = written + 4;
+	} else if (rem == 2) {
+		var w2 = (load8(src + i) << 16) | (load8(src + i + 1) << 8);
+		store8(dst + written, b64_char((w2 >>u 18) & 0x3F));
+		store8(dst + written + 1, b64_char((w2 >>u 12) & 0x3F));
+		store8(dst + written + 2, b64_char((w2 >>u 6) & 0x3F));
+		store8(dst + written + 3, 0x3D);
+		written = written + 4;
+	}
+	return written;
+}
+func b64_char(v) {
+	if (v < 26) {
+		return 0x41 + v;
+	}
+	if (v < 52) {
+		return 0x61 + v - 26;
+	}
+	if (v < 62) {
+		return 0x30 + v - 52;
+	}
+	if (v == 62) {
+		return 0x2B;
+	}
+	return 0x2F;
+}`
+
+const pkgViBuf = `
+func text_hole_make(buf, gap_start, gap_len, end) {
+	var i = end;
+	while (i > gap_start) {
+		i = i - 1;
+		store8(buf + i + gap_len, load8(buf + i));
+	}
+	return end + gap_len;
+}
+func char_search_fwd(buf, from, end, ch) {
+	var i = from;
+	while (i < end) {
+		if (load8(buf + i) == ch) {
+			return i;
+		}
+		i = i + 1;
+	}
+	return 0 - 1;
+}
+func count_lines(buf, len) {
+	var lines = 0;
+	var i = 0;
+	while (i < len) {
+		if (load8(buf + i) == 0x0A) {
+			lines = lines + 1;
+		}
+		i = i + 1;
+	}
+	return lines;
+}`
+
+const pkgInflate = `
+func build_code_lengths(lens, n, counts) {
+	var i = 0;
+	while (i < 16) {
+		store16(counts + i * 2, 0);
+		i = i + 1;
+	}
+	i = 0;
+	while (i < n) {
+		var l = load8(lens + i) & 0xF;
+		store16(counts + l * 2, load16(counts + l * 2) + 1);
+		i = i + 1;
+	}
+	var left = 1;
+	var len = 1;
+	while (len < 16) {
+		left = left << 1;
+		left = left - load16(counts + len * 2);
+		if (left < 0) {
+			return 0 - 1;
+		}
+		len = len + 1;
+	}
+	return left;
+}
+func window_copy(win, wsize, wnext, dist, len, out) {
+	var from = wnext - dist;
+	if (from < 0) {
+		from = from + wsize;
+	}
+	var i = 0;
+	while (i < len) {
+		store8(out + i, load8(win + ((from + i) % wsize)));
+		i = i + 1;
+	}
+	return len;
+}`
+
+const pkgTimeConv = `
+func days_in_month(month, leap) {
+	if (month == 2) {
+		return 28 + leap;
+	}
+	if (month == 4 || month == 6 || month == 9 || month == 11) {
+		return 30;
+	}
+	return 31;
+}
+func is_leap_year(y) {
+	if (y % 4 != 0) {
+		return 0;
+	}
+	if (y % 100 != 0) {
+		return 1;
+	}
+	if (y % 400 == 0) {
+		return 1;
+	}
+	return 0;
+}
+func secs_to_ymd(secs, out) {
+	var days = secs / 86400;
+	var rem = secs % 86400;
+	var year = 1970;
+	while (1) {
+		var ydays = 365 + is_leap_year(year);
+		if (days < ydays) {
+			break;
+		}
+		days = days - ydays;
+		year = year + 1;
+	}
+	var month = 1;
+	while (1) {
+		var md = days_in_month(month, is_leap_year(year));
+		if (days < md) {
+			break;
+		}
+		days = days - md;
+		month = month + 1;
+	}
+	store64(out, year);
+	store64(out + 8, month);
+	store64(out + 16, days + 1);
+	store64(out + 24, rem / 3600);
+	return year * 10000 + month * 100 + days + 1;
+}`
+
+const pkgQsort = `
+func sift_down(arr, start, end) {
+	var root = start;
+	while (root * 2 + 1 <= end) {
+		var child = root * 2 + 1;
+		if (child + 1 <= end && load64(arr + child * 8) < load64(arr + (child + 1) * 8)) {
+			child = child + 1;
+		}
+		if (load64(arr + root * 8) < load64(arr + child * 8)) {
+			var t = load64(arr + root * 8);
+			store64(arr + root * 8, load64(arr + child * 8));
+			store64(arr + child * 8, t);
+			root = child;
+		} else {
+			return root;
+		}
+	}
+	return root;
+}
+func partition64(arr, lo, hi) {
+	var pivot = load64(arr + hi * 8);
+	var i = lo - 1;
+	var j = lo;
+	while (j < hi) {
+		if (load64(arr + j * 8) <= pivot) {
+			i = i + 1;
+			var t = load64(arr + i * 8);
+			store64(arr + i * 8, load64(arr + j * 8));
+			store64(arr + j * 8, t);
+		}
+		j = j + 1;
+	}
+	var t2 = load64(arr + (i + 1) * 8);
+	store64(arr + (i + 1) * 8, load64(arr + hi * 8));
+	store64(arr + hi * 8, t2);
+	return i + 1;
+}`
+
+const pkgVarint = `
+func varint_encode(v, out) {
+	var n = 0;
+	while (v >=u 0x80) {
+		store8(out + n, (v & 0x7F) | 0x80);
+		v = v >>u 7;
+		n = n + 1;
+	}
+	store8(out + n, v);
+	return n + 1;
+}
+func varint_decode(buf, len, valp) {
+	var v = 0;
+	var shift = 0;
+	var i = 0;
+	while (i < len && i < 10) {
+		var b = load8(buf + i);
+		v = v | ((b & 0x7F) << shift);
+		i = i + 1;
+		if ((b & 0x80) == 0) {
+			store64(valp, v);
+			return i;
+		}
+		shift = shift + 7;
+	}
+	return 0 - 1;
+}
+func zigzag_encode(v) {
+	return (v << 1) ^ (v >> 63);
+}
+func zigzag_decode(v) {
+	return (v >>u 1) ^ (0 - (v & 1));
+}`
+
+const pkgPcreStudy = `
+func set_start_bits(pattern, len, bitmap) {
+	var i = 0;
+	while (i < 32) {
+		store8(bitmap + i, 0);
+		i = i + 1;
+	}
+	i = 0;
+	var anchored = 0;
+	while (i < len) {
+		var c = load8(pattern + i);
+		if (c == 0x5E && i == 0) {
+			anchored = 1;
+		} else if (c == 0x5C && i + 1 < len) {
+			i = i + 1;
+		} else if (c != 0x2A && c != 0x3F) {
+			var byteidx = c >>u 3;
+			var bit = 1 << (c & 7);
+			store8(bitmap + byteidx, load8(bitmap + byteidx) | bit);
+		}
+		i = i + 1;
+	}
+	return anchored;
+}
+func bracket_min_length(pattern, from, len) {
+	var depth = 0;
+	var minlen = 0;
+	var i = from;
+	while (i < len) {
+		var c = load8(pattern + i);
+		if (c == 0x28) {
+			depth = depth + 1;
+		} else if (c == 0x29) {
+			depth = depth - 1;
+			if (depth == 0) {
+				return minlen;
+			}
+		} else if (depth > 0 && c != 0x2A && c != 0x3F && c != 0x7C) {
+			minlen = minlen + 1;
+		}
+		i = i + 1;
+	}
+	return minlen;
+}`

@@ -1,0 +1,229 @@
+package corpus
+
+// A third tranche of decoys: network and crypto-adjacent procedures in
+// the style of the packages the paper's corpus draws from (OpenSSL,
+// ntp, qemu), plus string-table utilities.
+
+// Decoys3 returns the tranche; corpus.Decoys includes it.
+func Decoys3() []Package {
+	return []Package{
+		{Name: "openssl-1.0.1f/rc4", Src: pkgRC4},
+		{Name: "openssl-1.0.1f/bn", Src: pkgBigNum},
+		{Name: "ntp-4.2.7/auth", Src: pkgNtpAuth},
+		{Name: "qemu-2.3/cutils", Src: pkgQemuCutils},
+		{Name: "bash-4.3/hashlib", Src: pkgBashHash},
+		{Name: "wireshark-1.4.1/tvbuff", Src: pkgTvbuff},
+	}
+}
+
+const pkgRC4 = `
+func rc4_setup(state, key, keylen) {
+	var i = 0;
+	while (i < 256) {
+		store8(state + i, i);
+		i = i + 1;
+	}
+	var j = 0;
+	i = 0;
+	while (i < 256) {
+		j = (j + load8(state + i) + load8(key + i % keylen)) & 0xFF;
+		var t = load8(state + i);
+		store8(state + i, load8(state + j));
+		store8(state + j, t);
+		i = i + 1;
+	}
+	return j;
+}
+func rc4_crypt(state, idxp, buf, len) {
+	var i = load8(idxp);
+	var j = load8(idxp + 1);
+	var k = 0;
+	while (k < len) {
+		i = (i + 1) & 0xFF;
+		j = (j + load8(state + i)) & 0xFF;
+		var t = load8(state + i);
+		store8(state + i, load8(state + j));
+		store8(state + j, t);
+		var ks = load8(state + ((load8(state + i) + load8(state + j)) & 0xFF));
+		store8(buf + k, load8(buf + k) ^ ks);
+		k = k + 1;
+	}
+	store8(idxp, i);
+	store8(idxp + 1, j);
+	return len;
+}`
+
+const pkgBigNum = `
+func bn_add_words(r, a, b, n) {
+	var carry = 0;
+	var i = 0;
+	while (i < n) {
+		var av = load64(a + i * 8);
+		var bv = load64(b + i * 8);
+		var s = av + bv;
+		var c1 = s <u av;
+		s = s + carry;
+		var c2 = s <u carry;
+		store64(r + i * 8, s);
+		carry = c1 | c2;
+		i = i + 1;
+	}
+	return carry;
+}
+func bn_cmp_words(a, b, n) {
+	var i = n - 1;
+	while (i >= 0) {
+		var av = load64(a + i * 8);
+		var bv = load64(b + i * 8);
+		if (av <u bv) {
+			return 0 - 1;
+		}
+		if (av >u bv) {
+			return 1;
+		}
+		i = i - 1;
+	}
+	return 0;
+}
+func bn_num_bits_word(w) {
+	var bits = 0;
+	while (w != 0) {
+		w = w >>u 1;
+		bits = bits + 1;
+	}
+	return bits;
+}`
+
+const pkgNtpAuth = `
+func auth_md5ish(key, keylen, pkt, pktlen, digest) {
+	var h0 = 0x67452301;
+	var h1 = 0xEFCDAB89;
+	var i = 0;
+	while (i < keylen) {
+		h0 = ((h0 << 5) + h0 + load8(key + i)) & 0xFFFFFFFF;
+		i = i + 1;
+	}
+	i = 0;
+	while (i < pktlen) {
+		h1 = ((h1 << 5) + h1 + load8(pkt + i)) & 0xFFFFFFFF;
+		h0 = (h0 ^ h1) & 0xFFFFFFFF;
+		i = i + 1;
+	}
+	store32(digest, h0);
+	store32(digest + 4, h1);
+	return h0 ^ h1;
+}
+func auth_timecrypt(ts, key) {
+	var mixed = ts ^ key;
+	mixed = mixed * 0x5DEECE66D + 0xB;
+	return mixed & 0xFFFFFFFFFFFF;
+}`
+
+const pkgQemuCutils = `
+func qemu_strnlen(s, max_len) {
+	var i = 0;
+	while (i < max_len && load8(s + i) != 0) {
+		i = i + 1;
+	}
+	return i;
+}
+func buffer_is_zero(buf, len) {
+	var i = 0;
+	while (i + 8 <= len) {
+		if (load64(buf + i) != 0) {
+			return 0;
+		}
+		i = i + 8;
+	}
+	while (i < len) {
+		if (load8(buf + i) != 0) {
+			return 0;
+		}
+		i = i + 1;
+	}
+	return 1;
+}
+func parse_size_suffix(s, len) {
+	var val = 0;
+	var i = 0;
+	while (i < len) {
+		var c = load8(s + i);
+		if (c < 0x30 || c > 0x39) {
+			break;
+		}
+		val = val * 10 + (c - 0x30);
+		i = i + 1;
+	}
+	if (i < len) {
+		var suf = load8(s + i);
+		if (suf == 0x4B || suf == 0x6B) {
+			val = val << 10;
+		} else if (suf == 0x4D || suf == 0x6D) {
+			val = val << 20;
+		} else if (suf == 0x47 || suf == 0x67) {
+			val = val << 30;
+		}
+	}
+	return val;
+}`
+
+const pkgBashHash = `
+func hash_string_bash(s, len) {
+	var h = 0;
+	var i = 0;
+	while (i < len) {
+		h = h << 4;
+		h = h + load8(s + i);
+		var g = h & 0xF0000000;
+		if (g != 0) {
+			h = h ^ (g >>u 24);
+			h = h ^ g;
+		}
+		i = i + 1;
+	}
+	return h;
+}
+func hash_bucket_find(bucket, key_hash, max_chain) {
+	var node = bucket;
+	var depth = 0;
+	while (node != 0 && depth < max_chain) {
+		if (load64(node + 8) == key_hash) {
+			return node;
+		}
+		node = load64(node);
+		depth = depth + 1;
+	}
+	return 0;
+}`
+
+const pkgTvbuff = `
+func tvb_get_guint32(tvb, offset, little_endian) {
+	if (little_endian != 0) {
+		return load32(tvb + offset);
+	}
+	var b0 = load8(tvb + offset);
+	var b1 = load8(tvb + offset + 1);
+	var b2 = load8(tvb + offset + 2);
+	var b3 = load8(tvb + offset + 3);
+	return (b0 << 24) | (b1 << 16) | (b2 << 8) | b3;
+}
+func tvb_strsize(tvb, offset, maxlen) {
+	var i = offset;
+	while (i - offset < maxlen) {
+		if (load8(tvb + i) == 0) {
+			return i - offset + 1;
+		}
+		i = i + 1;
+	}
+	return 0 - 1;
+}
+func tvb_find_crlf(tvb, offset, len) {
+	var i = offset;
+	while (i + 1 < offset + len) {
+		if (load8(tvb + i) == 0x0D && load8(tvb + i + 1) == 0x0A) {
+			return i;
+		}
+		i = i + 1;
+	}
+	return 0 - 1;
+}`

@@ -1,0 +1,194 @@
+package corpus
+
+import (
+	"repro/internal/asm"
+	"repro/internal/minic"
+)
+
+// The corpus programs call a handful of external ("libc"/OS) functions.
+// For differential testing, the externs must behave identically whether
+// the program runs under the MiniC interpreter or the machine emulator,
+// so they are defined once against a small memory-access interface and
+// adapted to both runtimes. Unknown externs default to a deterministic
+// pure hash of their arguments.
+
+// memIO abstracts the two runtimes' memories.
+type memIO interface {
+	Load(addr uint64, w int) uint64
+	Store(addr uint64, w int, v uint64)
+}
+
+type interpMem struct{ ip *minic.Interp }
+
+func (m interpMem) Load(addr uint64, w int) uint64     { return m.ip.LoadMem(addr, w) }
+func (m interpMem) Store(addr uint64, w int, v uint64) { m.ip.StoreMem(addr, w, v) }
+
+type machineMem struct{ m *asm.Machine }
+
+func (m machineMem) Load(addr uint64, w int) uint64     { return m.m.ReadMem(addr, asm.Width(w)) }
+func (m machineMem) Store(addr uint64, w int, v uint64) { m.m.WriteMem(addr, asm.Width(w), v) }
+
+// ExternEnv is a deterministic implementation of the corpus externs with
+// its own allocator state. Use one fresh env per program run on each
+// runtime so both runs see identical behaviour.
+type ExternEnv struct {
+	bump uint64 // bump allocator cursor
+}
+
+// NewExternEnv returns an env whose allocator starts at a fixed address
+// far from the corpus test buffers and the stack.
+func NewExternEnv() *ExternEnv { return &ExternEnv{bump: 0x10_0000} }
+
+func mixExt(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+func hashName(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// callExtern dispatches one extern call.
+func (env *ExternEnv) callExtern(name string, args []int64, mem memIO) int64 {
+	switch name {
+	case "write_bytes", "sys_write":
+		// Pretend the write succeeded in full. sys_write(fd, buf, n)
+		// returns n; write_bytes(buf, n) returns n.
+		return args[len(args)-1]
+	case "log_event", "chr_flush":
+		return 0
+	case "evaluate_string":
+		// A pure stand-in for "execute this text": a value derived from
+		// its length.
+		return args[1]*3 + 1
+	case "make_symlink", "unlink_path", "do_link":
+		return 0
+	case "get_umask":
+		return 0x12
+	case "stat_path":
+		// stat_path(path, statp): fill a plausible stat record.
+		statp := uint64(args[1])
+		mem.Store(statp+16, 8, 0x4000|0x1A4)
+		mem.Store(statp+48, 8, 4096)
+		return 0
+	case "sys_read":
+		// sys_read(fd, buf, n): deterministic bytes, at most 32.
+		buf := uint64(args[1])
+		n := args[2]
+		if n > 32 {
+			n = 32
+		}
+		for j := int64(0); j < n; j++ {
+			mem.Store(buf+uint64(j), 1, uint64(0x30+(args[0]+j)%10))
+		}
+		return n
+	case "av_malloc", "xrealloc":
+		// Bump allocation; xrealloc "moves" to fresh storage (contents
+		// start zeroed in both runtimes, so no copy is observable for
+		// the corpus programs, which rewrite what they use).
+		n := args[len(args)-1]
+		if n < 0 || n > 1<<20 {
+			return 0
+		}
+		p := env.bump
+		env.bump += uint64(n+15) &^ 15
+		return int64(p)
+	}
+	// Unknown extern: deterministic pure function of name and arguments.
+	h := mixExt(hashName(name))
+	for _, a := range args {
+		h = mixExt(h ^ uint64(a))
+	}
+	return int64(h >> 2) // positive
+}
+
+// externArities scans a program for calls to functions it does not
+// define, recording each name's arity (needed to read the right argument
+// registers on the emulator side).
+func externArities(prog *minic.Program) map[string]int {
+	out := map[string]int{}
+	var walkExpr func(e minic.Expr)
+	var walkStmts func(ss []minic.Stmt)
+	walkExpr = func(e minic.Expr) {
+		switch t := e.(type) {
+		case *minic.Binary:
+			walkExpr(t.X)
+			walkExpr(t.Y)
+		case *minic.Unary:
+			walkExpr(t.X)
+		case *minic.Load:
+			walkExpr(t.Addr)
+		case *minic.Sext:
+			walkExpr(t.X)
+		case *minic.Call:
+			if _, defined := prog.Lookup(t.Name); !defined {
+				out[t.Name] = len(t.Args)
+			}
+			for _, a := range t.Args {
+				walkExpr(a)
+			}
+		}
+	}
+	walkStmts = func(ss []minic.Stmt) {
+		for _, s := range ss {
+			switch t := s.(type) {
+			case *minic.VarDecl:
+				walkExpr(t.Init)
+			case *minic.AssignStmt:
+				walkExpr(t.Val)
+			case *minic.StoreStmt:
+				walkExpr(t.Addr)
+				walkExpr(t.Val)
+			case *minic.IfStmt:
+				walkExpr(t.Cond)
+				walkStmts(t.Then)
+				walkStmts(t.Else)
+			case *minic.WhileStmt:
+				walkExpr(t.Cond)
+				walkStmts(t.Body)
+			case *minic.ReturnStmt:
+				walkExpr(t.Val)
+			case *minic.ExprStmt:
+				walkExpr(t.X)
+			}
+		}
+	}
+	for _, f := range prog.Funcs {
+		walkStmts(f.Body)
+	}
+	return out
+}
+
+// BindInterp registers the extern environment on a MiniC interpreter.
+func (env *ExternEnv) BindInterp(ip *minic.Interp, prog *minic.Program) {
+	for name := range externArities(prog) {
+		name := name
+		ip.Externs[name] = func(ip *minic.Interp, args []int64) int64 {
+			return env.callExtern(name, args, interpMem{ip})
+		}
+	}
+}
+
+// BindMachine registers the extern environment on a machine emulator.
+func (env *ExternEnv) BindMachine(m *asm.Machine, prog *minic.Program) {
+	argRegs := [6]asm.Reg{asm.RDI, asm.RSI, asm.RDX, asm.RCX, asm.R8, asm.R9}
+	for name, arity := range externArities(prog) {
+		name, arity := name, arity
+		m.AddExtern(name, func(m *asm.Machine) uint64 {
+			args := make([]int64, arity)
+			for i := 0; i < arity; i++ {
+				args[i] = int64(m.Regs[argRegs[i]])
+			}
+			return uint64(env.callExtern(name, args, machineMem{m}))
+		})
+	}
+}

@@ -1,0 +1,146 @@
+package corpus
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/minic"
+)
+
+func TestExternDeterministicAcrossRuntimes(t *testing.T) {
+	// The same extern call must return the same value and have the same
+	// memory effect under the interpreter and the emulator.
+	prog := minic.MustParse(`
+func f(buf) {
+	var n = sys_read(3, buf, 16);
+	var p = av_malloc(24);
+	var q = av_malloc(8);
+	var u = mystery_ext(n, p);
+	return n + (q - p) + (u & 0xFF);
+}`)
+	ip := minic.NewInterp(prog)
+	NewExternEnv().BindInterp(ip, prog)
+	want, err := ip.Call("f", 0x4000)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second interpreter run with a fresh env gives the same answer.
+	ip2 := minic.NewInterp(prog)
+	NewExternEnv().BindInterp(ip2, prog)
+	got2, _ := ip2.Call("f", 0x4000)
+	if got2 != want {
+		t.Fatalf("externs not deterministic: %d vs %d", got2, want)
+	}
+
+	// Memory effects match byte for byte.
+	for off := uint64(0); off < 16; off++ {
+		if ip.LoadMem(0x4000+off, 1) != ip2.LoadMem(0x4000+off, 1) {
+			t.Fatal("sys_read wrote different bytes")
+		}
+	}
+}
+
+func TestExternAllocatorProperties(t *testing.T) {
+	env := NewExternEnv()
+	p1 := env.callExtern("av_malloc", []int64{24}, nil)
+	p2 := env.callExtern("av_malloc", []int64{1}, nil)
+	p3 := env.callExtern("xrealloc", []int64{int64(p1), 64}, nil)
+	if p1 == 0 || p2 == 0 || p3 == 0 {
+		t.Fatal("allocation failed")
+	}
+	if p2-p1 < 24 {
+		t.Errorf("allocations overlap: %d then %d", p1, p2)
+	}
+	if p1%16 != 0 || p2%16 != 0 {
+		t.Errorf("allocations not 16-aligned: %d %d", p1, p2)
+	}
+	// Absurd sizes fail like a real allocator.
+	if got := env.callExtern("av_malloc", []int64{1 << 40}, nil); got != 0 {
+		t.Errorf("huge allocation succeeded: %d", got)
+	}
+	if got := env.callExtern("av_malloc", []int64{-5}, nil); got != 0 {
+		t.Errorf("negative allocation succeeded: %d", got)
+	}
+}
+
+func TestUnknownExternPureHash(t *testing.T) {
+	env := NewExternEnv()
+	a := env.callExtern("never_heard_of_it", []int64{1, 2, 3}, nil)
+	b := env.callExtern("never_heard_of_it", []int64{1, 2, 3}, nil)
+	c := env.callExtern("never_heard_of_it", []int64{1, 2, 4}, nil)
+	d := env.callExtern("some_other_name", []int64{1, 2, 3}, nil)
+	if a != b {
+		t.Error("unknown extern not deterministic")
+	}
+	if a == c || a == d {
+		t.Error("unknown extern ignores arguments or name")
+	}
+	if a < 0 {
+		t.Error("unknown extern returned negative (breaks error-check branches)")
+	}
+}
+
+func TestExternArities(t *testing.T) {
+	prog := minic.MustParse(`
+func local(x) { return x; }
+func f(a) { return local(a) + ext_one(a) + ext_three(a, a, a); }`)
+	got := externArities(prog)
+	if len(got) != 2 || got["ext_one"] != 1 || got["ext_three"] != 3 {
+		t.Errorf("externArities = %v", got)
+	}
+	if _, hasLocal := got["local"]; hasLocal {
+		t.Error("defined function reported as extern")
+	}
+}
+
+func TestStatPathFillsRecord(t *testing.T) {
+	prog := minic.MustParse(`func f(p, statp) { return stat_path(p, statp); }`)
+	ip := minic.NewInterp(prog)
+	NewExternEnv().BindInterp(ip, prog)
+	if _, err := ip.Call("f", 0x100, 0x4000); err != nil {
+		t.Fatal(err)
+	}
+	if mode := ip.LoadMem(0x4000+16, 8); mode&0x4000 == 0 {
+		t.Errorf("stat mode = %#x, expected a directory bit", mode)
+	}
+	if size := ip.LoadMem(0x4000+48, 8); size == 0 {
+		t.Error("stat size not filled")
+	}
+}
+
+func TestBindMachineReadsArgRegisters(t *testing.T) {
+	prog := minic.MustParse(`func f(a, b) { return ext_pair(a, b); }`)
+	tcProcs := mustCompileAllGcc(t, prog)
+	m := asm.NewMachine()
+	for _, p := range tcProcs {
+		m.AddProc(p)
+	}
+	NewExternEnv().BindMachine(m, prog)
+	m.Regs[asm.RDI] = 11
+	m.Regs[asm.RSI] = 22
+	got, err := m.Run("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	env := NewExternEnv()
+	want := env.callExtern("ext_pair", []int64{11, 22}, nil)
+	if int64(got) != want {
+		t.Errorf("machine extern = %d, env = %d", int64(got), want)
+	}
+}
+
+// mustCompileAllGcc compiles every function with gcc-4.9 for tests.
+func mustCompileAllGcc(t *testing.T, prog *minic.Program) []*asm.Proc {
+	t.Helper()
+	tc, ok := compile.ByName("gcc-4.9")
+	if !ok {
+		t.Fatal("no gcc-4.9")
+	}
+	procs, err := compile.CompileAll(prog, tc, compile.O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return procs
+}

@@ -1,0 +1,914 @@
+package corpus
+
+// The eight vulnerable procedures of the paper's Table 1, re-implemented
+// as MiniC stand-ins. Each preserves the structural character of the real
+// vulnerable code — the parsing, bounds handling (or lack of it), copy
+// loops and constants that make the procedure recognizable — and comes
+// with a patched variant reproducing the real fix, so the experiments can
+// exercise the paper's "patched source" search aspect.
+//
+// Shared helpers (memcpy8, memset8, ...) are written in MiniC inside each
+// package, the way static helpers are compiled into every real binary;
+// write_bytes/log_event are external (I/O) and stay unresolved calls.
+
+// helpersMem are byte-buffer helpers shared by several packages.
+const helpersMem = `
+func memcpy8(dst, src, n) {
+	var i = 0;
+	while (i < n) {
+		store8(dst + i, load8(src + i));
+		i = i + 1;
+	}
+	return dst;
+}
+func memset8(dst, v, n) {
+	var i = 0;
+	while (i < n) {
+		store8(dst + i, v);
+		i = i + 1;
+	}
+	return dst;
+}
+`
+
+// Vuln describes one vulnerable procedure and its patch.
+type Vuln struct {
+	ID       int
+	Alias    string
+	CVE      string
+	Package  string // vulnerable package/version
+	FuncName string
+	Src      string // vulnerable program (function + helpers)
+	Patched  string // program with the real-world fix applied
+}
+
+// Vulns returns the paper's eight queries (Table 1), in table order.
+func Vulns() []Vuln {
+	return []Vuln{
+		{
+			ID: 1, Alias: "Heartbleed", CVE: "2014-0160",
+			Package: "openssl-1.0.1f", FuncName: "tls1_process_heartbeat",
+			Src:     heartbleedVuln,
+			Patched: heartbleedPatched,
+		},
+		{
+			ID: 2, Alias: "Shellshock", CVE: "2014-6271",
+			Package: "bash-4.3", FuncName: "initialize_shell_function",
+			Src:     shellshockVuln,
+			Patched: shellshockPatched,
+		},
+		{
+			ID: 3, Alias: "Venom", CVE: "2015-3456",
+			Package: "qemu-2.3", FuncName: "fdctrl_handle_command",
+			Src:     venomVuln,
+			Patched: venomPatched,
+		},
+		{
+			ID: 4, Alias: "Clobberin' Time", CVE: "2014-9295",
+			Package: "ntp-4.2.7", FuncName: "ctl_putdata",
+			Src:     clobberinVuln,
+			Patched: clobberinPatched,
+		},
+		{
+			ID: 5, Alias: "Shellshock #2", CVE: "2014-7169",
+			Package: "bash-4.3p24", FuncName: "parse_function_import",
+			Src:     shellshock2Vuln,
+			Patched: shellshock2Patched,
+		},
+		{
+			ID: 6, Alias: "ws-snmp", CVE: "2011-0444",
+			Package: "wireshark-1.4.1", FuncName: "snmp_variable_decode",
+			Src:     wsSnmpVuln,
+			Patched: wsSnmpPatched,
+		},
+		{
+			ID: 7, Alias: "wget", CVE: "2014-4877",
+			Package: "wget-1.15", FuncName: "ftp_retrieve_symlink",
+			Src:     wgetVuln,
+			Patched: wgetPatched,
+		},
+		{
+			ID: 8, Alias: "ffmpeg", CVE: "2015-6826",
+			Package: "ffmpeg-2.4.6", FuncName: "rv34_decoder_realloc",
+			Src:     ffmpegVuln,
+			Patched: ffmpegPatched,
+		},
+	}
+}
+
+// --- #1 Heartbleed (OpenSSL tls1_process_heartbeat) ------------------------
+//
+// The real bug: the heartbeat response copies `payload` bytes from the
+// request without checking the claimed payload length against the actual
+// record length; the fix bounds-checks before building the response.
+
+const heartbleedVuln = helpersMem + `
+func tls1_process_heartbeat(p, rec_len, resp) {
+	var hbtype = load8(p);
+	var payload = (load8(p + 1) << 8) | load8(p + 2);
+	var pl = p + 3;
+	var padding = 16;
+	if (hbtype == 1) {
+		var bp = resp;
+		store8(bp, 2);
+		store8(bp + 1, (payload >>u 8) & 0xFF);
+		store8(bp + 2, payload & 0xFF);
+		memcpy8(bp + 3, pl, payload);
+		memset8(bp + 3 + payload, 0, padding);
+		write_bytes(bp, 3 + payload + padding);
+		return 3 + payload + padding;
+	}
+	if (hbtype == 2) {
+		log_event(2);
+	}
+	return 0;
+}`
+
+const heartbleedPatched = helpersMem + `
+func tls1_process_heartbeat(p, rec_len, resp) {
+	var hbtype = load8(p);
+	var payload = (load8(p + 1) << 8) | load8(p + 2);
+	var pl = p + 3;
+	var padding = 16;
+	if (rec_len <u 1 + 2 + 16) {
+		return 0;
+	}
+	if (1 + 2 + payload + 16 >u rec_len) {
+		return 0;
+	}
+	if (hbtype == 1) {
+		var bp = resp;
+		store8(bp, 2);
+		store8(bp + 1, (payload >>u 8) & 0xFF);
+		store8(bp + 2, payload & 0xFF);
+		memcpy8(bp + 3, pl, payload);
+		memset8(bp + 3 + payload, 0, padding);
+		write_bytes(bp, 3 + payload + padding);
+		return 3 + payload + padding;
+	}
+	if (hbtype == 2) {
+		log_event(2);
+	}
+	return 0;
+}`
+
+// --- #2 Shellshock (bash function import) -----------------------------------
+//
+// The real bug: bash evaluates everything after the function definition
+// found in an environment variable. The stand-in scans for the "() {"
+// marker, finds the closing brace, and (bug) keeps consuming and
+// "evaluating" trailing bytes; the fix stops at the function end.
+
+const shellshockBody = helpersMem + `
+func find_close_brace(s, len, from) {
+	var depth = 0;
+	var i = from;
+	while (i < len) {
+		var c = load8(s + i);
+		if (c == 0x7B) {
+			depth = depth + 1;
+		}
+		if (c == 0x7D) {
+			depth = depth - 1;
+			if (depth == 0) {
+				return i;
+			}
+		}
+		i = i + 1;
+	}
+	return 0 - 1;
+}
+`
+
+const shellshockVuln = shellshockBody + `
+func initialize_shell_function(env, len, out) {
+	if (len < 4) {
+		return 0;
+	}
+	if (load8(env) != 0x28 || load8(env + 1) != 0x29 ||
+	    load8(env + 2) != 0x20 || load8(env + 3) != 0x7B) {
+		return 0;
+	}
+	var end = find_close_brace(env, len, 3);
+	if (end < 0) {
+		return 0;
+	}
+	var body_len = end - 3 + 1;
+	memcpy8(out, env + 3, body_len);
+	var evaluated = evaluate_string(out, body_len);
+	// BUG: trailing bytes after the function body are also evaluated.
+	var i = end + 1;
+	while (i < len) {
+		var c = load8(env + i);
+		store8(out + body_len + (i - end - 1), c);
+		i = i + 1;
+	}
+	if (i > end + 1) {
+		evaluated = evaluated + evaluate_string(out + body_len, i - end - 1);
+	}
+	return evaluated;
+}`
+
+const shellshockPatched = shellshockBody + `
+func initialize_shell_function(env, len, out) {
+	if (len < 4) {
+		return 0;
+	}
+	if (load8(env) != 0x28 || load8(env + 1) != 0x29 ||
+	    load8(env + 2) != 0x20 || load8(env + 3) != 0x7B) {
+		return 0;
+	}
+	var end = find_close_brace(env, len, 3);
+	if (end < 0) {
+		return 0;
+	}
+	// Fix: reject definitions with trailing garbage instead of
+	// evaluating it.
+	if (end + 1 != len) {
+		log_event(0x53);
+		return 0 - 1;
+	}
+	var body_len = end - 3 + 1;
+	memcpy8(out, env + 3, body_len);
+	return evaluate_string(out, body_len);
+}`
+
+// --- #3 Venom (QEMU floppy controller) --------------------------------------
+//
+// The real bug: fdctrl_handle_* leave the FIFO index unbounded for some
+// commands, so a guest can overflow fifo[]. The distinct command-code
+// constants are what let even S-VCP find this procedure (paper §6.2).
+// Layout of the emulated controller block: fifo at +0, index at +512,
+// msr at +520, state at +528.
+
+const venomCommon = `
+func fifo_push(fdctrl, val) {
+	var idx = load64(fdctrl + 512);
+	store8(fdctrl + idx, val);
+	store64(fdctrl + 512, idx + 1);
+	return idx + 1;
+}
+`
+
+const venomVuln = venomCommon + `
+func fdctrl_handle_command(fdctrl, cmd, arg) {
+	var pos = load64(fdctrl + 512);
+	if (cmd == 0x8E) {
+		// DRIVE SPECIFICATION: BUG — index keeps growing past the
+		// 512-byte FIFO.
+		fifo_push(fdctrl, arg & 0xFF);
+		if ((arg & 0x80) != 0) {
+			store64(fdctrl + 528, 1);
+		}
+		return load64(fdctrl + 512);
+	}
+	if (cmd == 0x0E) {
+		// DUMPREG: emit 10 registers through the FIFO.
+		var i = 0;
+		while (i < 10) {
+			fifo_push(fdctrl, load8(fdctrl + 540 + i));
+			i = i + 1;
+		}
+		store64(fdctrl + 520, 0xD0);
+		return 10;
+	}
+	if (cmd == 0x10) {
+		// VERSION
+		store64(fdctrl + 512, 0);
+		fifo_push(fdctrl, 0x90);
+		return 1;
+	}
+	if (cmd == 0x4A) {
+		// READ ID
+		store64(fdctrl + 520, 0xC0);
+		store64(fdctrl + 512, pos & 0x1FF);
+		return 0;
+	}
+	log_event(cmd);
+	return 0 - 1;
+}`
+
+const venomPatched = venomCommon + `
+func fdctrl_handle_command(fdctrl, cmd, arg) {
+	var pos = load64(fdctrl + 512);
+	if (cmd == 0x8E) {
+		// Fix: wrap the FIFO index before every push.
+		if (pos >= 512) {
+			store64(fdctrl + 512, 0);
+		}
+		fifo_push(fdctrl, arg & 0xFF);
+		if ((arg & 0x80) != 0) {
+			store64(fdctrl + 528, 1);
+		}
+		return load64(fdctrl + 512);
+	}
+	if (cmd == 0x0E) {
+		var i = 0;
+		while (i < 10) {
+			if (load64(fdctrl + 512) >= 512) {
+				store64(fdctrl + 512, 0);
+			}
+			fifo_push(fdctrl, load8(fdctrl + 540 + i));
+			i = i + 1;
+		}
+		store64(fdctrl + 520, 0xD0);
+		return 10;
+	}
+	if (cmd == 0x10) {
+		store64(fdctrl + 512, 0);
+		fifo_push(fdctrl, 0x90);
+		return 1;
+	}
+	if (cmd == 0x4A) {
+		store64(fdctrl + 520, 0xC0);
+		store64(fdctrl + 512, pos & 0x1FF);
+		return 0;
+	}
+	log_event(cmd);
+	return 0 - 1;
+}`
+
+// --- #4 Clobberin' Time (ntpd ctl_putdata) ----------------------------------
+//
+// The real bug: ctl_putdata appends attacker-controlled data into the
+// response buffer without checking remaining space.
+
+const clobberinCommon = helpersMem + `
+func ctl_flushpkt(buf, used) {
+	write_bytes(buf, used);
+	return 0;
+}
+func ctl_datalen(data, maxlen) {
+	var n = 0;
+	while (n < maxlen && load8(data + n) != 0) {
+		n = n + 1;
+	}
+	return n;
+}
+`
+
+const clobberinVuln = clobberinCommon + `
+func ctl_putdata(reply, used, cap, data, bin, dlen) {
+	var pos = used;
+	var overhead = 0;
+	if (bin == 0) {
+		dlen = ctl_datalen(data, dlen);
+	}
+	if (pos > 0) {
+		// Item separator plus CRLF line wrapping every 72 columns.
+		var col = pos % 72;
+		if (col + dlen + 2 > 72) {
+			store8(reply + pos, 0x0D);
+			store8(reply + pos + 1, 0x0A);
+			pos = pos + 2;
+			overhead = overhead + 2;
+		} else {
+			store8(reply + pos, 0x2C);
+			store8(reply + pos + 1, 0x20);
+			pos = pos + 2;
+			overhead = overhead + 2;
+		}
+	}
+	// BUG: no room check against cap before the copy (CVE-2014-9295).
+	memcpy8(reply + pos, data, dlen);
+	pos = pos + dlen;
+	var total = pos;
+	if (total > 480) {
+		ctl_flushpkt(reply, total);
+		pos = 0;
+	}
+	if (bin != 0) {
+		store8(reply + pos, 0);
+		log_event(overhead);
+	}
+	return pos;
+}`
+
+const clobberinPatched = clobberinCommon + `
+func ctl_putdata(reply, used, cap, data, bin, dlen) {
+	var pos = used;
+	var overhead = 0;
+	if (bin == 0) {
+		dlen = ctl_datalen(data, dlen);
+	}
+	if (pos > 0) {
+		var col = pos % 72;
+		if (col + dlen + 2 > 72) {
+			store8(reply + pos, 0x0D);
+			store8(reply + pos + 1, 0x0A);
+			pos = pos + 2;
+			overhead = overhead + 2;
+		} else {
+			store8(reply + pos, 0x2C);
+			store8(reply + pos + 1, 0x20);
+			pos = pos + 2;
+			overhead = overhead + 2;
+		}
+	}
+	// Fix: flush and bound the copy when the item does not fit.
+	if (pos + dlen >u cap) {
+		ctl_flushpkt(reply, pos);
+		pos = 0;
+		if (dlen >u cap) {
+			log_event(0x45);
+			return 0 - 1;
+		}
+	}
+	memcpy8(reply + pos, data, dlen);
+	pos = pos + dlen;
+	var total = pos;
+	if (total > 480) {
+		ctl_flushpkt(reply, total);
+		pos = 0;
+	}
+	if (bin != 0) {
+		store8(reply + pos, 0);
+		log_event(overhead);
+	}
+	return pos;
+}`
+
+// --- #5 Shellshock #2 (incomplete-fix variant, CVE-2014-7169) ---------------
+//
+// The follow-up bash bug: the parser state machine mishandles redirection
+// tokens after the first fix. The stand-in tokenizes and (bug) lets a
+// crafted token smuggle one more evaluation.
+
+const shellshock2Body = helpersMem + `
+func skip_spaces(s, len, from) {
+	var i = from;
+	while (i < len && load8(s + i) == 0x20) {
+		i = i + 1;
+	}
+	return i;
+}
+`
+
+const shellshock2Vuln = shellshock2Body + `
+func parse_function_import(env, len, out) {
+	var i = skip_spaces(env, len, 0);
+	var tokens = 0;
+	var pending_redir = 0;
+	while (i < len) {
+		var c = load8(env + i);
+		if (c == 0x3C || c == 0x3E) {
+			pending_redir = 1;
+			i = i + 1;
+			continue;
+		}
+		if (c == 0x20) {
+			i = skip_spaces(env, len, i);
+			continue;
+		}
+		var start = i;
+		while (i < len && load8(env + i) != 0x20) {
+			i = i + 1;
+		}
+		memcpy8(out + tokens * 32, env + start, i - start);
+		tokens = tokens + 1;
+		// BUG: a pending redirection consumes the next token as a
+		// filename and evaluates it.
+		if (pending_redir == 1) {
+			evaluate_string(out + (tokens - 1) * 32, i - start);
+			pending_redir = 0;
+		}
+	}
+	return tokens;
+}`
+
+const shellshock2Patched = shellshock2Body + `
+func parse_function_import(env, len, out) {
+	var i = skip_spaces(env, len, 0);
+	var tokens = 0;
+	var pending_redir = 0;
+	while (i < len) {
+		var c = load8(env + i);
+		if (c == 0x3C || c == 0x3E) {
+			pending_redir = 1;
+			i = i + 1;
+			continue;
+		}
+		if (c == 0x20) {
+			i = skip_spaces(env, len, i);
+			continue;
+		}
+		var start = i;
+		while (i < len && load8(env + i) != 0x20) {
+			i = i + 1;
+		}
+		memcpy8(out + tokens * 32, env + start, i - start);
+		tokens = tokens + 1;
+		// Fix: redirection targets from imported environments are
+		// recorded, never evaluated.
+		if (pending_redir == 1) {
+			log_event(0x52);
+			pending_redir = 0;
+		}
+	}
+	return tokens;
+}`
+
+// --- #6 ws-snmp (Wireshark SNMP dissector) ----------------------------------
+//
+// The real bug: the BER length decoder trusts a multi-byte length field
+// and copies that many bytes of the community string into a fixed buffer.
+
+const wsSnmpCommon = helpersMem + `
+func ber_read_length(pkt, offp) {
+	var off = load64(offp);
+	var first = load8(pkt + off);
+	off = off + 1;
+	var length = 0;
+	if ((first & 0x80) == 0) {
+		length = first;
+	} else {
+		var nbytes = first & 0x7F;
+		var k = 0;
+		while (k < nbytes) {
+			length = (length << 8) | load8(pkt + off);
+			off = off + 1;
+			k = k + 1;
+		}
+	}
+	store64(offp, off);
+	return length;
+}
+func ber_read_int(pkt, offp) {
+	var off = load64(offp);
+	var tag = load8(pkt + off);
+	store64(offp, off + 1);
+	if (tag != 2) {
+		return 0 - 1;
+	}
+	var ilen = ber_read_length(pkt, offp);
+	off = load64(offp);
+	var val = 0;
+	var k = 0;
+	while (k < ilen && k < 8) {
+		val = (val << 8) | load8(pkt + off + k);
+		k = k + 1;
+	}
+	store64(offp, off + ilen);
+	return val;
+}
+`
+
+const wsSnmpVuln = wsSnmpCommon + `
+func snmp_variable_decode(pkt, pkt_len, scratch, community) {
+	store64(scratch, 0);
+	var tag = load8(pkt);
+	store64(scratch, 1);
+	if (tag != 0x30) {
+		return 0 - 1;
+	}
+	var total = ber_read_length(pkt, scratch);
+	var version = ber_read_int(pkt, scratch);
+	if (version < 0 || version > 3) {
+		return 0 - 2;
+	}
+	var ctag = load8(pkt + load64(scratch));
+	store64(scratch, load64(scratch) + 1);
+	if (ctag != 4) {
+		return 0 - 3;
+	}
+	var clen = ber_read_length(pkt, scratch);
+	// BUG: clen is attacker-controlled and unchecked against the
+	// 64-byte community buffer and the packet length (CVE-2011-0444).
+	memcpy8(community, pkt + load64(scratch), clen);
+	store8(community + clen, 0);
+	store64(scratch, load64(scratch) + clen);
+	var pdu_type = load8(pkt + load64(scratch)) & 0x1F;
+	store64(scratch, load64(scratch) + 1);
+	var err_status = 0;
+	if (pdu_type == 0 || pdu_type == 1 || pdu_type == 3) {
+		var req_id = ber_read_int(pkt, scratch);
+		err_status = ber_read_int(pkt, scratch);
+		var err_index = ber_read_int(pkt, scratch);
+		log_event(req_id ^ err_index);
+	} else {
+		if (pdu_type == 4) {
+			var enterprise = ber_read_int(pkt, scratch);
+			log_event(enterprise);
+		} else {
+			return 0 - 4;
+		}
+	}
+	var binds = 0;
+	while (load64(scratch) <u pkt_len && binds < 16) {
+		var btag = load8(pkt + load64(scratch));
+		if (btag != 0x30) {
+			break;
+		}
+		store64(scratch, load64(scratch) + 1);
+		var blen = ber_read_length(pkt, scratch);
+		store64(scratch, load64(scratch) + blen);
+		binds = binds + 1;
+	}
+	return version * 0x10000 + err_status * 0x100 + binds;
+}`
+
+const wsSnmpPatched = wsSnmpCommon + `
+func snmp_variable_decode(pkt, pkt_len, scratch, community) {
+	store64(scratch, 0);
+	var tag = load8(pkt);
+	store64(scratch, 1);
+	if (tag != 0x30) {
+		return 0 - 1;
+	}
+	var total = ber_read_length(pkt, scratch);
+	var version = ber_read_int(pkt, scratch);
+	if (version < 0 || version > 3) {
+		return 0 - 2;
+	}
+	var ctag = load8(pkt + load64(scratch));
+	store64(scratch, load64(scratch) + 1);
+	if (ctag != 4) {
+		return 0 - 3;
+	}
+	var clen = ber_read_length(pkt, scratch);
+	// Fix: clamp against both the packet and the destination buffer.
+	if (load64(scratch) + clen >u pkt_len) {
+		return 0 - 5;
+	}
+	if (clen >u 63) {
+		clen = 63;
+	}
+	memcpy8(community, pkt + load64(scratch), clen);
+	store8(community + clen, 0);
+	store64(scratch, load64(scratch) + clen);
+	var pdu_type = load8(pkt + load64(scratch)) & 0x1F;
+	store64(scratch, load64(scratch) + 1);
+	var err_status = 0;
+	if (pdu_type == 0 || pdu_type == 1 || pdu_type == 3) {
+		var req_id = ber_read_int(pkt, scratch);
+		err_status = ber_read_int(pkt, scratch);
+		var err_index = ber_read_int(pkt, scratch);
+		log_event(req_id ^ err_index);
+	} else {
+		if (pdu_type == 4) {
+			var enterprise = ber_read_int(pkt, scratch);
+			log_event(enterprise);
+		} else {
+			return 0 - 4;
+		}
+	}
+	var binds = 0;
+	while (load64(scratch) <u pkt_len && binds < 16) {
+		var btag = load8(pkt + load64(scratch));
+		if (btag != 0x30) {
+			break;
+		}
+		store64(scratch, load64(scratch) + 1);
+		var blen = ber_read_length(pkt, scratch);
+		store64(scratch, load64(scratch) + blen);
+		binds = binds + 1;
+	}
+	return version * 0x10000 + err_status * 0x100 + binds;
+}`
+
+// --- #7 wget (CVE-2014-4877, FTP symlink handling) --------------------------
+//
+// The real bug: a malicious server's LIST output makes wget follow a
+// symlink outside the destination tree; the fix rejects absolute and
+// dot-dot link targets.
+
+const wgetCommon = helpersMem + `
+func str_len(s, max) {
+	var n = 0;
+	while (n < max && load8(s + n) != 0) {
+		n = n + 1;
+	}
+	return n;
+}
+func url_unescape(s, len) {
+	var out = 0;
+	var i = 0;
+	while (i < len) {
+		var c = load8(s + i);
+		if (c == 0x25 && i + 2 < len) {
+			var hi = load8(s + i + 1);
+			var lo = load8(s + i + 2);
+			if (hi >= 0x30 && hi <= 0x39 && lo >= 0x30 && lo <= 0x39) {
+				c = (hi - 0x30) * 16 + (lo - 0x30);
+				i = i + 2;
+			}
+		}
+		store8(s + out, c);
+		out = out + 1;
+		i = i + 1;
+	}
+	store8(s + out, 0);
+	return out;
+}
+`
+
+const wgetVuln = wgetCommon + `
+func ftp_retrieve_symlink(linkname, target, destdir, buf) {
+	var llen = str_len(linkname, 256);
+	var tlen = str_len(target, 256);
+	var dlen = str_len(destdir, 256);
+	if (llen == 0 || dlen == 0) {
+		log_event(0x30);
+		return 0;
+	}
+	llen = url_unescape(linkname, llen);
+	tlen = url_unescape(target, tlen);
+	var pos = 0;
+	memcpy8(buf, destdir, dlen);
+	pos = dlen;
+	if (load8(buf + pos - 1) != 0x2F) {
+		store8(buf + pos, 0x2F);
+		pos = pos + 1;
+	}
+	memcpy8(buf + pos, linkname, llen);
+	pos = pos + llen;
+	store8(buf + pos, 0);
+	var existing = stat_path(buf, buf + 512);
+	if (existing == 0) {
+		var mode = load64(buf + 512 + 16);
+		if ((mode & 0xA000) == 0xA000) {
+			unlink_path(buf);
+			log_event(0x55);
+		}
+	}
+	// BUG: the server-supplied link target is used verbatim
+	// (CVE-2014-4877): absolute and dot-dot targets escape destdir.
+	var made = make_symlink(buf, target);
+	if (made != 0) {
+		log_event(0x4C);
+		return 0 - 1;
+	}
+	write_bytes(buf, pos);
+	return pos + tlen;
+}`
+
+const wgetPatched = wgetCommon + `
+func ftp_retrieve_symlink(linkname, target, destdir, buf) {
+	var llen = str_len(linkname, 256);
+	var tlen = str_len(target, 256);
+	var dlen = str_len(destdir, 256);
+	if (llen == 0 || dlen == 0) {
+		log_event(0x30);
+		return 0;
+	}
+	llen = url_unescape(linkname, llen);
+	tlen = url_unescape(target, tlen);
+	// Fix: reject absolute targets and any ".." component.
+	if (tlen > 0 && load8(target) == 0x2F) {
+		log_event(0x41);
+		return 0 - 2;
+	}
+	var i = 0;
+	while (i + 1 < tlen) {
+		if (load8(target + i) == 0x2E && load8(target + i + 1) == 0x2E) {
+			log_event(0x44);
+			return 0 - 3;
+		}
+		i = i + 1;
+	}
+	var pos = 0;
+	memcpy8(buf, destdir, dlen);
+	pos = dlen;
+	if (load8(buf + pos - 1) != 0x2F) {
+		store8(buf + pos, 0x2F);
+		pos = pos + 1;
+	}
+	memcpy8(buf + pos, linkname, llen);
+	pos = pos + llen;
+	store8(buf + pos, 0);
+	var existing = stat_path(buf, buf + 512);
+	if (existing == 0) {
+		var mode = load64(buf + 512 + 16);
+		if ((mode & 0xA000) == 0xA000) {
+			unlink_path(buf);
+			log_event(0x55);
+		}
+	}
+	var made = make_symlink(buf, target);
+	if (made != 0) {
+		log_event(0x4C);
+		return 0 - 1;
+	}
+	write_bytes(buf, pos);
+	return pos + tlen;
+}`
+
+// --- #8 ffmpeg (CVE-2015-6826, rv34 decoder realloc) ------------------------
+//
+// The real bug: on a frame-size change the decoder reallocates internal
+// tables but keeps stale sizes when allocation partially fails, leading
+// to out-of-bounds writes later. Context layout: width +0, height +8,
+// mb_count +16, intra_types ptr +24, mb_type ptr +32, qscale ptr +40.
+
+const ffmpegCommon = `
+func clear_table(p, n) {
+	var i = 0;
+	while (i < n) {
+		store64(p + i * 8, 0);
+		i = i + 1;
+	}
+	return p;
+}
+func copy_table(dst, src, n) {
+	var i = 0;
+	while (i < n) {
+		store64(dst + i * 8, load64(src + i * 8));
+		i = i + 1;
+	}
+	return dst;
+}
+`
+
+const ffmpegVuln = ffmpegCommon + `
+func rv34_decoder_realloc(ctx, new_w, new_h) {
+	var old_mb = load64(ctx + 16);
+	var old_it = load64(ctx + 24);
+	var mb_w = (new_w + 15) >> 4;
+	var mb_h = (new_h + 15) >> 4;
+	var mb_count = mb_w * mb_h;
+	if (mb_count == old_mb && new_w == load64(ctx)) {
+		return 0;
+	}
+	if (new_w <= 0 || new_h <= 0 || mb_count > 0x10000) {
+		log_event(0x57);
+		return 0 - 22;
+	}
+	store64(ctx, new_w);
+	store64(ctx + 8, new_h);
+	// BUG: mb_count is committed before the allocations are checked
+	// (CVE-2015-6826): a failed alloc leaves tables sized for old_mb
+	// but counted as mb_count.
+	store64(ctx + 16, mb_count);
+	var it = av_malloc(mb_count * 8);
+	if (it == 0) {
+		return 0 - 12;
+	}
+	clear_table(it, mb_count);
+	if (old_it != 0) {
+		var keep = old_mb;
+		if (mb_count < keep) {
+			keep = mb_count;
+		}
+		copy_table(it, old_it, keep);
+	}
+	store64(ctx + 24, it);
+	var mt = av_malloc(mb_count * 8);
+	if (mt == 0) {
+		return 0 - 12;
+	}
+	store64(ctx + 32, clear_table(mt, mb_count));
+	var qs = av_malloc(mb_count * 4);
+	if (qs == 0) {
+		return 0 - 12;
+	}
+	store64(ctx + 40, qs);
+	var stride = (mb_w + 1) * 8;
+	store64(ctx + 48, stride);
+	store64(ctx + 56, mb_w);
+	store64(ctx + 64, mb_h);
+	return old_mb - mb_count;
+}`
+
+const ffmpegPatched = ffmpegCommon + `
+func rv34_decoder_realloc(ctx, new_w, new_h) {
+	var old_mb = load64(ctx + 16);
+	var old_it = load64(ctx + 24);
+	var mb_w = (new_w + 15) >> 4;
+	var mb_h = (new_h + 15) >> 4;
+	var mb_count = mb_w * mb_h;
+	if (mb_count == old_mb && new_w == load64(ctx)) {
+		return 0;
+	}
+	if (new_w <= 0 || new_h <= 0 || mb_count > 0x10000) {
+		log_event(0x57);
+		return 0 - 22;
+	}
+	// Fix: allocate everything first; only commit the new geometry when
+	// every allocation succeeded.
+	var it = av_malloc(mb_count * 8);
+	var mt = av_malloc(mb_count * 8);
+	var qs = av_malloc(mb_count * 4);
+	if (it == 0 || mt == 0 || qs == 0) {
+		log_event(0x4D);
+		return 0 - 12;
+	}
+	clear_table(it, mb_count);
+	if (old_it != 0) {
+		var keep = old_mb;
+		if (mb_count < keep) {
+			keep = mb_count;
+		}
+		copy_table(it, old_it, keep);
+	}
+	store64(ctx, new_w);
+	store64(ctx + 8, new_h);
+	store64(ctx + 16, mb_count);
+	store64(ctx + 24, it);
+	store64(ctx + 32, clear_table(mt, mb_count));
+	store64(ctx + 40, qs);
+	var stride = (mb_w + 1) * 8;
+	store64(ctx + 48, stride);
+	store64(ctx + 56, mb_w);
+	store64(ctx + 64, mb_h);
+	return old_mb - mb_count;
+}`

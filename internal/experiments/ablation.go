@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+)
+
+// AblationRow is one setting of one ablated design choice, evaluated on
+// the Heartbleed experiment.
+type AblationRow struct {
+	Knob    string
+	Setting string
+	ROC     float64
+	CROC    float64
+	FP      int
+	Elapsed time.Duration
+}
+
+// AblationResult collects the §5.5 / DESIGN.md ablations: the sigmoid
+// steepness k, the minimum-strand-size filter, and the size-ratio
+// window.
+type AblationResult struct {
+	Rows []AblationRow
+}
+
+// Ablation evaluates each design knob on experiment #1's query.
+func Ablation(cfg Config) (*AblationResult, error) {
+	targets, err := cfg.BuildCorpus()
+	if err != nil {
+		return nil, err
+	}
+	v := corpus.Vulns()[0]
+	q, err := corpus.CompileVuln(v, cfg.QueryToolchain(), false)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &AblationResult{}
+	run := func(knob, setting string, opts core.Options) error {
+		start := time.Now()
+		db := core.NewDB(opts)
+		for _, p := range targets {
+			if err := db.AddTarget(p); err != nil {
+				return err
+			}
+		}
+		rep, err := db.Query(q)
+		if err != nil {
+			return err
+		}
+		ev := Evaluate(rep, stats.Esh, func(t *core.Target) bool {
+			return t.Source.SourceSym == v.FuncName
+		})
+		res.Rows = append(res.Rows, AblationRow{
+			Knob: knob, Setting: setting,
+			ROC: ev.ROC, CROC: ev.CROC, FP: ev.FP,
+			Elapsed: time.Since(start),
+		})
+		return nil
+	}
+
+	// Sigmoid steepness (paper §3.3.1 chose k = 10 experimentally).
+	for _, k := range []float64{1, 5, 10, 20} {
+		opts := core.Options{VCP: cfg.VCP, Workers: cfg.Workers, SigmoidK: k}
+		if err := run("sigmoid-k", fmt.Sprintf("k=%g", k), opts); err != nil {
+			return nil, err
+		}
+	}
+	// Minimum strand size (paper §5.5 uses 5).
+	for _, mv := range []int{2, 5, 8} {
+		vc := cfg.VCP
+		vc.MinVars = mv
+		opts := core.Options{VCP: vc, Workers: cfg.Workers}
+		if err := run("min-strand-vars", fmt.Sprintf("min=%d", mv), opts); err != nil {
+			return nil, err
+		}
+	}
+	// Size-ratio window (paper §5.5 uses 0.5; 0.01 ≈ disabled).
+	for _, ratio := range []float64{0.01, 0.5, 0.8} {
+		vc := cfg.VCP
+		vc.SizeRatio = ratio
+		opts := core.Options{VCP: vc, Workers: cfg.Workers}
+		if err := run("size-ratio", fmt.Sprintf("ratio=%.2f", ratio), opts); err != nil {
+			return nil, err
+		}
+	}
+	// Path strands (the §6.6 extension for small procedures).
+	for _, pl := range []int{0, 2} {
+		opts := core.Options{VCP: cfg.VCP, Workers: cfg.Workers, PathLen: pl, PathMaxBlocks: 20}
+		if err := run("path-strands", fmt.Sprintf("k=%d", pl), opts); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// String renders the ablation table.
+func (r *AblationResult) String() string {
+	var b strings.Builder
+	b.WriteString("Ablations — Esh on experiment #1 under varied design choices\n")
+	fmt.Fprintf(&b, "%-16s %-12s %8s %8s %5s %10s\n", "knob", "setting", "ROC", "CROC", "FP", "time")
+	for _, row := range r.Rows {
+		fmt.Fprintf(&b, "%-16s %-12s %8.3f %8.3f %5d %10s\n",
+			row.Knob, row.Setting, row.ROC, row.CROC, row.FP, row.Elapsed.Round(time.Millisecond))
+	}
+	return b.String()
+}

@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/corpus"
+	"repro/internal/rocauc"
+)
+
+// Fig5Bar is one bar of Figure 5: a target procedure's normalized GES.
+type Fig5Bar struct {
+	Label        string
+	GES          float64 // normalized to the top score
+	TruePositive bool
+}
+
+// Fig5Result reproduces Figure 5's Heartbleed search.
+type Fig5Result struct {
+	Bars []Fig5Bar // sorted by descending GES
+	// Gap is the normalized GES distance between the lowest true
+	// positive and the highest decoy (the paper reports 0.419 vs 0.333).
+	Gap        float64
+	LastTP     float64
+	BestDecoy  float64
+	ROC, CROC  float64
+	QueryLabel string
+}
+
+// Fig5 runs experiment #1: the Heartbleed procedure from openssl-1.0.1f
+// compiled with clang-3.5 queried against all its compilations and
+// versions plus the decoy corpus.
+func Fig5(cfg Config) (*Fig5Result, error) {
+	targets, err := cfg.BuildCorpus()
+	if err != nil {
+		return nil, err
+	}
+	db, err := cfg.NewDB(targets)
+	if err != nil {
+		return nil, err
+	}
+	v := corpus.Vulns()[0]
+	q, err := corpus.CompileVuln(v, cfg.QueryToolchain(), false)
+	if err != nil {
+		return nil, err
+	}
+	rep, err := db.Query(q)
+	if err != nil {
+		return nil, err
+	}
+	return fig5FromReport(rep, v.FuncName, q.Name)
+}
+
+func fig5FromReport(rep *core.Report, posSym, queryLabel string) (*Fig5Result, error) {
+	if len(rep.Results) == 0 {
+		return nil, fmt.Errorf("fig5: empty report")
+	}
+	res := &Fig5Result{QueryLabel: queryLabel}
+	top := rep.Results[0].GES
+	if top <= 0 {
+		top = 1
+	}
+	var samples []rocauc.Sample
+	lastTP, bestDecoy := 1.0, 0.0
+	for _, ts := range rep.Results {
+		pos := ts.Target.Source.SourceSym == posSym
+		norm := ts.GES / top
+		if norm < 0 {
+			norm = 0
+		}
+		res.Bars = append(res.Bars, Fig5Bar{
+			Label:        ts.Target.Name,
+			GES:          norm,
+			TruePositive: pos,
+		})
+		if pos && norm < lastTP {
+			lastTP = norm
+		}
+		if !pos && norm > bestDecoy {
+			bestDecoy = norm
+		}
+		samples = append(samples, rocauc.Sample{Score: ts.GES, Positive: pos})
+	}
+	res.LastTP = lastTP
+	res.BestDecoy = bestDecoy
+	res.Gap = lastTP - bestDecoy
+	res.ROC = rocauc.ROC(samples)
+	res.CROC = rocauc.CROC(samples, rocauc.DefaultAlpha)
+	return res, nil
+}
+
+// String renders a text version of the bar chart (top 25 bars).
+func (r *Fig5Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Figure 5 — GES ranking for query %s (ROC=%.3f CROC=%.3f)\n",
+		r.QueryLabel, r.ROC, r.CROC)
+	fmt.Fprintf(&b, "gap between last true positive (%.3f) and best decoy (%.3f): %.3f\n",
+		r.LastTP, r.BestDecoy, r.Gap)
+	n := len(r.Bars)
+	if n > 25 {
+		n = 25
+	}
+	for _, bar := range r.Bars[:n] {
+		mark := " "
+		if bar.TruePositive {
+			mark = "*"
+		}
+		width := int(bar.GES * 50)
+		if width < 0 {
+			width = 0
+		}
+		fmt.Fprintf(&b, "%s %-44s %6.3f %s\n", mark, bar.Label, bar.GES, strings.Repeat("#", width))
+	}
+	return b.String()
+}

@@ -1,0 +1,374 @@
+// Package ivl defines the intermediate verification language the Esh
+// pipeline works over: a non-branching, SSA-form subset of a Boogie-like
+// language. Assembly blocks are lifted into sequences of single-assignment
+// statements over 64-bit bitvector variables, an explicit memory variable,
+// and uninterpreted function applications for procedure calls.
+//
+// The package plays the role BoogieIVL plays in the paper: strands are
+// extracted from IVL statement lists, and the verifier (package verifier)
+// decides equivalence queries phrased as assume/assert IVL programs.
+package ivl
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Type classifies IVL variables. All scalar values are 64-bit bitvectors;
+// memory is a separate sort, as in the paper's lifted code.
+type Type uint8
+
+// Variable types.
+const (
+	Int Type = iota // 64-bit bitvector
+	Mem             // byte-addressed memory array
+)
+
+func (t Type) String() string {
+	if t == Mem {
+		return "mem"
+	}
+	return "bv64"
+}
+
+// Var is an IVL variable. Names are unique within a procedure (SSA).
+type Var struct {
+	Name string
+	Type Type
+}
+
+func (v Var) String() string { return v.Name }
+
+// IsZero reports whether v is the zero Var.
+func (v Var) IsZero() bool { return v.Name == "" }
+
+// UnOp is a unary operator.
+type UnOp uint8
+
+// Unary operators.
+const (
+	Not UnOp = iota // bitwise complement
+	Neg             // two's complement negation
+	BoolNot
+)
+
+var unNames = map[UnOp]string{Not: "not", Neg: "neg", BoolNot: "!"}
+
+func (o UnOp) String() string { return unNames[o] }
+
+// BinOp is a binary operator. Comparison operators yield 0 or 1.
+type BinOp uint8
+
+// Binary operators.
+const (
+	Add BinOp = iota
+	Sub
+	Mul
+	SDiv
+	SRem
+	And
+	Or
+	Xor
+	Shl
+	LShr
+	AShr
+	Eq
+	Ne
+	SLt
+	SLe
+	SGt
+	SGe
+	ULt
+	ULe
+	UGt
+	UGe
+)
+
+var binNames = map[BinOp]string{
+	Add: "+", Sub: "-", Mul: "*", SDiv: "/s", SRem: "%s",
+	And: "&", Or: "|", Xor: "^", Shl: "<<", LShr: ">>u", AShr: ">>s",
+	Eq: "==", Ne: "!=", SLt: "<s", SLe: "<=s", SGt: ">s", SGe: ">=s",
+	ULt: "<u", ULe: "<=u", UGt: ">u", UGe: ">=u",
+}
+
+func (o BinOp) String() string { return binNames[o] }
+
+// IsCommutative reports whether x op y == y op x.
+func (o BinOp) IsCommutative() bool {
+	switch o {
+	case Add, Mul, And, Or, Xor, Eq, Ne:
+		return true
+	}
+	return false
+}
+
+// IsComparison reports whether the operator yields a 0/1 truth value.
+func (o BinOp) IsComparison() bool { return o >= Eq }
+
+// Expr is an IVL expression tree node.
+type Expr interface {
+	isExpr()
+	String() string
+}
+
+// VarExpr references a variable.
+type VarExpr struct{ V Var }
+
+// ConstExpr is a 64-bit constant.
+type ConstExpr struct{ Val uint64 }
+
+// UnExpr applies a unary operator.
+type UnExpr struct {
+	Op UnOp
+	X  Expr
+}
+
+// BinExpr applies a binary operator.
+type BinExpr struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// IteExpr is if-then-else: Cond != 0 ? Then : Else.
+type IteExpr struct{ Cond, Then, Else Expr }
+
+// TruncExpr truncates to the low Bits bits (zero-extending back to 64).
+type TruncExpr struct {
+	Bits uint
+	X    Expr
+}
+
+// SextExpr sign-extends the low Bits bits to 64.
+type SextExpr struct {
+	Bits uint
+	X    Expr
+}
+
+// LoadExpr reads W bytes little-endian from memory at Addr.
+type LoadExpr struct {
+	Mem  Expr
+	Addr Expr
+	W    uint // bytes: 1, 2, 4, 8
+}
+
+// StoreExpr yields the memory resulting from writing the low W bytes of
+// Val at Addr.
+type StoreExpr struct {
+	Mem  Expr
+	Addr Expr
+	Val  Expr
+	W    uint
+}
+
+// CallExpr is an uninterpreted function application modelling the result
+// of a procedure call. Sym is an arity-class symbol (call targets are
+// unavailable in stripped binaries), e.g. "call/2" or "callmem/2".
+type CallExpr struct {
+	Sym  string
+	Args []Expr
+}
+
+func (VarExpr) isExpr()   {}
+func (ConstExpr) isExpr() {}
+func (UnExpr) isExpr()    {}
+func (BinExpr) isExpr()   {}
+func (IteExpr) isExpr()   {}
+func (TruncExpr) isExpr() {}
+func (SextExpr) isExpr()  {}
+func (LoadExpr) isExpr()  {}
+func (StoreExpr) isExpr() {}
+func (CallExpr) isExpr()  {}
+
+func (e VarExpr) String() string   { return e.V.Name }
+func (e ConstExpr) String() string { return fmt.Sprintf("%#x", e.Val) }
+func (e UnExpr) String() string    { return fmt.Sprintf("%s(%s)", e.Op, e.X) }
+func (e BinExpr) String() string   { return fmt.Sprintf("(%s %s %s)", e.X, e.Op, e.Y) }
+func (e IteExpr) String() string   { return fmt.Sprintf("ite(%s, %s, %s)", e.Cond, e.Then, e.Else) }
+func (e TruncExpr) String() string { return fmt.Sprintf("trunc%d(%s)", e.Bits, e.X) }
+func (e SextExpr) String() string  { return fmt.Sprintf("sext%d(%s)", e.Bits, e.X) }
+func (e LoadExpr) String() string  { return fmt.Sprintf("load%d(%s, %s)", e.W*8, e.Mem, e.Addr) }
+func (e StoreExpr) String() string {
+	return fmt.Sprintf("store%d(%s, %s, %s)", e.W*8, e.Mem, e.Addr, e.Val)
+}
+func (e CallExpr) String() string {
+	parts := make([]string, len(e.Args))
+	for i, a := range e.Args {
+		parts[i] = a.String()
+	}
+	return fmt.Sprintf("%s(%s)", e.Sym, strings.Join(parts, ", "))
+}
+
+// Convenience constructors.
+
+// V wraps a Var as an expression.
+func V(v Var) Expr { return VarExpr{V: v} }
+
+// IntVar returns a bv64 variable expression named name.
+func IntVar(name string) Expr { return VarExpr{V: Var{Name: name, Type: Int}} }
+
+// C returns a constant expression.
+func C(v uint64) Expr { return ConstExpr{Val: v} }
+
+// Bin builds a binary expression.
+func Bin(op BinOp, x, y Expr) Expr { return BinExpr{Op: op, X: x, Y: y} }
+
+// Un builds a unary expression.
+func Un(op UnOp, x Expr) Expr { return UnExpr{Op: op, X: x} }
+
+// StmtKind discriminates statement variants.
+type StmtKind uint8
+
+// Statement kinds.
+const (
+	SAssign StmtKind = iota
+	SAssume
+	SAssert
+)
+
+// Stmt is an IVL statement: an SSA assignment, or an assume/assert of a
+// condition expression.
+type Stmt struct {
+	Kind StmtKind
+	Dst  Var  // SAssign target
+	Rhs  Expr // SAssign right-hand side, or SAssume/SAssert condition
+}
+
+// Assign builds an assignment statement.
+func Assign(dst Var, rhs Expr) Stmt { return Stmt{Kind: SAssign, Dst: dst, Rhs: rhs} }
+
+// Assume builds an assumption statement.
+func Assume(cond Expr) Stmt { return Stmt{Kind: SAssume, Rhs: cond} }
+
+// Assert builds an assertion statement.
+func Assert(cond Expr) Stmt { return Stmt{Kind: SAssert, Rhs: cond} }
+
+func (s Stmt) String() string {
+	switch s.Kind {
+	case SAssume:
+		return fmt.Sprintf("assume %s", s.Rhs)
+	case SAssert:
+		return fmt.Sprintf("assert %s", s.Rhs)
+	default:
+		return fmt.Sprintf("%s := %s", s.Dst, s.Rhs)
+	}
+}
+
+// Proc is a straight-line IVL procedure (the non-branching Boogie subset
+// the paper lifts into).
+type Proc struct {
+	Name  string
+	Stmts []Stmt
+}
+
+func (p *Proc) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "procedure %s {\n", p.Name)
+	for _, s := range p.Stmts {
+		fmt.Fprintf(&b, "\t%s;\n", s)
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+// FreeVars returns the variables referenced in e, in first-use order.
+func FreeVars(e Expr) []Var {
+	var out []Var
+	seen := map[string]bool{}
+	WalkVars(e, func(v Var) {
+		if !seen[v.Name] {
+			seen[v.Name] = true
+			out = append(out, v)
+		}
+	})
+	return out
+}
+
+// WalkVars calls fn for every variable reference in e (with repeats).
+func WalkVars(e Expr, fn func(Var)) {
+	switch t := e.(type) {
+	case VarExpr:
+		fn(t.V)
+	case ConstExpr:
+	case UnExpr:
+		WalkVars(t.X, fn)
+	case BinExpr:
+		WalkVars(t.X, fn)
+		WalkVars(t.Y, fn)
+	case IteExpr:
+		WalkVars(t.Cond, fn)
+		WalkVars(t.Then, fn)
+		WalkVars(t.Else, fn)
+	case TruncExpr:
+		WalkVars(t.X, fn)
+	case SextExpr:
+		WalkVars(t.X, fn)
+	case LoadExpr:
+		WalkVars(t.Mem, fn)
+		WalkVars(t.Addr, fn)
+	case StoreExpr:
+		WalkVars(t.Mem, fn)
+		WalkVars(t.Addr, fn)
+		WalkVars(t.Val, fn)
+	case CallExpr:
+		for _, a := range t.Args {
+			WalkVars(a, fn)
+		}
+	}
+}
+
+// Rename returns e with every variable renamed through fn.
+func Rename(e Expr, fn func(Var) Var) Expr {
+	switch t := e.(type) {
+	case VarExpr:
+		return VarExpr{V: fn(t.V)}
+	case ConstExpr:
+		return t
+	case UnExpr:
+		return UnExpr{Op: t.Op, X: Rename(t.X, fn)}
+	case BinExpr:
+		return BinExpr{Op: t.Op, X: Rename(t.X, fn), Y: Rename(t.Y, fn)}
+	case IteExpr:
+		return IteExpr{Cond: Rename(t.Cond, fn), Then: Rename(t.Then, fn), Else: Rename(t.Else, fn)}
+	case TruncExpr:
+		return TruncExpr{Bits: t.Bits, X: Rename(t.X, fn)}
+	case SextExpr:
+		return SextExpr{Bits: t.Bits, X: Rename(t.X, fn)}
+	case LoadExpr:
+		return LoadExpr{Mem: Rename(t.Mem, fn), Addr: Rename(t.Addr, fn), W: t.W}
+	case StoreExpr:
+		return StoreExpr{Mem: Rename(t.Mem, fn), Addr: Rename(t.Addr, fn), Val: Rename(t.Val, fn), W: t.W}
+	case CallExpr:
+		args := make([]Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Rename(a, fn)
+		}
+		return CallExpr{Sym: t.Sym, Args: args}
+	}
+	return e
+}
+
+// Size returns the node count of the expression tree.
+func Size(e Expr) int {
+	n := 1
+	switch t := e.(type) {
+	case UnExpr:
+		n += Size(t.X)
+	case BinExpr:
+		n += Size(t.X) + Size(t.Y)
+	case IteExpr:
+		n += Size(t.Cond) + Size(t.Then) + Size(t.Else)
+	case TruncExpr:
+		n += Size(t.X)
+	case SextExpr:
+		n += Size(t.X)
+	case LoadExpr:
+		n += Size(t.Mem) + Size(t.Addr)
+	case StoreExpr:
+		n += Size(t.Mem) + Size(t.Addr) + Size(t.Val)
+	case CallExpr:
+		for _, a := range t.Args {
+			n += Size(a)
+		}
+	}
+	return n
+}

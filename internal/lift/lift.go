@@ -1,0 +1,864 @@
+// Package lift translates assembly basic blocks into the SSA-form IVL of
+// package ivl, standing in for the paper's BAP → LLVM IR → SMACK pipeline.
+//
+// Lifting follows the paper's conventions:
+//
+//   - registers are always represented at full 64-bit width; sub-register
+//     reads and writes go through fresh temporaries with explicit
+//     truncation/extension and merge masks;
+//   - every elementary operation result is assigned to a fresh temporary,
+//     and register updates are explicit copies from temporaries, so the
+//     lifted code is in SSA form within the block;
+//   - values read before being defined in the block become block inputs
+//     (registers and the memory state);
+//   - procedure calls are uninterpreted: the result is call/N over the
+//     arguments prepared for the call (an ABI liveness heuristic recovers
+//     N), and the post-call memory is callmem/N over the same arguments
+//     and the pre-call memory;
+//   - status flags are not materialized eagerly; conditions are
+//     reconstructed at their consumer (jcc/setcc/cmovcc) from the most
+//     recent flag-setting instruction, the way decompilers recover
+//     comparisons. Combinations our toolchains never emit fall back to an
+//     uninterpreted flags/... function, which still matches structurally
+//     identical code.
+package lift
+
+import (
+	"fmt"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/ivl"
+)
+
+// Block is a lifted basic block: straight-line SSA IVL statements plus
+// the block's inputs (variables read before defined, including memory).
+type Block struct {
+	Index  int
+	Stmts  []ivl.Stmt
+	Inputs []ivl.Var
+}
+
+// Proc is a lifted procedure.
+type Proc struct {
+	Name   string
+	Blocks []*Block
+	Source asm.Provenance
+}
+
+// abiArgRegs is the SysV argument register sequence.
+var abiArgRegs = [6]asm.Reg{asm.RDI, asm.RSI, asm.RDX, asm.RCX, asm.R8, asm.R9}
+
+// LiftProc lifts every basic block of g.
+func LiftProc(g *cfg.Graph) (*Proc, error) {
+	arities := callArities(g.Proc)
+	lp := &Proc{Name: g.Proc.Name, Source: g.Proc.Source}
+	callIdx := 0
+	for _, b := range g.Blocks {
+		nCalls := 0
+		for _, in := range b.Insts {
+			if in.Op == asm.CALL {
+				nCalls++
+			}
+		}
+		lb, err := LiftBlock(b, arities[callIdx:callIdx+nCalls])
+		if err != nil {
+			return nil, fmt.Errorf("lift %s block %d: %w", g.Proc.Name, b.Index, err)
+		}
+		callIdx += nCalls
+		lp.Blocks = append(lp.Blocks, lb)
+	}
+	return lp, nil
+}
+
+// callArities scans the linear instruction stream and, for each CALL,
+// returns the recovered argument count: the longest prefix of the ABI
+// argument registers each written since the previous call (or entry).
+// This mirrors how binary analyses recover arity in stripped code and is
+// an invariant our simulated toolchains maintain.
+func callArities(p *asm.Proc) []int {
+	var arities []int
+	written := map[asm.Reg]bool{}
+	for _, in := range p.Insts {
+		switch {
+		case in.Op == asm.CALL:
+			n := 0
+			for _, r := range abiArgRegs {
+				if !written[r] {
+					break
+				}
+				n++
+			}
+			arities = append(arities, n)
+			written = map[asm.Reg]bool{}
+		case in.Writes() && in.Dst.Kind == asm.KindReg:
+			written[in.Dst.Reg] = true
+		}
+	}
+	return arities
+}
+
+// lifter holds per-block lifting state.
+type lifter struct {
+	stmts      []ivl.Stmt
+	inputs     []ivl.Var
+	cur        map[asm.Reg]ivl.Var // current SSA variable per register
+	curMem     ivl.Var
+	regGen     map[asm.Reg]int // SSA version counters
+	memGen     int
+	tmpGen     int
+	truncCache map[string]ivl.Var // (var,width) -> materialized truncation
+
+	// Frame-slot tracking. The paper's block inputs are "registers and
+	// memory locations used before they are defined in the block": a
+	// reload of a spilled local must lift to an input variable (or to the
+	// value a preceding in-block spill stored), not to an opaque load —
+	// otherwise stack-allocating and register-allocating compilations of
+	// the same code could never match. Like IDA's stack-variable model,
+	// this assumes stack discipline: frame slots are accessed only
+	// through rsp/rbp-based addressing, and neither pointer arguments
+	// nor callees alias the caller's frame.
+	frameVals   map[frameSlot]ivl.Expr // in-block frame stores, exact-slot forwarded
+	frameInputs map[frameSlot]ivl.Var  // created frame-slot inputs
+
+	// Stack-pointer symbolization (the IDA "stack variables" model):
+	// spDelta tracks rsp relative to block entry across push/pop and
+	// constant rsp arithmetic, so spill slots addressed through a moved
+	// rsp still resolve to frame slots. spValid clears on any other
+	// write to rsp.
+	spDelta int64
+	spValid bool
+	// spAdjusted marks that the current instruction already accounted
+	// for its rsp effect, so defReg must not invalidate the tracking.
+	spAdjusted bool
+
+	// last flag-setting instruction, for condition reconstruction
+	flag *flagState
+}
+
+// frameSlot identifies a frame location: base register (rsp or rbp, at
+// its block-entry version), displacement and access width.
+type frameSlot struct {
+	base asm.Reg
+	off  int64
+	w    uint
+}
+
+type flagState struct {
+	op   asm.Op // CMP, TEST, SUB, AND, OR, XOR, INC, DEC, NEG
+	w    asm.Width
+	a, b ivl.Expr // source operand values (64-bit, zero-extended)
+	res  ivl.Expr // result value (64-bit, zero-extended), nil for CMP/TEST
+}
+
+// LiftBlock lifts one basic block. callArities supplies the recovered
+// arity for each CALL in the block, in order.
+func LiftBlock(b *cfg.Block, callArities []int) (*Block, error) {
+	lf := &lifter{
+		cur:         make(map[asm.Reg]ivl.Var),
+		regGen:      make(map[asm.Reg]int),
+		truncCache:  make(map[string]ivl.Var),
+		frameVals:   make(map[frameSlot]ivl.Expr),
+		frameInputs: make(map[frameSlot]ivl.Var),
+		spValid:     true,
+	}
+	callIdx := 0
+	for _, in := range b.Insts {
+		arity := -1
+		if in.Op == asm.CALL {
+			if callIdx >= len(callArities) {
+				return nil, fmt.Errorf("missing arity for call %d", callIdx)
+			}
+			arity = callArities[callIdx]
+			callIdx++
+		}
+		if err := lf.inst(in, arity); err != nil {
+			return nil, err
+		}
+	}
+	return &Block{Index: b.Index, Stmts: lf.stmts, Inputs: lf.inputs}, nil
+}
+
+// fresh allocates a temporary and assigns rhs to it.
+func (lf *lifter) fresh(rhs ivl.Expr) ivl.Var {
+	lf.tmpGen++
+	v := ivl.Var{Name: fmt.Sprintf("v%d", lf.tmpGen), Type: ivl.Int}
+	lf.stmts = append(lf.stmts, ivl.Assign(v, rhs))
+	return v
+}
+
+// regVar returns the current SSA variable for r, creating a block input
+// on first read.
+func (lf *lifter) regVar(r asm.Reg) ivl.Var {
+	if v, ok := lf.cur[r]; ok {
+		return v
+	}
+	v := ivl.Var{Name: r.Name(asm.Width8) + "_0", Type: ivl.Int}
+	lf.cur[r] = v
+	lf.inputs = append(lf.inputs, v)
+	return v
+}
+
+// memVar returns the current memory variable, creating the input memory
+// on first use.
+func (lf *lifter) memVar() ivl.Var {
+	if !lf.curMem.IsZero() {
+		return lf.curMem
+	}
+	lf.curMem = ivl.Var{Name: "mem_0", Type: ivl.Mem}
+	lf.inputs = append(lf.inputs, lf.curMem)
+	return lf.curMem
+}
+
+// defReg assigns a new SSA version of register r from val (a 64-bit
+// expression, usually a temporary reference).
+func (lf *lifter) defReg(r asm.Reg, val ivl.Expr) {
+	if r == asm.RSP {
+		if lf.spAdjusted {
+			lf.spAdjusted = false
+		} else {
+			lf.spValid = false
+		}
+	}
+	lf.regGen[r]++
+	v := ivl.Var{Name: fmt.Sprintf("%s_%d", r.Name(asm.Width8), lf.regGen[r]), Type: ivl.Int}
+	lf.stmts = append(lf.stmts, ivl.Assign(v, val))
+	lf.cur[r] = v
+}
+
+// defMem assigns a new SSA version of the memory.
+func (lf *lifter) defMem(val ivl.Expr) {
+	lf.memGen++
+	v := ivl.Var{Name: fmt.Sprintf("mem_%d", lf.memGen), Type: ivl.Mem}
+	lf.stmts = append(lf.stmts, ivl.Assign(v, val))
+	lf.curMem = v
+}
+
+// readReg reads register r at width w, materializing truncations as
+// temporaries (cached per SSA version).
+func (lf *lifter) readReg(r asm.Reg, w asm.Width) ivl.Expr {
+	v := lf.regVar(r)
+	if w == asm.Width8 {
+		return ivl.V(v)
+	}
+	key := fmt.Sprintf("%s/%d", v.Name, w)
+	if t, ok := lf.truncCache[key]; ok {
+		return ivl.V(t)
+	}
+	t := lf.fresh(ivl.TruncExpr{Bits: w.Bits(), X: ivl.V(v)})
+	lf.truncCache[key] = t
+	return ivl.V(t)
+}
+
+// effAddr builds and materializes the effective address of a memory
+// operand, one temporary per elementary operation.
+func (lf *lifter) effAddr(o asm.Operand) ivl.Expr {
+	var e ivl.Expr
+	if o.Index != asm.NoReg {
+		e = ivl.V(lf.regVar(o.Index))
+		if o.Scale > 1 {
+			e = ivl.V(lf.fresh(ivl.Bin(ivl.Mul, e, ivl.C(uint64(o.Scale)))))
+		}
+	}
+	if o.Base != asm.NoReg {
+		base := ivl.V(lf.regVar(o.Base))
+		if e == nil {
+			e = base
+		} else {
+			e = ivl.V(lf.fresh(ivl.Bin(ivl.Add, base, e)))
+		}
+	}
+	if o.Disp != 0 || e == nil {
+		d := ivl.C(uint64(o.Disp))
+		if e == nil {
+			e = d
+		} else {
+			e = ivl.V(lf.fresh(ivl.Bin(ivl.Add, e, d)))
+		}
+	}
+	return e
+}
+
+// frameSlotOf recognizes a frame-slot memory operand: [rsp+c] or [rbp+c]
+// with the base register still at its block-entry value.
+func (lf *lifter) frameSlotOf(o asm.Operand) (frameSlot, bool) {
+	if o.Kind != asm.KindMem || o.Index != asm.NoReg {
+		return frameSlot{}, false
+	}
+	switch o.Base {
+	case asm.RSP:
+		if !lf.spValid {
+			return frameSlot{}, false
+		}
+		// Offsets are relative to rsp at block entry.
+		return frameSlot{base: asm.RSP, off: lf.spDelta + o.Disp, w: uint(o.Width)}, true
+	case asm.RBP:
+		if lf.regGen[asm.RBP] != 0 {
+			return frameSlot{}, false // rbp was redefined in this block
+		}
+		return frameSlot{base: asm.RBP, off: o.Disp, w: uint(o.Width)}, true
+	}
+	return frameSlot{}, false
+}
+
+func slotsOverlap(a, b frameSlot) bool {
+	if a.base != b.base {
+		// rsp- and rbp-relative slots may alias; be conservative.
+		return true
+	}
+	return a.off < b.off+int64(b.w) && b.off < a.off+int64(a.w)
+}
+
+// readOp reads any operand at its width, zero-extended to 64 bits.
+func (lf *lifter) readOp(o asm.Operand) (ivl.Expr, error) {
+	switch o.Kind {
+	case asm.KindReg:
+		return lf.readReg(o.Reg, o.Width), nil
+	case asm.KindImm:
+		return ivl.C(uint64(o.Imm) & o.Width.Mask()), nil
+	case asm.KindMem:
+		if slot, ok := lf.frameSlotOf(o); ok {
+			if e, ok := lf.frameLoad(slot); ok {
+				return e, nil
+			}
+		}
+		addr := lf.effAddr(o)
+		ld := ivl.LoadExpr{Mem: ivl.V(lf.memVar()), Addr: addr, W: uint(o.Width)}
+		return ivl.V(lf.fresh(ld)), nil
+	}
+	return nil, fmt.Errorf("lift: cannot read operand kind %d", o.Kind)
+}
+
+// frameLoad resolves a frame-slot read: an exact in-block spill forwards
+// its value; an untouched slot becomes a block input variable (a "memory
+// location used before defined"); anything ambiguous falls back to a
+// plain load.
+func (lf *lifter) frameLoad(slot frameSlot) (ivl.Expr, bool) {
+	if v, ok := lf.frameVals[slot]; ok {
+		if slot.w < 8 {
+			return ivl.V(lf.fresh(ivl.TruncExpr{Bits: slot.w * 8, X: v})), true
+		}
+		return v, true
+	}
+	for st := range lf.frameVals {
+		if slotsOverlap(st, slot) {
+			return nil, false // partial overlap: keep the precise load
+		}
+	}
+	if v, ok := lf.frameInputs[slot]; ok {
+		return ivl.V(v), true
+	}
+	v := ivl.Var{
+		Name: fmt.Sprintf("stk_%s_%d_%d", slot.base.Name(asm.Width8), slot.off, slot.w*8),
+		Type: ivl.Int,
+	}
+	lf.frameInputs[slot] = v
+	lf.inputs = append(lf.inputs, v)
+	return ivl.V(v), true
+}
+
+// writeOp writes a 64-bit value expression to a register or memory
+// operand, honouring x86 width rules.
+func (lf *lifter) writeOp(o asm.Operand, val ivl.Expr) error {
+	switch o.Kind {
+	case asm.KindReg:
+		switch o.Width {
+		case asm.Width8:
+			lf.defReg(o.Reg, val)
+		case asm.Width4:
+			t := lf.fresh(ivl.TruncExpr{Bits: 32, X: val})
+			lf.defReg(o.Reg, ivl.V(t))
+		default:
+			// Merge into the existing register value.
+			mask := o.Width.Mask()
+			old := ivl.V(lf.regVar(o.Reg))
+			low := lf.fresh(ivl.Bin(ivl.And, val, ivl.C(mask)))
+			hi := lf.fresh(ivl.Bin(ivl.And, old, ivl.C(^mask)))
+			merged := lf.fresh(ivl.Bin(ivl.Or, ivl.V(low), ivl.V(hi)))
+			lf.defReg(o.Reg, ivl.V(merged))
+		}
+		return nil
+	case asm.KindMem:
+		addr := lf.effAddr(o)
+		st := ivl.StoreExpr{Mem: ivl.V(lf.memVar()), Addr: addr, Val: val, W: uint(o.Width)}
+		lf.defMem(st)
+		if slot, ok := lf.frameSlotOf(o); ok {
+			// Record the spill for exact-slot forwarding; drop anything
+			// it may partially overwrite.
+			for st := range lf.frameVals {
+				if st != slot && slotsOverlap(st, slot) {
+					delete(lf.frameVals, st)
+				}
+			}
+			lf.frameVals[slot] = val
+		}
+		return nil
+	}
+	return fmt.Errorf("lift: cannot write operand kind %d", o.Kind)
+}
+
+// truncTo truncates an expression result to width w, materializing a
+// temporary only when needed.
+func (lf *lifter) truncTo(e ivl.Expr, w asm.Width) ivl.Expr {
+	if w == asm.Width8 {
+		return e
+	}
+	return ivl.V(lf.fresh(ivl.TruncExpr{Bits: w.Bits(), X: e}))
+}
+
+func (lf *lifter) inst(in asm.Inst, callArity int) error {
+	switch in.Op {
+	case asm.NOP, asm.JMP, asm.RET, asm.LABEL:
+		return nil
+
+	case asm.MOV:
+		src, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		return lf.writeOp(in.Dst, src)
+
+	case asm.MOVZX:
+		src, err := lf.readOp(in.Src) // zero-extended by construction
+		if err != nil {
+			return err
+		}
+		return lf.writeOp(in.Dst, src)
+
+	case asm.MOVSX:
+		src, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		t := lf.fresh(ivl.SextExpr{Bits: in.Src.Width.Bits(), X: src})
+		return lf.writeOp(in.Dst, ivl.V(t))
+
+	case asm.LEA:
+		return lf.writeOp(in.Dst, lf.effAddr(in.Src))
+
+	case asm.ADD, asm.SUB, asm.AND, asm.OR, asm.XOR, asm.IMUL:
+		// Constant rsp adjustments keep the stack symbolization alive;
+		// any other write to rsp below invalidates it (see defReg).
+		if in.Dst.Kind == asm.KindReg && in.Dst.Reg == asm.RSP &&
+			in.Src.Kind == asm.KindImm && lf.spValid {
+			if in.Op == asm.ADD {
+				lf.spDelta += in.Src.Imm
+				lf.spAdjusted = true
+			} else if in.Op == asm.SUB {
+				lf.spDelta -= in.Src.Imm
+				lf.spAdjusted = true
+			}
+		}
+		// The xor-zeroing idiom: "xor r, r" defines r := 0 with no data
+		// dependence on the old value (decompilers and BAP recognize it
+		// the same way).
+		if in.Op == asm.XOR && in.Src.Kind == asm.KindReg &&
+			in.Dst.Kind == asm.KindReg && in.Src.Reg == in.Dst.Reg &&
+			in.Src.Width == in.Dst.Width {
+			zero := lf.fresh(ivl.C(0))
+			lf.flag = &flagState{op: asm.XOR, w: in.Dst.Width,
+				a: ivl.C(0), b: ivl.C(0), res: ivl.V(zero)}
+			if in.Dst.Width >= asm.Width4 {
+				// Zero-extension of zero is zero: write the register
+				// directly, keeping the idiom strand trivially small.
+				lf.defReg(in.Dst.Reg, ivl.V(zero))
+				return nil
+			}
+			return lf.writeOp(in.Dst, ivl.V(zero))
+		}
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		var op ivl.BinOp
+		switch in.Op {
+		case asm.ADD:
+			op = ivl.Add
+		case asm.SUB:
+			op = ivl.Sub
+		case asm.AND:
+			op = ivl.And
+		case asm.OR:
+			op = ivl.Or
+		case asm.XOR:
+			op = ivl.Xor
+		case asm.IMUL:
+			op = ivl.Mul
+		}
+		res := lf.truncTo(ivl.Bin(op, a, b), in.Dst.Width)
+		resV := lf.fresh(res)
+		lf.flag = &flagState{op: in.Op, w: in.Dst.Width, a: a, b: b, res: ivl.V(resV)}
+		return lf.writeOp(in.Dst, ivl.V(resV))
+
+	case asm.NEG:
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		res := lf.truncTo(ivl.Un(ivl.Neg, a), in.Dst.Width)
+		resV := lf.fresh(res)
+		lf.flag = &flagState{op: asm.NEG, w: in.Dst.Width, a: ivl.C(0), b: a, res: ivl.V(resV)}
+		return lf.writeOp(in.Dst, ivl.V(resV))
+
+	case asm.NOT:
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		res := lf.truncTo(ivl.Un(ivl.Not, a), in.Dst.Width)
+		return lf.writeOp(in.Dst, res)
+
+	case asm.SHL, asm.SHR, asm.SAR:
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		var e ivl.Expr
+		switch in.Op {
+		case asm.SHL:
+			e = lf.truncTo(ivl.Bin(ivl.Shl, a, b), in.Dst.Width)
+		case asm.SHR:
+			e = ivl.Bin(ivl.LShr, a, b) // operand already zero-extended
+		case asm.SAR:
+			if in.Dst.Width != asm.Width8 {
+				s := lf.fresh(ivl.SextExpr{Bits: in.Dst.Width.Bits(), X: a})
+				e = lf.truncTo(ivl.Bin(ivl.AShr, ivl.V(s), b), in.Dst.Width)
+			} else {
+				e = ivl.Bin(ivl.AShr, a, b)
+			}
+		}
+		resV := lf.fresh(e)
+		lf.flag = &flagState{op: in.Op, w: in.Dst.Width, a: a, b: b, res: ivl.V(resV)}
+		return lf.writeOp(in.Dst, ivl.V(resV))
+
+	case asm.INC, asm.DEC:
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		op := ivl.Add
+		aop := asm.INC
+		if in.Op == asm.DEC {
+			op = ivl.Sub
+			aop = asm.DEC
+		}
+		res := lf.truncTo(ivl.Bin(op, a, ivl.C(1)), in.Dst.Width)
+		resV := lf.fresh(res)
+		lf.flag = &flagState{op: aop, w: in.Dst.Width, a: a, b: ivl.C(1), res: ivl.V(resV)}
+		return lf.writeOp(in.Dst, ivl.V(resV))
+
+	case asm.CMP:
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		lf.flag = &flagState{op: asm.CMP, w: in.Dst.Width, a: a, b: b}
+		return nil
+
+	case asm.TEST:
+		a, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		b, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		lf.flag = &flagState{op: asm.TEST, w: in.Dst.Width, a: a, b: b}
+		return nil
+
+	case asm.PUSH:
+		v, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		sp := lf.fresh(ivl.Bin(ivl.Sub, ivl.V(lf.regVar(asm.RSP)), ivl.C(8)))
+		if lf.spValid {
+			lf.spDelta -= 8
+			lf.spAdjusted = true
+		}
+		lf.defReg(asm.RSP, ivl.V(sp))
+		st := ivl.StoreExpr{Mem: ivl.V(lf.memVar()), Addr: ivl.V(sp), Val: v, W: 8}
+		lf.defMem(st)
+		if lf.spValid {
+			// Record the pushed value for pop forwarding.
+			slot := frameSlot{base: asm.RSP, off: lf.spDelta, w: 8}
+			for stSlot := range lf.frameVals {
+				if stSlot != slot && slotsOverlap(stSlot, slot) {
+					delete(lf.frameVals, stSlot)
+				}
+			}
+			lf.frameVals[slot] = v
+		}
+		return nil
+
+	case asm.POP:
+		sp := lf.regVar(asm.RSP)
+		var val ivl.Expr
+		if lf.spValid {
+			if e, ok := lf.frameLoad(frameSlot{base: asm.RSP, off: lf.spDelta, w: 8}); ok {
+				val = e
+			}
+		}
+		if val == nil {
+			val = ivl.V(lf.fresh(ivl.LoadExpr{Mem: ivl.V(lf.memVar()), Addr: ivl.V(sp), W: 8}))
+		}
+		nsp := lf.fresh(ivl.Bin(ivl.Add, ivl.V(sp), ivl.C(8)))
+		if lf.spValid {
+			lf.spDelta += 8
+			lf.spAdjusted = true
+		}
+		lf.defReg(asm.RSP, ivl.V(nsp))
+		return lf.writeOp(in.Dst, val)
+
+	case asm.CQO:
+		t := lf.fresh(ivl.Bin(ivl.AShr, ivl.V(lf.regVar(asm.RAX)), ivl.C(63)))
+		lf.defReg(asm.RDX, ivl.V(t))
+		return nil
+
+	case asm.IDIV:
+		// Our toolchains always emit CQO; IDIV.  We lift the pair as a
+		// 64-bit signed divide of rax (matching the emulator).
+		d, err := lf.readOp(in.Dst)
+		if err != nil {
+			return err
+		}
+		n := ivl.V(lf.regVar(asm.RAX))
+		q := lf.fresh(ivl.Bin(ivl.SDiv, n, d))
+		r := lf.fresh(ivl.Bin(ivl.SRem, n, d))
+		lf.defReg(asm.RAX, ivl.V(q))
+		lf.defReg(asm.RDX, ivl.V(r))
+		return nil
+
+	case asm.CALL:
+		if callArity < 0 {
+			return fmt.Errorf("lift: call without arity")
+		}
+		args := make([]ivl.Expr, 0, callArity+1)
+		for i := 0; i < callArity; i++ {
+			args = append(args, ivl.V(lf.regVar(abiArgRegs[i])))
+		}
+		ret := lf.fresh(ivl.CallExpr{Sym: fmt.Sprintf("call/%d", callArity), Args: args})
+		memArgs := append(append([]ivl.Expr{}, args...), ivl.V(lf.memVar()))
+		lf.defMem(ivl.CallExpr{Sym: fmt.Sprintf("callmem/%d", callArity), Args: memArgs})
+		lf.defReg(asm.RAX, ivl.V(ret))
+		lf.flag = nil // calls clobber flags
+		return nil
+
+	case asm.JCC:
+		cond, err := lf.cond(in.CC)
+		if err != nil {
+			return err
+		}
+		lf.fresh(cond) // materialize the branch condition as a block output
+		return nil
+
+	case asm.SETCC:
+		cond, err := lf.cond(in.CC)
+		if err != nil {
+			return err
+		}
+		c := lf.fresh(cond)
+		return lf.writeOp(in.Dst, ivl.V(c))
+
+	case asm.CMOVCC:
+		cond, err := lf.cond(in.CC)
+		if err != nil {
+			return err
+		}
+		c := lf.fresh(cond)
+		src, err := lf.readOp(in.Src)
+		if err != nil {
+			return err
+		}
+		old := lf.readReg(in.Dst.Reg, in.Dst.Width)
+		t := lf.fresh(ivl.IteExpr{Cond: ivl.V(c), Then: src, Else: old})
+		return lf.writeOp(in.Dst, ivl.V(t))
+	}
+	return fmt.Errorf("lift: unsupported instruction %s", in)
+}
+
+// cond reconstructs the 0/1 condition expression for cc from the last
+// flag-setting instruction.
+func (lf *lifter) cond(cc asm.CC) (ivl.Expr, error) {
+	f := lf.flag
+	if f == nil {
+		return nil, fmt.Errorf("lift: %v condition with no flag setter", cc)
+	}
+	// sign-extend operands to 64 bits for signed comparisons
+	sx := func(e ivl.Expr) ivl.Expr {
+		if f.w == asm.Width8 {
+			return e
+		}
+		return ivl.V(lf.fresh(ivl.SextExpr{Bits: f.w.Bits(), X: e}))
+	}
+	switch f.op {
+	case asm.CMP, asm.SUB, asm.NEG:
+		// Conditions over the original operands a, b.
+		switch cc {
+		case asm.E:
+			return ivl.Bin(ivl.Eq, f.a, f.b), nil
+		case asm.NE:
+			return ivl.Bin(ivl.Ne, f.a, f.b), nil
+		case asm.L:
+			return ivl.Bin(ivl.SLt, sx(f.a), sx(f.b)), nil
+		case asm.LE:
+			return ivl.Bin(ivl.SLe, sx(f.a), sx(f.b)), nil
+		case asm.G:
+			return ivl.Bin(ivl.SGt, sx(f.a), sx(f.b)), nil
+		case asm.GE:
+			return ivl.Bin(ivl.SGe, sx(f.a), sx(f.b)), nil
+		case asm.B:
+			return ivl.Bin(ivl.ULt, f.a, f.b), nil
+		case asm.BE:
+			return ivl.Bin(ivl.ULe, f.a, f.b), nil
+		case asm.A:
+			return ivl.Bin(ivl.UGt, f.a, f.b), nil
+		case asm.AE:
+			return ivl.Bin(ivl.UGe, f.a, f.b), nil
+		case asm.S:
+			res := f.res
+			if res == nil {
+				res = ivl.V(lf.fresh(lf.truncResult(ivl.Bin(ivl.Sub, f.a, f.b), f.w)))
+			}
+			return ivl.Bin(ivl.SLt, sx(res), ivl.C(0)), nil
+		case asm.NS:
+			res := f.res
+			if res == nil {
+				res = ivl.V(lf.fresh(lf.truncResult(ivl.Bin(ivl.Sub, f.a, f.b), f.w)))
+			}
+			return ivl.Bin(ivl.SGe, sx(res), ivl.C(0)), nil
+		}
+
+	case asm.TEST, asm.AND, asm.OR, asm.XOR:
+		// Logic ops clear OF and CF, so signed conditions reduce to the
+		// result's sign/zeroness and unsigned ones to constants.
+		res := f.res
+		if res == nil {
+			res = ivl.V(lf.fresh(lf.truncResult(ivl.Bin(ivl.And, f.a, f.b), f.w)))
+		}
+		sres := sx(res)
+		switch cc {
+		case asm.E, asm.BE:
+			return ivl.Bin(ivl.Eq, res, ivl.C(0)), nil
+		case asm.NE, asm.A:
+			return ivl.Bin(ivl.Ne, res, ivl.C(0)), nil
+		case asm.S, asm.L:
+			return ivl.Bin(ivl.SLt, sres, ivl.C(0)), nil
+		case asm.NS, asm.GE:
+			return ivl.Bin(ivl.SGe, sres, ivl.C(0)), nil
+		case asm.LE:
+			return ivl.Bin(ivl.SLe, sres, ivl.C(0)), nil
+		case asm.G:
+			return ivl.Bin(ivl.SGt, sres, ivl.C(0)), nil
+		case asm.B:
+			return ivl.C(0), nil
+		case asm.AE:
+			return ivl.C(1), nil
+		}
+
+	case asm.INC, asm.DEC, asm.ADD, asm.IMUL, asm.SHL, asm.SHR, asm.SAR:
+		// Zero/sign conditions are exact; overflow-dependent ones our
+		// toolchains never emit after these setters, so fall through to
+		// the uninterpreted fallback below for those.
+		switch cc {
+		case asm.E:
+			return ivl.Bin(ivl.Eq, f.res, ivl.C(0)), nil
+		case asm.NE:
+			return ivl.Bin(ivl.Ne, f.res, ivl.C(0)), nil
+		case asm.S:
+			return ivl.Bin(ivl.SLt, sx(f.res), ivl.C(0)), nil
+		case asm.NS:
+			return ivl.Bin(ivl.SGe, sx(f.res), ivl.C(0)), nil
+		}
+	}
+	// Uninterpreted fallback: deterministic, matches only structurally
+	// identical flag usage.
+	sym := fmt.Sprintf("flags/%s/%s/%d", f.op, cc, f.w)
+	args := []ivl.Expr{f.a, f.b}
+	return ivl.CallExpr{Sym: sym, Args: args}, nil
+}
+
+func (lf *lifter) truncResult(e ivl.Expr, w asm.Width) ivl.Expr {
+	if w == asm.Width8 {
+		return e
+	}
+	return ivl.TruncExpr{Bits: w.Bits(), X: e}
+}
+
+// LiftPaths lifts every control-flow path of exactly k consecutive basic
+// blocks (or shorter paths that dead-end) as a single pseudo-block, the
+// "longer paths" extension the paper's §6.6 suggests for small
+// procedures whose individual blocks are too short to carry significant
+// strands. The concatenated instructions are lifted under the
+// single-path execution assumption, exactly like a basic block.
+func LiftPaths(g *cfg.Graph, k int) ([]*Block, error) {
+	if k < 2 {
+		return nil, fmt.Errorf("lift: path length %d; need k >= 2", k)
+	}
+	// Per-block call arities, in block order (the linear stream order of
+	// callArities matches cfg's block carving).
+	arities := callArities(g.Proc)
+	perBlock := make([][]int, len(g.Blocks))
+	idx := 0
+	for i, b := range g.Blocks {
+		n := 0
+		for _, in := range b.Insts {
+			if in.Op == asm.CALL {
+				n++
+			}
+		}
+		perBlock[i] = arities[idx : idx+n]
+		idx += n
+	}
+
+	var out []*Block
+	var walk func(path []int) error
+	walk = func(path []int) error {
+		last := g.Blocks[path[len(path)-1]]
+		if len(path) == k || len(last.Succs) == 0 {
+			if len(path) < 2 {
+				return nil // single blocks are covered by LiftProc
+			}
+			var insts []asm.Inst
+			var pathArities []int
+			for _, bi := range path {
+				insts = append(insts, g.Blocks[bi].Insts...)
+				pathArities = append(pathArities, perBlock[bi]...)
+			}
+			lb, err := LiftBlock(&cfg.Block{Index: path[0], Insts: insts}, pathArities)
+			if err != nil {
+				return err
+			}
+			out = append(out, lb)
+			return nil
+		}
+		for _, s := range last.Succs {
+			ext := make([]int, len(path)+1)
+			copy(ext, path)
+			ext[len(path)] = s
+			if err := walk(ext); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := range g.Blocks {
+		if err := walk([]int{i}); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,333 @@
+// Package minic defines MiniC, the small C-like source language the
+// simulated toolchains compile. It stands in for the C sources of the
+// paper's corpus (OpenSSL, bash, qemu, Coreutils, ...): the corpus
+// package writes vulnerable procedures and decoys in MiniC, and package
+// compile turns them into syntactically diverse assembly under seven
+// simulated compiler toolchains.
+//
+// MiniC has a single value type — the 64-bit signed integer, which also
+// serves as a byte pointer — C-like expressions and control flow, and
+// builtin memory accessors (load8/16/32/64, sext8/16/32, store8/16/32/64).
+// The package provides a lexer, parser, scope/arity checker and a
+// reference interpreter used to differentially test the compilers.
+package minic
+
+import "fmt"
+
+// Program is a parsed compilation unit.
+type Program struct {
+	Funcs []*Func
+}
+
+// Func is a function definition.
+type Func struct {
+	Name   string
+	Params []string
+	Body   []Stmt
+	Line   int
+}
+
+// Stmt is a statement node.
+type Stmt interface{ isStmt() }
+
+// VarDecl declares and initializes a local variable.
+type VarDecl struct {
+	Name string
+	Init Expr
+	Line int
+}
+
+// AssignStmt assigns to a local variable.
+type AssignStmt struct {
+	Name string
+	Val  Expr
+	Line int
+}
+
+// StoreStmt writes Width bytes of Val at address Addr.
+type StoreStmt struct {
+	Width int // 1, 2, 4, 8
+	Addr  Expr
+	Val   Expr
+	Line  int
+}
+
+// IfStmt is if/else; Else may be nil.
+type IfStmt struct {
+	Cond Expr
+	Then []Stmt
+	Else []Stmt
+	Line int
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Cond Expr
+	Body []Stmt
+	Line int
+}
+
+// ReturnStmt returns a value.
+type ReturnStmt struct {
+	Val  Expr
+	Line int
+}
+
+// ExprStmt evaluates an expression for its effect (a call).
+type ExprStmt struct {
+	X    Expr
+	Line int
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Line int }
+
+// ContinueStmt restarts the innermost loop.
+type ContinueStmt struct{ Line int }
+
+func (*VarDecl) isStmt()      {}
+func (*AssignStmt) isStmt()   {}
+func (*StoreStmt) isStmt()    {}
+func (*IfStmt) isStmt()       {}
+func (*WhileStmt) isStmt()    {}
+func (*ReturnStmt) isStmt()   {}
+func (*ExprStmt) isStmt()     {}
+func (*BreakStmt) isStmt()    {}
+func (*ContinueStmt) isStmt() {}
+
+// Expr is an expression node.
+type Expr interface{ isExpr() }
+
+// NumLit is an integer literal.
+type NumLit struct{ Val int64 }
+
+// Ident references a local variable or parameter.
+type Ident struct{ Name string }
+
+// BinOp is the operator of a Binary expression.
+type BinOp int
+
+// Binary operators with C semantics (>> is arithmetic on the signed
+// 64-bit value; comparisons yield 0/1; && and || short-circuit).
+const (
+	OpAdd BinOp = iota
+	OpSub
+	OpMul
+	OpDiv
+	OpRem
+	OpAnd
+	OpOr
+	OpXor
+	OpShl
+	OpShr
+	OpShrU // logical (unsigned) right shift
+	OpLt
+	OpLe
+	OpGt
+	OpGe
+	OpEq
+	OpNe
+	OpLAnd
+	OpLOr
+	// Unsigned comparisons (MiniC spells them <u, <=u, >u, >=u), needed
+	// for the bounds checks that dominate the vulnerable procedures.
+	OpULt
+	OpULe
+	OpUGt
+	OpUGe
+)
+
+var binOpNames = map[BinOp]string{
+	OpAdd: "+", OpSub: "-", OpMul: "*", OpDiv: "/", OpRem: "%",
+	OpAnd: "&", OpOr: "|", OpXor: "^", OpShl: "<<", OpShr: ">>", OpShrU: ">>u",
+	OpLt: "<", OpLe: "<=", OpGt: ">", OpGe: ">=", OpEq: "==", OpNe: "!=",
+	OpLAnd: "&&", OpLOr: "||",
+	OpULt: "<u", OpULe: "<=u", OpUGt: ">u", OpUGe: ">=u",
+}
+
+func (o BinOp) String() string { return binOpNames[o] }
+
+// Binary applies a binary operator.
+type Binary struct {
+	Op   BinOp
+	X, Y Expr
+}
+
+// UnOp is the operator of a Unary expression.
+type UnOp int
+
+// Unary operators.
+const (
+	OpNeg  UnOp = iota // -x
+	OpNot              // ~x
+	OpLNot             // !x
+)
+
+// Unary applies a unary operator.
+type Unary struct {
+	Op UnOp
+	X  Expr
+}
+
+// Load reads Width bytes at Addr, zero-extended (wrap in Sext for a
+// signed load).
+type Load struct {
+	Width int
+	Addr  Expr
+}
+
+// Sext sign-extends the low Width bytes of X.
+type Sext struct {
+	Width int
+	X     Expr
+}
+
+// Call invokes a function (MiniC-defined or external).
+type Call struct {
+	Name string
+	Args []Expr
+}
+
+func (*NumLit) isExpr() {}
+func (*Ident) isExpr()  {}
+func (*Binary) isExpr() {}
+func (*Unary) isExpr()  {}
+func (*Load) isExpr()   {}
+func (*Sext) isExpr()   {}
+func (*Call) isExpr()   {}
+
+// Lookup returns the function with the given name.
+func (p *Program) Lookup(name string) (*Func, bool) {
+	for _, f := range p.Funcs {
+		if f.Name == name {
+			return f, true
+		}
+	}
+	return nil, false
+}
+
+// Check validates scopes and call arities for every function in the
+// program. Calls to names not defined in the program are assumed
+// external and accepted with any arity.
+func (p *Program) Check() error {
+	for _, f := range p.Funcs {
+		scope := map[string]bool{}
+		for _, param := range f.Params {
+			if scope[param] {
+				return fmt.Errorf("%s: duplicate parameter %q", f.Name, param)
+			}
+			scope[param] = true
+		}
+		if err := checkStmts(p, f, f.Body, scope, 0); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func checkStmts(p *Program, f *Func, stmts []Stmt, scope map[string]bool, loopDepth int) error {
+	for _, s := range stmts {
+		switch t := s.(type) {
+		case *VarDecl:
+			if scope[t.Name] {
+				return fmt.Errorf("%s:%d: redeclared variable %q", f.Name, t.Line, t.Name)
+			}
+			if err := checkExpr(p, f, t.Init, scope, t.Line); err != nil {
+				return err
+			}
+			scope[t.Name] = true
+		case *AssignStmt:
+			if !scope[t.Name] {
+				return fmt.Errorf("%s:%d: assignment to undeclared %q", f.Name, t.Line, t.Name)
+			}
+			if err := checkExpr(p, f, t.Val, scope, t.Line); err != nil {
+				return err
+			}
+		case *StoreStmt:
+			if err := checkExpr(p, f, t.Addr, scope, t.Line); err != nil {
+				return err
+			}
+			if err := checkExpr(p, f, t.Val, scope, t.Line); err != nil {
+				return err
+			}
+		case *IfStmt:
+			if err := checkExpr(p, f, t.Cond, scope, t.Line); err != nil {
+				return err
+			}
+			if err := checkStmts(p, f, t.Then, copyScope(scope), loopDepth); err != nil {
+				return err
+			}
+			if err := checkStmts(p, f, t.Else, copyScope(scope), loopDepth); err != nil {
+				return err
+			}
+		case *WhileStmt:
+			if err := checkExpr(p, f, t.Cond, scope, t.Line); err != nil {
+				return err
+			}
+			if err := checkStmts(p, f, t.Body, copyScope(scope), loopDepth+1); err != nil {
+				return err
+			}
+		case *ReturnStmt:
+			if err := checkExpr(p, f, t.Val, scope, t.Line); err != nil {
+				return err
+			}
+		case *ExprStmt:
+			if err := checkExpr(p, f, t.X, scope, t.Line); err != nil {
+				return err
+			}
+		case *BreakStmt:
+			if loopDepth == 0 {
+				return fmt.Errorf("%s:%d: break outside loop", f.Name, t.Line)
+			}
+		case *ContinueStmt:
+			if loopDepth == 0 {
+				return fmt.Errorf("%s:%d: continue outside loop", f.Name, t.Line)
+			}
+		}
+	}
+	return nil
+}
+
+func copyScope(s map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func checkExpr(p *Program, f *Func, e Expr, scope map[string]bool, line int) error {
+	switch t := e.(type) {
+	case *NumLit:
+	case *Ident:
+		if !scope[t.Name] {
+			return fmt.Errorf("%s:%d: undeclared variable %q", f.Name, line, t.Name)
+		}
+	case *Binary:
+		if err := checkExpr(p, f, t.X, scope, line); err != nil {
+			return err
+		}
+		return checkExpr(p, f, t.Y, scope, line)
+	case *Unary:
+		return checkExpr(p, f, t.X, scope, line)
+	case *Load:
+		return checkExpr(p, f, t.Addr, scope, line)
+	case *Sext:
+		return checkExpr(p, f, t.X, scope, line)
+	case *Call:
+		if callee, ok := p.Lookup(t.Name); ok && len(callee.Params) != len(t.Args) {
+			return fmt.Errorf("%s:%d: call %s with %d args, want %d",
+				f.Name, line, t.Name, len(t.Args), len(callee.Params))
+		}
+		if len(t.Args) > 6 {
+			return fmt.Errorf("%s:%d: call %s with %d args; the ABI passes at most 6",
+				f.Name, line, t.Name, len(t.Args))
+		}
+		for _, a := range t.Args {
+			if err := checkExpr(p, f, a, scope, line); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

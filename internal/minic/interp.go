@@ -1,0 +1,331 @@
+package minic
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Extern is a Go implementation of an external function callable from
+// MiniC. It receives the interpreter (for memory access) and the
+// argument values.
+type Extern func(ip *Interp, args []int64) int64
+
+// Interp is a reference interpreter for MiniC, used to differentially
+// test the simulated compilers: compiled code run under the machine
+// emulator must agree with the interpreter on return values and memory.
+type Interp struct {
+	Prog    *Program
+	Mem     map[uint64]byte
+	Externs map[string]Extern
+
+	steps    int
+	maxSteps int
+}
+
+// ErrSteps reports a runaway loop.
+var ErrSteps = errors.New("minic: step limit exceeded")
+
+// NewInterp returns an interpreter with empty memory and a one-million
+// statement budget.
+func NewInterp(prog *Program) *Interp {
+	return &Interp{
+		Prog:     prog,
+		Mem:      map[uint64]byte{},
+		Externs:  map[string]Extern{},
+		maxSteps: 1_000_000,
+	}
+}
+
+// SetMaxSteps overrides the statement budget.
+func (ip *Interp) SetMaxSteps(n int) { ip.maxSteps = n }
+
+// LoadMem reads w bytes little-endian; unwritten memory reads 0.
+func (ip *Interp) LoadMem(addr uint64, w int) uint64 {
+	var v uint64
+	for i := 0; i < w; i++ {
+		v |= uint64(ip.Mem[addr+uint64(i)]) << (8 * i)
+	}
+	return v
+}
+
+// StoreMem writes the low w bytes of v little-endian.
+func (ip *Interp) StoreMem(addr uint64, w int, v uint64) {
+	for i := 0; i < w; i++ {
+		ip.Mem[addr+uint64(i)] = byte(v >> (8 * i))
+	}
+}
+
+// control-flow signals inside statement execution
+type ctrl int
+
+const (
+	ctrlNext ctrl = iota
+	ctrlReturn
+	ctrlBreak
+	ctrlContinue
+)
+
+// Call runs the named function with the given arguments.
+func (ip *Interp) Call(name string, args ...int64) (int64, error) {
+	if ext, ok := ip.Externs[name]; ok {
+		return ext(ip, args), nil
+	}
+	f, ok := ip.Prog.Lookup(name)
+	if !ok {
+		return 0, fmt.Errorf("minic: unknown function %q", name)
+	}
+	if len(args) != len(f.Params) {
+		return 0, fmt.Errorf("minic: %s expects %d args, got %d", name, len(f.Params), len(args))
+	}
+	env := make(map[string]int64, len(f.Params))
+	for i, p := range f.Params {
+		env[p] = args[i]
+	}
+	var ret int64
+	c, err := ip.execStmts(f.Body, env, &ret)
+	if err != nil {
+		return 0, err
+	}
+	if c == ctrlReturn {
+		return ret, nil
+	}
+	return 0, nil // falling off the end returns 0
+}
+
+func (ip *Interp) execStmts(stmts []Stmt, env map[string]int64, ret *int64) (ctrl, error) {
+	for _, s := range stmts {
+		if ip.steps++; ip.steps > ip.maxSteps {
+			return ctrlNext, ErrSteps
+		}
+		switch t := s.(type) {
+		case *VarDecl:
+			v, err := ip.eval(t.Init, env)
+			if err != nil {
+				return ctrlNext, err
+			}
+			env[t.Name] = v
+		case *AssignStmt:
+			v, err := ip.eval(t.Val, env)
+			if err != nil {
+				return ctrlNext, err
+			}
+			env[t.Name] = v
+		case *StoreStmt:
+			addr, err := ip.eval(t.Addr, env)
+			if err != nil {
+				return ctrlNext, err
+			}
+			val, err := ip.eval(t.Val, env)
+			if err != nil {
+				return ctrlNext, err
+			}
+			ip.StoreMem(uint64(addr), t.Width, uint64(val))
+		case *IfStmt:
+			c, err := ip.eval(t.Cond, env)
+			if err != nil {
+				return ctrlNext, err
+			}
+			var sig ctrl
+			if c != 0 {
+				sig, err = ip.execStmts(t.Then, env, ret)
+			} else {
+				sig, err = ip.execStmts(t.Else, env, ret)
+			}
+			if err != nil {
+				return ctrlNext, err
+			}
+			if sig != ctrlNext {
+				return sig, nil
+			}
+		case *WhileStmt:
+		loop:
+			for {
+				if ip.steps++; ip.steps > ip.maxSteps {
+					return ctrlNext, ErrSteps
+				}
+				c, err := ip.eval(t.Cond, env)
+				if err != nil {
+					return ctrlNext, err
+				}
+				if c == 0 {
+					break
+				}
+				sig, err := ip.execStmts(t.Body, env, ret)
+				if err != nil {
+					return ctrlNext, err
+				}
+				switch sig {
+				case ctrlReturn:
+					return ctrlReturn, nil
+				case ctrlBreak:
+					break loop
+				}
+			}
+		case *ReturnStmt:
+			v, err := ip.eval(t.Val, env)
+			if err != nil {
+				return ctrlNext, err
+			}
+			*ret = v
+			return ctrlReturn, nil
+		case *ExprStmt:
+			if _, err := ip.eval(t.X, env); err != nil {
+				return ctrlNext, err
+			}
+		case *BreakStmt:
+			return ctrlBreak, nil
+		case *ContinueStmt:
+			return ctrlContinue, nil
+		}
+	}
+	return ctrlNext, nil
+}
+
+func (ip *Interp) eval(e Expr, env map[string]int64) (int64, error) {
+	switch t := e.(type) {
+	case *NumLit:
+		return t.Val, nil
+	case *Ident:
+		return env[t.Name], nil
+	case *Unary:
+		x, err := ip.eval(t.X, env)
+		if err != nil {
+			return 0, err
+		}
+		switch t.Op {
+		case OpNeg:
+			return -x, nil
+		case OpNot:
+			return ^x, nil
+		default: // OpLNot
+			if x == 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+	case *Binary:
+		// Short-circuit forms first.
+		if t.Op == OpLAnd || t.Op == OpLOr {
+			x, err := ip.eval(t.X, env)
+			if err != nil {
+				return 0, err
+			}
+			if t.Op == OpLAnd && x == 0 {
+				return 0, nil
+			}
+			if t.Op == OpLOr && x != 0 {
+				return 1, nil
+			}
+			y, err := ip.eval(t.Y, env)
+			if err != nil {
+				return 0, err
+			}
+			if y != 0 {
+				return 1, nil
+			}
+			return 0, nil
+		}
+		x, err := ip.eval(t.X, env)
+		if err != nil {
+			return 0, err
+		}
+		y, err := ip.eval(t.Y, env)
+		if err != nil {
+			return 0, err
+		}
+		return EvalBinOp(t.Op, x, y)
+	case *Load:
+		addr, err := ip.eval(t.Addr, env)
+		if err != nil {
+			return 0, err
+		}
+		return int64(ip.LoadMem(uint64(addr), t.Width)), nil
+	case *Sext:
+		x, err := ip.eval(t.X, env)
+		if err != nil {
+			return 0, err
+		}
+		sh := 64 - 8*uint(t.Width)
+		return int64(uint64(x)<<sh) >> sh, nil
+	case *Call:
+		args := make([]int64, len(t.Args))
+		for i, a := range t.Args {
+			v, err := ip.eval(a, env)
+			if err != nil {
+				return 0, err
+			}
+			args[i] = v
+		}
+		return ip.Call(t.Name, args...)
+	}
+	return 0, fmt.Errorf("minic: cannot evaluate %T", e)
+}
+
+// EvalBinOp applies a (non-short-circuit) binary operator with MiniC
+// semantics: 64-bit two's complement, arithmetic >>, shift counts masked
+// to 6 bits, comparisons yielding 0/1. Division by zero is an error.
+func EvalBinOp(op BinOp, x, y int64) (int64, error) {
+	b2i := func(b bool) int64 {
+		if b {
+			return 1
+		}
+		return 0
+	}
+	switch op {
+	case OpAdd:
+		return x + y, nil
+	case OpSub:
+		return x - y, nil
+	case OpMul:
+		return x * y, nil
+	case OpDiv:
+		if y == 0 {
+			return 0, errors.New("minic: division by zero")
+		}
+		if x == -1<<63 && y == -1 {
+			return x, nil
+		}
+		return x / y, nil
+	case OpRem:
+		if y == 0 {
+			return 0, errors.New("minic: remainder by zero")
+		}
+		if x == -1<<63 && y == -1 {
+			return 0, nil
+		}
+		return x % y, nil
+	case OpAnd:
+		return x & y, nil
+	case OpOr:
+		return x | y, nil
+	case OpXor:
+		return x ^ y, nil
+	case OpShl:
+		return x << (uint64(y) & 63), nil
+	case OpShr:
+		return x >> (uint64(y) & 63), nil
+	case OpShrU:
+		return int64(uint64(x) >> (uint64(y) & 63)), nil
+	case OpLt:
+		return b2i(x < y), nil
+	case OpLe:
+		return b2i(x <= y), nil
+	case OpGt:
+		return b2i(x > y), nil
+	case OpGe:
+		return b2i(x >= y), nil
+	case OpEq:
+		return b2i(x == y), nil
+	case OpNe:
+		return b2i(x != y), nil
+	case OpULt:
+		return b2i(uint64(x) < uint64(y)), nil
+	case OpULe:
+		return b2i(uint64(x) <= uint64(y)), nil
+	case OpUGt:
+		return b2i(uint64(x) > uint64(y)), nil
+	case OpUGe:
+		return b2i(uint64(x) >= uint64(y)), nil
+	}
+	return 0, fmt.Errorf("minic: bad operator %v", op)
+}

@@ -1,0 +1,249 @@
+package minic
+
+import (
+	"strings"
+	"testing"
+)
+
+func run(t *testing.T, src, fn string, args ...int64) int64 {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	ip := NewInterp(prog)
+	got, err := ip.Call(fn, args...)
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return got
+}
+
+func TestParseAndRunBasics(t *testing.T) {
+	src := `
+// doubles and adds
+func f(x, y) {
+	var a = x * 2;
+	var b = a + y;
+	return b;
+}`
+	if got := run(t, src, "f", 10, 3); got != 23 {
+		t.Errorf("f(10,3) = %d, want 23", got)
+	}
+}
+
+func TestPrecedence(t *testing.T) {
+	tests := []struct {
+		expr string
+		want int64
+	}{
+		{"2 + 3 * 4", 14},
+		{"(2 + 3) * 4", 20},
+		{"1 << 4 | 1", 17},
+		{"10 - 2 - 3", 5}, // left associative
+		{"7 & 3 ^ 1", 2},
+		{"1 + 2 == 3", 1},
+		{"4 / 2 / 2", 1},
+		{"-3 + 1", -2},
+		{"~0", -1},
+		{"!5", 0},
+		{"!0", 1},
+		{"100 % 7", 2},
+		{"-1 >> 8", -1},    // arithmetic shift
+		{"0 - 8 >> 1", -4}, // binds (0-8) >> 1
+		{"1 < 2 && 3 > 2", 1},
+		{"1 > 2 || 0", 0},
+	}
+	for _, tt := range tests {
+		src := "func f() { return " + tt.expr + "; }"
+		if got := run(t, src, "f"); got != tt.want {
+			t.Errorf("%s = %d, want %d", tt.expr, got, tt.want)
+		}
+	}
+}
+
+func TestUnsignedComparisons(t *testing.T) {
+	src := `func f(a, b) { return a <u b; }`
+	if got := run(t, src, "f", -1, 1); got != 0 {
+		t.Error("-1 <u 1 should be 0 (unsigned)")
+	}
+	if got := run(t, src, "f", 1, -1); got != 1 {
+		t.Error("1 <u -1 should be 1 (unsigned)")
+	}
+}
+
+func TestControlFlow(t *testing.T) {
+	src := `
+func sum_to(n) {
+	var s = 0;
+	var i = 1;
+	while (i <= n) {
+		s = s + i;
+		i = i + 1;
+	}
+	return s;
+}
+func classify(x) {
+	if (x < 0) {
+		return 0 - 1;
+	} else if (x == 0) {
+		return 0;
+	} else {
+		return 1;
+	}
+}
+func breaker(n) {
+	var i = 0;
+	while (1) {
+		if (i >= n) { break; }
+		i = i + 1;
+	}
+	return i;
+}`
+	if got := run(t, src, "sum_to", 10); got != 55 {
+		t.Errorf("sum_to(10) = %d", got)
+	}
+	for _, tc := range []struct{ in, want int64 }{{-5, -1}, {0, 0}, {7, 1}} {
+		if got := run(t, src, "classify", tc.in); got != tc.want {
+			t.Errorf("classify(%d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+	if got := run(t, src, "breaker", 4); got != 4 {
+		t.Errorf("breaker(4) = %d", got)
+	}
+}
+
+func TestMemoryBuiltins(t *testing.T) {
+	src := `
+func fill(buf, n, v) {
+	var i = 0;
+	while (i < n) {
+		store8(buf + i, v);
+		i = i + 1;
+	}
+	return 0;
+}
+func sum8(buf, n) {
+	var s = 0;
+	var i = 0;
+	while (i < n) {
+		s = s + load8(buf + i);
+		i = i + 1;
+	}
+	return s;
+}
+func wide(buf) {
+	store64(buf, 0x1122334455667788);
+	return load32(buf + 4);
+}`
+	prog := MustParse(src)
+	ip := NewInterp(prog)
+	if _, err := ip.Call("fill", 0x1000, 10, 7); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ip.Call("sum8", 0x1000, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 70 {
+		t.Errorf("sum8 = %d, want 70", got)
+	}
+	got, _ = ip.Call("wide", 0x2000)
+	if got != 0x11223344 {
+		t.Errorf("wide = %#x", got)
+	}
+}
+
+func TestSext(t *testing.T) {
+	src := `func f(x) { return sext8(x); }`
+	if got := run(t, src, "f", 0x80); got != -128 {
+		t.Errorf("sext8(0x80) = %d, want -128", got)
+	}
+	if got := run(t, src, "f", 0x7F); got != 127 {
+		t.Errorf("sext8(0x7F) = %d", got)
+	}
+}
+
+func TestCallsAndExterns(t *testing.T) {
+	src := `
+func helper(x) { return x * 3; }
+func main(a) { return helper(a) + ext_fn(a, 2); }`
+	prog := MustParse(src)
+	ip := NewInterp(prog)
+	ip.Externs["ext_fn"] = func(ip *Interp, args []int64) int64 { return args[0] * args[1] }
+	got, err := ip.Call("main", 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 25 {
+		t.Errorf("main(5) = %d, want 25", got)
+	}
+}
+
+func TestShortCircuit(t *testing.T) {
+	// Division by zero on the right of && must not run when left is 0.
+	src := `func f(a, b) { return a != 0 && 10 / a > b; }`
+	if got := run(t, src, "f", 0, 1); got != 0 {
+		t.Errorf("short-circuit failed: %d", got)
+	}
+	if got := run(t, src, "f", 2, 4); got != 1 {
+		t.Errorf("f(2,4) = %d", got)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"func f( { }",                                         // broken params
+		"func f() { return 1 }",                               // missing semicolon
+		"func f() { x = 1; }",                                 // undeclared assign
+		"func f() { return y; }",                              // undeclared use
+		"func f(a, a) { return a; }",                          // duplicate param
+		"func f() { var a = 1; var a = 2; return a; }",        // redeclared
+		"func f() { break; }",                                 // break outside loop
+		"func f() { return g(1,2); } func g(x) { return x; }", // arity
+		"func f() { return store8(1, 2); }",                   // store as expression
+		"func f() { return load8(1, 2); }",                    // load arity
+		"func f() { return 1; } func f() { return 2; }",       // duplicate func
+		"func f() { return h(1,2,3,4,5,6,7); }",               // >6 args
+		"func f() { @ }",                                      // lex error
+		"func f() {",                                          // unterminated
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted %q", src)
+		}
+	}
+}
+
+func TestDivByZeroRuntime(t *testing.T) {
+	prog := MustParse("func f(a) { return 10 / a; }")
+	ip := NewInterp(prog)
+	if _, err := ip.Call("f", 0); err == nil {
+		t.Error("division by zero not reported")
+	}
+}
+
+func TestStepLimit(t *testing.T) {
+	prog := MustParse("func f() { while (1) { } return 0; }")
+	ip := NewInterp(prog)
+	ip.SetMaxSteps(1000)
+	if _, err := ip.Call("f"); err != ErrSteps {
+		t.Errorf("err = %v, want ErrSteps", err)
+	}
+}
+
+func TestFallOffEndReturnsZero(t *testing.T) {
+	prog := MustParse("func f() { var a = 5; a = a + 1; }")
+	ip := NewInterp(prog)
+	got, err := ip.Call("f")
+	if err != nil || got != 0 {
+		t.Errorf("fall-off return = %d, %v", got, err)
+	}
+}
+
+func TestCheckReportsPosition(t *testing.T) {
+	_, err := Parse("func f() {\n\tvar a = 1;\n\tb = 2;\n\treturn a;\n}")
+	if err == nil || !strings.Contains(err.Error(), "f:3") {
+		t.Errorf("error lacks position: %v", err)
+	}
+}

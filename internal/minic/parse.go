@@ -1,0 +1,506 @@
+package minic
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"unicode"
+)
+
+// token kinds
+type tokKind int
+
+const (
+	tEOF tokKind = iota
+	tIdent
+	tNum
+	tPunct // operators and punctuation
+	tKw    // keyword
+)
+
+var keywords = map[string]bool{
+	"func": true, "var": true, "if": true, "else": true, "while": true,
+	"return": true, "break": true, "continue": true,
+}
+
+type token struct {
+	kind tokKind
+	text string
+	line int
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	line int
+	toks []token
+}
+
+// multi-char operators, longest first.
+var punts = []string{
+	">>u", "<<", ">>", "<=u", ">=u", "<u", ">u", "<=", ">=", "==", "!=", "&&", "||",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", ",", ";",
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src, line: 1}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case c == ' ' || c == '\t' || c == '\r':
+			l.pos++
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '/':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case unicode.IsLetter(rune(c)) || c == '_':
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+				l.pos++
+			}
+			text := l.src[start:l.pos]
+			kind := tIdent
+			if keywords[text] {
+				kind = tKw
+			}
+			l.toks = append(l.toks, token{kind, text, l.line})
+		case unicode.IsDigit(rune(c)):
+			start := l.pos
+			for l.pos < len(l.src) && (isIdentChar(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{tNum, l.src[start:l.pos], l.line})
+		default:
+			matched := false
+			for _, p := range punts {
+				if strings.HasPrefix(l.src[l.pos:], p) {
+					// "<u" must not eat the u of an identifier boundary:
+					// operators ending in 'u' require a non-ident follow
+					// or end of input... they are only generated before
+					// spaces/identifiers in practice; accept as-is.
+					l.toks = append(l.toks, token{tPunct, p, l.line})
+					l.pos += len(p)
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, fmt.Errorf("line %d: unexpected character %q", l.line, c)
+			}
+		}
+	}
+	l.toks = append(l.toks, token{tEOF, "", l.line})
+	return l.toks, nil
+}
+
+func isIdentChar(c byte) bool {
+	return c == '_' || unicode.IsLetter(rune(c)) || unicode.IsDigit(rune(c))
+}
+
+type parser struct {
+	toks []token
+	pos  int
+}
+
+// Parse parses a MiniC compilation unit and checks it.
+func Parse(src string) (*Program, error) {
+	toks, err := lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	prog := &Program{}
+	for !p.at(tEOF, "") {
+		f, err := p.parseFunc()
+		if err != nil {
+			return nil, err
+		}
+		if _, dup := prog.Lookup(f.Name); dup {
+			return nil, fmt.Errorf("duplicate function %q", f.Name)
+		}
+		prog.Funcs = append(prog.Funcs, f)
+	}
+	if err := prog.Check(); err != nil {
+		return nil, err
+	}
+	return prog, nil
+}
+
+// MustParse parses src and panics on error (for tests and the corpus,
+// whose sources are compiled into the binary).
+func MustParse(src string) *Program {
+	p, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+func (p *parser) peek() token { return p.toks[p.pos] }
+
+func (p *parser) at(kind tokKind, text string) bool {
+	t := p.peek()
+	return t.kind == kind && (text == "" || t.text == text)
+}
+
+func (p *parser) take() token {
+	t := p.toks[p.pos]
+	if t.kind != tEOF {
+		p.pos++
+	}
+	return t
+}
+
+func (p *parser) expect(kind tokKind, text string) (token, error) {
+	t := p.peek()
+	if t.kind != kind || (text != "" && t.text != text) {
+		want := text
+		if want == "" {
+			want = fmt.Sprintf("token kind %d", kind)
+		}
+		return t, fmt.Errorf("line %d: expected %q, found %q", t.line, want, t.text)
+	}
+	return p.take(), nil
+}
+
+func (p *parser) parseFunc() (*Func, error) {
+	kw, err := p.expect(tKw, "func")
+	if err != nil {
+		return nil, err
+	}
+	name, err := p.expect(tIdent, "")
+	if err != nil {
+		return nil, err
+	}
+	if _, err := p.expect(tPunct, "("); err != nil {
+		return nil, err
+	}
+	f := &Func{Name: name.text, Line: kw.line}
+	for !p.at(tPunct, ")") {
+		param, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, param.text)
+		if p.at(tPunct, ",") {
+			p.take()
+		}
+	}
+	p.take() // ')'
+	body, err := p.parseBlock()
+	if err != nil {
+		return nil, err
+	}
+	f.Body = body
+	return f, nil
+}
+
+func (p *parser) parseBlock() ([]Stmt, error) {
+	if _, err := p.expect(tPunct, "{"); err != nil {
+		return nil, err
+	}
+	var stmts []Stmt
+	for !p.at(tPunct, "}") {
+		if p.at(tEOF, "") {
+			return nil, fmt.Errorf("line %d: unterminated block", p.peek().line)
+		}
+		s, err := p.parseStmt()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+	}
+	p.take() // '}'
+	return stmts, nil
+}
+
+var storeWidths = map[string]int{"store8": 1, "store16": 2, "store32": 4, "store64": 8}
+var loadWidths = map[string]int{"load8": 1, "load16": 2, "load32": 4, "load64": 8}
+var sextWidths = map[string]int{"sext8": 1, "sext16": 2, "sext32": 4}
+
+func (p *parser) parseStmt() (Stmt, error) {
+	t := p.peek()
+	switch {
+	case t.kind == tKw && t.text == "var":
+		p.take()
+		name, err := p.expect(tIdent, "")
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, "="); err != nil {
+			return nil, err
+		}
+		init, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &VarDecl{Name: name.text, Init: init, Line: t.line}, nil
+
+	case t.kind == tKw && t.text == "if":
+		p.take()
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		then, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		var els []Stmt
+		if p.at(tKw, "else") {
+			p.take()
+			if p.at(tKw, "if") {
+				nested, err := p.parseStmt()
+				if err != nil {
+					return nil, err
+				}
+				els = []Stmt{nested}
+			} else {
+				els, err = p.parseBlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+		}
+		return &IfStmt{Cond: cond, Then: then, Else: els, Line: t.line}, nil
+
+	case t.kind == tKw && t.text == "while":
+		p.take()
+		if _, err := p.expect(tPunct, "("); err != nil {
+			return nil, err
+		}
+		cond, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		body, err := p.parseBlock()
+		if err != nil {
+			return nil, err
+		}
+		return &WhileStmt{Cond: cond, Body: body, Line: t.line}, nil
+
+	case t.kind == tKw && t.text == "return":
+		p.take()
+		val, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ReturnStmt{Val: val, Line: t.line}, nil
+
+	case t.kind == tKw && t.text == "break":
+		p.take()
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &BreakStmt{Line: t.line}, nil
+
+	case t.kind == tKw && t.text == "continue":
+		p.take()
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ContinueStmt{Line: t.line}, nil
+
+	case t.kind == tIdent:
+		// store builtin, assignment, or expression statement (call).
+		if w, isStore := storeWidths[t.text]; isStore && p.toks[p.pos+1].text == "(" {
+			p.take()
+			p.take() // '('
+			addr, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ","); err != nil {
+				return nil, err
+			}
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ")"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &StoreStmt{Width: w, Addr: addr, Val: val, Line: t.line}, nil
+		}
+		if p.toks[p.pos+1].kind == tPunct && p.toks[p.pos+1].text == "=" {
+			p.take()
+			p.take() // '='
+			val, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(tPunct, ";"); err != nil {
+				return nil, err
+			}
+			return &AssignStmt{Name: t.text, Val: val, Line: t.line}, nil
+		}
+		x, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ";"); err != nil {
+			return nil, err
+		}
+		return &ExprStmt{X: x, Line: t.line}, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected %q", t.line, t.text)
+}
+
+// Precedence climbing. Levels (low to high):
+// || ; && ; | ; ^ ; & ; == != ; < <= > >= <u <=u >u >=u ; << >> ; + - ; * / %
+var precedence = map[string]int{
+	"||": 1, "&&": 2, "|": 3, "^": 4, "&": 5,
+	"==": 6, "!=": 6,
+	"<": 7, "<=": 7, ">": 7, ">=": 7, "<u": 7, "<=u": 7, ">u": 7, ">=u": 7,
+	"<<": 8, ">>": 8, ">>u": 8,
+	"+": 9, "-": 9,
+	"*": 10, "/": 10, "%": 10,
+}
+
+var binOpOf = map[string]BinOp{
+	"+": OpAdd, "-": OpSub, "*": OpMul, "/": OpDiv, "%": OpRem,
+	"&": OpAnd, "|": OpOr, "^": OpXor, "<<": OpShl, ">>": OpShr,
+	">>u": OpShrU, "<": OpLt, "<=": OpLe, ">": OpGt, ">=": OpGe, "==": OpEq, "!=": OpNe,
+	"&&": OpLAnd, "||": OpLOr,
+	"<u": OpULt, "<=u": OpULe, ">u": OpUGt, ">=u": OpUGe,
+}
+
+func (p *parser) parseExpr() (Expr, error) { return p.parseBinary(1) }
+
+func (p *parser) parseBinary(minPrec int) (Expr, error) {
+	lhs, err := p.parseUnary()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.kind != tPunct {
+			return lhs, nil
+		}
+		prec, ok := precedence[t.text]
+		if !ok || prec < minPrec {
+			return lhs, nil
+		}
+		p.take()
+		rhs, err := p.parseBinary(prec + 1)
+		if err != nil {
+			return nil, err
+		}
+		lhs = &Binary{Op: binOpOf[t.text], X: lhs, Y: rhs}
+	}
+}
+
+func (p *parser) parseUnary() (Expr, error) {
+	t := p.peek()
+	if t.kind == tPunct {
+		switch t.text {
+		case "-":
+			p.take()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: OpNeg, X: x}, nil
+		case "~":
+			p.take()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: OpNot, X: x}, nil
+		case "!":
+			p.take()
+			x, err := p.parseUnary()
+			if err != nil {
+				return nil, err
+			}
+			return &Unary{Op: OpLNot, X: x}, nil
+		}
+	}
+	return p.parsePrimary()
+}
+
+func (p *parser) parsePrimary() (Expr, error) {
+	t := p.take()
+	switch {
+	case t.kind == tNum:
+		var v uint64
+		var err error
+		if strings.HasPrefix(t.text, "0x") || strings.HasPrefix(t.text, "0X") {
+			v, err = strconv.ParseUint(t.text[2:], 16, 64)
+		} else {
+			v, err = strconv.ParseUint(t.text, 10, 64)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("line %d: bad number %q", t.line, t.text)
+		}
+		return &NumLit{Val: int64(v)}, nil
+
+	case t.kind == tPunct && t.text == "(":
+		e, err := p.parseExpr()
+		if err != nil {
+			return nil, err
+		}
+		if _, err := p.expect(tPunct, ")"); err != nil {
+			return nil, err
+		}
+		return e, nil
+
+	case t.kind == tIdent:
+		if !p.at(tPunct, "(") {
+			return &Ident{Name: t.text}, nil
+		}
+		p.take() // '('
+		var args []Expr
+		for !p.at(tPunct, ")") {
+			a, err := p.parseExpr()
+			if err != nil {
+				return nil, err
+			}
+			args = append(args, a)
+			if p.at(tPunct, ",") {
+				p.take()
+			}
+		}
+		p.take() // ')'
+		if w, ok := loadWidths[t.text]; ok {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: %s takes 1 argument", t.line, t.text)
+			}
+			return &Load{Width: w, Addr: args[0]}, nil
+		}
+		if w, ok := sextWidths[t.text]; ok {
+			if len(args) != 1 {
+				return nil, fmt.Errorf("line %d: %s takes 1 argument", t.line, t.text)
+			}
+			return &Sext{Width: w, X: args[0]}, nil
+		}
+		if _, isStore := storeWidths[t.text]; isStore {
+			return nil, fmt.Errorf("line %d: %s is a statement, not an expression", t.line, t.text)
+		}
+		return &Call{Name: t.text, Args: args}, nil
+	}
+	return nil, fmt.Errorf("line %d: unexpected %q", t.line, t.text)
+}

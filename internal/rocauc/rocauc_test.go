@@ -1,0 +1,153 @@
+package rocauc
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func perfect() []Sample {
+	return []Sample{
+		{10, true}, {9, true}, {8, true},
+		{3, false}, {2, false}, {1, false},
+	}
+}
+
+func inverted() []Sample {
+	return []Sample{
+		{10, false}, {9, false}, {8, false},
+		{3, true}, {2, true}, {1, true},
+	}
+}
+
+func TestROCPerfect(t *testing.T) {
+	if got := ROC(perfect()); got != 1.0 {
+		t.Errorf("ROC(perfect) = %v", got)
+	}
+	if got := ROC(inverted()); got != 0.0 {
+		t.Errorf("ROC(inverted) = %v", got)
+	}
+}
+
+func TestROCTies(t *testing.T) {
+	// All scores equal: AUC is 0.5 by the tie convention.
+	s := []Sample{{5, true}, {5, false}, {5, true}, {5, false}}
+	if got := ROC(s); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ROC(all ties) = %v, want 0.5", got)
+	}
+}
+
+func TestROCMixed(t *testing.T) {
+	// One negative above one of two positives: AUC = 3/4... compute:
+	// pairs: (10,5): win, (10,1): win? positives 10 and 2; negatives 5, 1.
+	// (10>5), (10>1), (2<5), (2>1) => 3 wins / 4 = 0.75.
+	s := []Sample{{10, true}, {5, false}, {2, true}, {1, false}}
+	if got := ROC(s); math.Abs(got-0.75) > 1e-12 {
+		t.Errorf("ROC = %v, want 0.75", got)
+	}
+}
+
+func TestROCDegenerate(t *testing.T) {
+	if ROC([]Sample{{1, true}}) != 0 || ROC([]Sample{{1, false}}) != 0 || ROC(nil) != 0 {
+		t.Error("degenerate inputs should return 0")
+	}
+}
+
+func TestCROCPerfectAndInverted(t *testing.T) {
+	if got := CROC(perfect(), DefaultAlpha); math.Abs(got-1.0) > 1e-9 {
+		t.Errorf("CROC(perfect) = %v, want 1", got)
+	}
+	if got := CROC(inverted(), DefaultAlpha); got > 0.05 {
+		t.Errorf("CROC(inverted) = %v, want ~0", got)
+	}
+}
+
+func TestCROCPenalizesEarlyFPMoreThanROC(t *testing.T) {
+	// Two rankings with the same ROC-style single swap, at the top vs at
+	// the bottom: CROC must penalize the early false positive harder.
+	earlyFP := []Sample{
+		{11, false}, {10, true}, {9, true}, {8, true},
+		{3, false}, {2, false}, {1, false},
+	}
+	lateFP := []Sample{
+		{10, true}, {9, true}, {8, true}, {7, false},
+		{3, false}, {2, false}, {1, true},
+	}
+	_ = lateFP
+	rocEarly, crocEarly := ROC(earlyFP), CROC(earlyFP, DefaultAlpha)
+	if crocEarly >= rocEarly {
+		t.Errorf("CROC (%v) should be below ROC (%v) for an early FP", crocEarly, rocEarly)
+	}
+}
+
+func TestCROCMonotoneInRankQuality(t *testing.T) {
+	// Moving a positive up the ranking never lowers CROC.
+	base := []Sample{
+		{10, false}, {9, false}, {8, true}, {7, false}, {6, false},
+	}
+	better := []Sample{
+		{10, false}, {9, true}, {8, false}, {7, false}, {6, false},
+	}
+	if CROC(better, DefaultAlpha) <= CROC(base, DefaultAlpha) {
+		t.Error("CROC not monotone in positive rank")
+	}
+}
+
+// Property: 0 <= CROC <= 1 and 0 <= ROC <= 1 on random rankings, and a
+// random classifier's ROC concentrates around 0.5.
+func TestQuickBounds(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sumROC := 0.0
+	const trials = 200
+	for i := 0; i < trials; i++ {
+		n := 20 + rng.Intn(30)
+		s := make([]Sample, n)
+		for j := range s {
+			s[j] = Sample{Score: rng.Float64(), Positive: rng.Intn(4) == 0}
+		}
+		roc, croc := ROC(s), CROC(s, DefaultAlpha)
+		if roc < 0 || roc > 1 || croc < 0 || croc > 1+1e-9 {
+			t.Fatalf("out of bounds: ROC=%v CROC=%v", roc, croc)
+		}
+		if roc > 0 { // degenerate draws return 0
+			sumROC += roc
+		}
+	}
+	if mean := sumROC / trials; mean < 0.35 || mean > 0.65 {
+		t.Errorf("random-classifier mean ROC = %v, want ~0.5", mean)
+	}
+}
+
+func TestFalsePositives(t *testing.T) {
+	if got := FalsePositives(perfect()); got != 0 {
+		t.Errorf("FP(perfect) = %d", got)
+	}
+	if got := FalsePositives(inverted()); got != 3 {
+		t.Errorf("FP(inverted) = %d", got)
+	}
+	mixed := []Sample{{10, true}, {5, false}, {2, true}, {1, false}}
+	if got := FalsePositives(mixed); got != 1 {
+		t.Errorf("FP(mixed) = %d, want 1", got)
+	}
+	// Ties with the last positive count as false positives.
+	tied := []Sample{{10, true}, {5, true}, {5, false}, {1, false}}
+	if got := FalsePositives(tied); got != 1 {
+		t.Errorf("FP(tied) = %d, want 1", got)
+	}
+	if FalsePositives([]Sample{{1, false}}) != 0 {
+		t.Error("FP with no positives should be 0")
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	s := perfect()
+	if got := Accuracy(s, 5); got != 1.0 {
+		t.Errorf("Accuracy at separating threshold = %v", got)
+	}
+	if got := Accuracy(s, 100); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("Accuracy at impossible threshold = %v, want 0.5", got)
+	}
+	if Accuracy(nil, 0) != 0 {
+		t.Error("Accuracy(nil) != 0")
+	}
+}

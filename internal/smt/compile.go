@@ -1,0 +1,298 @@
+package smt
+
+import (
+	"fmt"
+
+	"repro/internal/ivl"
+)
+
+// Program is a strand compiled to flat three-address code over a virtual
+// register file. Compilation happens once per strand; fingerprints under
+// different input-slot assignments (the γ correspondences of Algorithm 2)
+// re-run only the flat code, which is the hot loop of the whole system.
+type Program struct {
+	Inputs []ivl.Var // in slot-assignment order
+	code   []cinstr
+	nregs  int
+	// defRegs lists, for each original SSA assignment in order, the
+	// register holding its value and whether it is memory-typed.
+	defRegs []defInfo
+}
+
+type defInfo struct {
+	reg   int
+	isMem bool
+	name  string
+}
+
+type copcode uint8
+
+const (
+	cConst copcode = iota
+	cBin
+	cUn
+	cIte
+	cTrunc
+	cSext
+	cLoad
+	cStore
+	cCall
+)
+
+type cinstr struct {
+	op      copcode
+	dst     int
+	a, b, c int
+	bin     ivl.BinOp
+	un      ivl.UnOp
+	bits    uint
+	w       uint
+	val     uint64
+	sym     uint64 // hashed call symbol
+	args    []int
+	memC    bool // cCall producing memory (callmem)
+}
+
+// CompileStrand flattens an SSA assignment list into a Program. Inputs
+// occupy registers [0, len(inputs)).
+func CompileStrand(stmts []ivl.Stmt, inputs []ivl.Var) (*Program, error) {
+	p := &Program{Inputs: inputs}
+	regOf := make(map[string]int, len(inputs)+len(stmts))
+	for i, in := range inputs {
+		regOf[in.Name] = i
+	}
+	p.nregs = len(inputs)
+
+	var compile func(e ivl.Expr) (int, error)
+	alloc := func() int { r := p.nregs; p.nregs++; return r }
+
+	compile = func(e ivl.Expr) (int, error) {
+		switch t := e.(type) {
+		case ivl.VarExpr:
+			r, ok := regOf[t.V.Name]
+			if !ok {
+				return 0, fmt.Errorf("smt: unbound variable %q", t.V.Name)
+			}
+			return r, nil
+		case ivl.ConstExpr:
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cConst, dst: r, val: t.Val})
+			return r, nil
+		case ivl.UnExpr:
+			a, err := compile(t.X)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cUn, dst: r, a: a, un: t.Op})
+			return r, nil
+		case ivl.BinExpr:
+			a, err := compile(t.X)
+			if err != nil {
+				return 0, err
+			}
+			b, err := compile(t.Y)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cBin, dst: r, a: a, b: b, bin: t.Op})
+			return r, nil
+		case ivl.IteExpr:
+			c, err := compile(t.Cond)
+			if err != nil {
+				return 0, err
+			}
+			a, err := compile(t.Then)
+			if err != nil {
+				return 0, err
+			}
+			b, err := compile(t.Else)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cIte, dst: r, c: c, a: a, b: b})
+			return r, nil
+		case ivl.TruncExpr:
+			a, err := compile(t.X)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cTrunc, dst: r, a: a, bits: t.Bits})
+			return r, nil
+		case ivl.SextExpr:
+			a, err := compile(t.X)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cSext, dst: r, a: a, bits: t.Bits})
+			return r, nil
+		case ivl.LoadExpr:
+			m, err := compile(t.Mem)
+			if err != nil {
+				return 0, err
+			}
+			a, err := compile(t.Addr)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cLoad, dst: r, a: m, b: a, w: t.W})
+			return r, nil
+		case ivl.StoreExpr:
+			m, err := compile(t.Mem)
+			if err != nil {
+				return 0, err
+			}
+			a, err := compile(t.Addr)
+			if err != nil {
+				return 0, err
+			}
+			v, err := compile(t.Val)
+			if err != nil {
+				return 0, err
+			}
+			r := alloc()
+			p.code = append(p.code, cinstr{op: cStore, dst: r, a: m, b: a, c: v, w: t.W})
+			return r, nil
+		case ivl.CallExpr:
+			args := make([]int, len(t.Args))
+			for i, arg := range t.Args {
+				ar, err := compile(arg)
+				if err != nil {
+					return 0, err
+				}
+				args[i] = ar
+			}
+			r := alloc()
+			isMem := len(t.Sym) >= 7 && t.Sym[:7] == "callmem"
+			p.code = append(p.code, cinstr{op: cCall, dst: r, args: args,
+				sym: mix64(hashString(t.Sym)), memC: isMem})
+			return r, nil
+		}
+		return 0, fmt.Errorf("smt: cannot compile %T", e)
+	}
+
+	for _, s := range stmts {
+		if s.Kind != ivl.SAssign {
+			return nil, fmt.Errorf("smt: CompileStrand expects assignments, got %v", s)
+		}
+		r, err := compile(s.Rhs)
+		if err != nil {
+			return nil, err
+		}
+		regOf[s.Dst.Name] = r
+		p.defRegs = append(p.defRegs, defInfo{reg: r, isMem: s.Dst.Type == ivl.Mem, name: s.Dst.Name})
+	}
+	return p, nil
+}
+
+func hashString(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Fingerprints runs the program over k sample vectors with input i taking
+// slot slotOf[i], and returns one value-vector fingerprint per original
+// SSA definition, in definition order. Memory fingerprints live in a
+// separate hash domain from integers.
+func (p *Program) Fingerprints(slotOf []int, k int) []uint64 {
+	fps := make([]uint64, len(p.defRegs))
+	regs := make([]ivl.Value, p.nregs)
+	for s := 0; s < k; s++ {
+		for i, in := range p.Inputs {
+			regs[i] = SlotValue(s, slotOf[i], in.Type)
+		}
+		p.run(regs)
+		for d, di := range p.defRegs {
+			v := regs[di.reg]
+			h := v.Hash()
+			if v.M != nil {
+				h = mix64(h ^ 0xDEAD_BEEF_CAFE_F00D)
+			}
+			fps[d] = mix64(fps[d]*0x100_0000_01b3 ^ h)
+		}
+	}
+	return fps
+}
+
+// run executes the flat code against the register file.
+func (p *Program) run(regs []ivl.Value) {
+	for _, in := range p.code {
+		switch in.op {
+		case cConst:
+			regs[in.dst] = ivl.IntValue(in.val)
+		case cBin:
+			x, y := regs[in.a], regs[in.b]
+			if x.M != nil || y.M != nil {
+				eq := x.Equal(y)
+				switch in.bin {
+				case ivl.Eq:
+					regs[in.dst] = ivl.IntValue(boolBit(eq))
+				case ivl.Ne:
+					regs[in.dst] = ivl.IntValue(boolBit(!eq))
+				default:
+					regs[in.dst] = ivl.IntValue(0)
+				}
+				continue
+			}
+			regs[in.dst] = ivl.IntValue(ivl.EvalBin(in.bin, x.Bits, y.Bits))
+		case cUn:
+			x := regs[in.a].Bits
+			switch in.un {
+			case ivl.Not:
+				regs[in.dst] = ivl.IntValue(^x)
+			case ivl.Neg:
+				regs[in.dst] = ivl.IntValue(-x)
+			default: // BoolNot
+				regs[in.dst] = ivl.IntValue(boolBit(x == 0))
+			}
+		case cIte:
+			if regs[in.c].Bits != 0 {
+				regs[in.dst] = regs[in.a]
+			} else {
+				regs[in.dst] = regs[in.b]
+			}
+		case cTrunc:
+			if in.bits >= 64 {
+				regs[in.dst] = regs[in.a]
+			} else {
+				regs[in.dst] = ivl.IntValue(regs[in.a].Bits & ((1 << in.bits) - 1))
+			}
+		case cSext:
+			sh := 64 - in.bits
+			regs[in.dst] = ivl.IntValue(uint64(int64(regs[in.a].Bits<<sh) >> sh))
+		case cLoad:
+			m := regs[in.a].M
+			regs[in.dst] = ivl.IntValue(m.Load(regs[in.b].Bits, in.w))
+		case cStore:
+			m := regs[in.a].M
+			regs[in.dst] = ivl.MemValue(m.Store(regs[in.b].Bits, in.w, regs[in.c].Bits))
+		case cCall:
+			h := in.sym
+			for _, a := range in.args {
+				av := regs[a]
+				h = mix64(h ^ av.Hash())
+			}
+			if in.memC {
+				regs[in.dst] = ivl.MemValue(ivl.NewMem(h))
+			} else {
+				regs[in.dst] = ivl.IntValue(h)
+			}
+		}
+	}
+}
+
+func boolBit(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}

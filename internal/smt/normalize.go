@@ -1,0 +1,528 @@
+// Package smt provides the decision machinery that stands in for the
+// Boogie/Z3 verifier in the paper's pipeline: a canonicalizing term
+// rewriter for the quantifier-free bitvector fragment the lifter emits,
+// and a deterministic structured-plus-random input sample battery used
+// for randomized refutation of equalities.
+//
+// Equalities proved by canonicalization are sound. Equalities accepted by
+// sampling alone hold on every sample vector; the battery mixes random
+// 64-bit vectors with adversarial special values (0, ±1, powers of two,
+// INT_MIN, ...) so that disagreements concentrated on degenerate inputs
+// are still caught. The residual error probability is documented in
+// DESIGN.md and is negligible for the statistics built on top.
+package smt
+
+import (
+	"sort"
+
+	"repro/internal/ivl"
+)
+
+// Normalize rewrites e into a canonical form that is semantically
+// equivalent under ivl.Eval: constants folded, associative-commutative
+// operator chains flattened and sorted, subtraction and negation
+// expressed through addition and multiplication by -1, identities
+// removed, comparisons oriented, and store-to-load forwarding applied.
+// Two expressions with equal canonical forms are equivalent; the converse
+// does not hold.
+func Normalize(e ivl.Expr) ivl.Expr {
+	switch t := e.(type) {
+	case ivl.VarExpr, ivl.ConstExpr:
+		return e
+
+	case ivl.UnExpr:
+		x := Normalize(t.X)
+		switch t.Op {
+		case ivl.Neg:
+			// neg x == -1 * x; reuse Mul normalization.
+			return Normalize(ivl.Bin(ivl.Mul, ivl.C(^uint64(0)), x))
+		case ivl.Not:
+			if c, ok := x.(ivl.ConstExpr); ok {
+				return ivl.C(^c.Val)
+			}
+			if inner, ok := x.(ivl.UnExpr); ok && inner.Op == ivl.Not {
+				return inner.X
+			}
+			return ivl.UnExpr{Op: ivl.Not, X: x}
+		case ivl.BoolNot:
+			if c, ok := x.(ivl.ConstExpr); ok {
+				if c.Val == 0 {
+					return ivl.C(1)
+				}
+				return ivl.C(0)
+			}
+			return ivl.UnExpr{Op: ivl.BoolNot, X: x}
+		}
+		return ivl.UnExpr{Op: t.Op, X: x}
+
+	case ivl.BinExpr:
+		return normalizeBin(t)
+
+	case ivl.IteExpr:
+		c := Normalize(t.Cond)
+		th := Normalize(t.Then)
+		el := Normalize(t.Else)
+		if cc, ok := c.(ivl.ConstExpr); ok {
+			if cc.Val != 0 {
+				return th
+			}
+			return el
+		}
+		if exprKey(th) == exprKey(el) {
+			return th
+		}
+		return ivl.IteExpr{Cond: c, Then: th, Else: el}
+
+	case ivl.TruncExpr:
+		x := Normalize(t.X)
+		if t.Bits >= 64 {
+			return x
+		}
+		if c, ok := x.(ivl.ConstExpr); ok {
+			return ivl.C(c.Val & ((1 << t.Bits) - 1))
+		}
+		if inner, ok := x.(ivl.TruncExpr); ok {
+			b := t.Bits
+			if inner.Bits < b {
+				b = inner.Bits
+			}
+			return Normalize(ivl.TruncExpr{Bits: b, X: inner.X})
+		}
+		if inner, ok := x.(ivl.SextExpr); ok && inner.Bits >= t.Bits {
+			// trunc_k(sext_m(x)) with m >= k only sees bits below k.
+			return Normalize(ivl.TruncExpr{Bits: t.Bits, X: inner.X})
+		}
+		return ivl.TruncExpr{Bits: t.Bits, X: x}
+
+	case ivl.SextExpr:
+		x := Normalize(t.X)
+		if t.Bits >= 64 {
+			return x
+		}
+		if c, ok := x.(ivl.ConstExpr); ok {
+			sh := 64 - t.Bits
+			return ivl.C(uint64(int64(c.Val<<sh) >> sh))
+		}
+		return ivl.SextExpr{Bits: t.Bits, X: x}
+
+	case ivl.LoadExpr:
+		m := Normalize(t.Mem)
+		a := Normalize(t.Addr)
+		// Store-to-load forwarding through a chain of stores.
+		cur := m
+		for {
+			st, ok := cur.(ivl.StoreExpr)
+			if !ok {
+				break
+			}
+			switch overlap(st.Addr, st.W, a, t.W) {
+			case overlapExact:
+				if st.W == t.W {
+					return Normalize(st.Val)
+				}
+				if st.W > t.W {
+					// Load reads a prefix of the stored value.
+					return Normalize(ivl.TruncExpr{Bits: t.W * 8, X: st.Val})
+				}
+				return ivl.LoadExpr{Mem: m, Addr: a, W: t.W}
+			case overlapNone:
+				cur = st.Mem // the store cannot affect this load
+				continue
+			default:
+				return ivl.LoadExpr{Mem: m, Addr: a, W: t.W}
+			}
+		}
+		return ivl.LoadExpr{Mem: cur, Addr: a, W: t.W}
+
+	case ivl.StoreExpr:
+		return ivl.StoreExpr{
+			Mem:  Normalize(t.Mem),
+			Addr: Normalize(t.Addr),
+			Val:  Normalize(t.Val),
+			W:    t.W,
+		}
+
+	case ivl.CallExpr:
+		args := make([]ivl.Expr, len(t.Args))
+		for i, a := range t.Args {
+			args[i] = Normalize(a)
+		}
+		return ivl.CallExpr{Sym: t.Sym, Args: args}
+	}
+	return e
+}
+
+type overlapKind uint8
+
+const (
+	overlapUnknown overlapKind = iota
+	overlapExact
+	overlapNone
+)
+
+// overlap decides, syntactically, the relationship between a store at
+// (aAddr, aW) and a load at (bAddr, bW): exact same start address, or
+// provably disjoint (same symbolic base with non-overlapping constant
+// offsets), or unknown.
+func overlap(aAddr ivl.Expr, aW uint, bAddr ivl.Expr, bW uint) overlapKind {
+	aBase, aOff := splitBase(aAddr)
+	bBase, bOff := splitBase(bAddr)
+	if exprKey(aBase) != exprKey(bBase) {
+		return overlapUnknown
+	}
+	if aOff == bOff {
+		return overlapExact
+	}
+	// Same base: ranges [aOff, aOff+aW) and [bOff, bOff+bW) over a small
+	// constant distance.
+	d := int64(bOff - aOff)
+	if d > 0 && d >= int64(aW) {
+		return overlapNone
+	}
+	if d < 0 && -d >= int64(bW) {
+		return overlapNone
+	}
+	return overlapUnknown
+}
+
+// splitBase splits addr into (symbolic base, constant offset). The
+// normalized form of base+const is Add with a trailing constant.
+func splitBase(addr ivl.Expr) (ivl.Expr, uint64) {
+	if be, ok := addr.(ivl.BinExpr); ok && be.Op == ivl.Add {
+		if c, ok := be.Y.(ivl.ConstExpr); ok {
+			return be.X, c.Val
+		}
+	}
+	if c, ok := addr.(ivl.ConstExpr); ok {
+		return ivl.C(0), c.Val
+	}
+	return addr, 0
+}
+
+// normalizeBin canonicalizes a binary expression.
+func normalizeBin(t ivl.BinExpr) ivl.Expr {
+	op := t.Op
+	x := Normalize(t.X)
+	y := Normalize(t.Y)
+
+	// Subtraction is addition of a negation.
+	if op == ivl.Sub {
+		return Normalize(ivl.Bin(ivl.Add, x,
+			ivl.Bin(ivl.Mul, ivl.C(^uint64(0)), y)))
+	}
+
+	// Orient strict/non-strict comparisons one way.
+	switch op {
+	case ivl.SGt:
+		return Normalize(ivl.Bin(ivl.SLt, t.Y, t.X))
+	case ivl.SGe:
+		return Normalize(ivl.Bin(ivl.SLe, t.Y, t.X))
+	case ivl.UGt:
+		return Normalize(ivl.Bin(ivl.ULt, t.Y, t.X))
+	case ivl.UGe:
+		return Normalize(ivl.Bin(ivl.ULe, t.Y, t.X))
+	}
+
+	// Constant folding for pure bitvector operands.
+	if cx, ok := x.(ivl.ConstExpr); ok {
+		if cy, ok := y.(ivl.ConstExpr); ok {
+			v, err := ivl.Eval(ivl.Bin(op, cx, cy), nil)
+			if err == nil {
+				return ivl.C(v.Bits)
+			}
+		}
+	}
+
+	switch op {
+	case ivl.Add, ivl.Mul, ivl.And, ivl.Or, ivl.Xor:
+		return normalizeAC(op, x, y)
+	case ivl.Eq, ivl.Ne:
+		// Commutative comparison: sort operands.
+		if exprKey(y) < exprKey(x) {
+			x, y = y, x
+		}
+		if exprKey(x) == exprKey(y) && !hasMemOrCall(x) {
+			if op == ivl.Eq {
+				return ivl.C(1)
+			}
+			return ivl.C(0)
+		}
+		return ivl.BinExpr{Op: op, X: x, Y: y}
+	case ivl.Shl, ivl.LShr, ivl.AShr:
+		if cy, ok := y.(ivl.ConstExpr); ok && cy.Val&63 == 0 {
+			// Shift counts are masked to 6 bits; a multiple of 64 is a no-op.
+			return x
+		}
+		if cy, ok := y.(ivl.ConstExpr); ok && op == ivl.Shl && cy.Val < 64 {
+			// x << c  ==  x * 2^c: unifies shifts, lea scaling and imul
+			// strength reduction across compilers.
+			return Normalize(ivl.Bin(ivl.Mul, x, ivl.C(uint64(1)<<cy.Val)))
+		}
+		return ivl.BinExpr{Op: op, X: x, Y: y}
+	}
+	return ivl.BinExpr{Op: op, X: x, Y: y}
+}
+
+// acIdentity returns the identity element of an AC operator.
+func acIdentity(op ivl.BinOp) uint64 {
+	switch op {
+	case ivl.Add, ivl.Or, ivl.Xor:
+		return 0
+	case ivl.Mul:
+		return 1
+	case ivl.And:
+		return ^uint64(0)
+	}
+	return 0
+}
+
+// normalizeAC flattens an associative-commutative operator chain, folds
+// constants, applies identities/annihilators/idempotence, and sorts the
+// remaining operands.
+func normalizeAC(op ivl.BinOp, x, y ivl.Expr) ivl.Expr {
+	var terms []ivl.Expr
+	var flatten func(e ivl.Expr)
+	flatten = func(e ivl.Expr) {
+		if be, ok := e.(ivl.BinExpr); ok && be.Op == op {
+			flatten(be.X)
+			flatten(be.Y)
+			return
+		}
+		terms = append(terms, e)
+	}
+	flatten(x)
+	flatten(y)
+
+	konst := acIdentity(op)
+	var rest []ivl.Expr
+	for _, term := range terms {
+		if c, ok := term.(ivl.ConstExpr); ok {
+			switch op {
+			case ivl.Add:
+				konst += c.Val
+			case ivl.Mul:
+				konst *= c.Val
+			case ivl.And:
+				konst &= c.Val
+			case ivl.Or:
+				konst |= c.Val
+			case ivl.Xor:
+				konst ^= c.Val
+			}
+			continue
+		}
+		rest = append(rest, term)
+	}
+
+	// Annihilators.
+	if (op == ivl.Mul || op == ivl.And) && konst == 0 {
+		return ivl.C(0)
+	}
+	if op == ivl.Or && konst == ^uint64(0) {
+		return ivl.C(^uint64(0))
+	}
+
+	// Distribute a constant multiplier over a sum: k*(a+b) == k*a + k*b.
+	// This joins the lea/shl/imul strength-reduction families across
+	// compilers. Only constant coefficients distribute, so terms cannot
+	// blow up.
+	if op == ivl.Mul && konst != 1 && len(rest) == 1 {
+		if add, ok := rest[0].(ivl.BinExpr); ok && add.Op == ivl.Add {
+			var addends []ivl.Expr
+			var flattenAdd func(e ivl.Expr)
+			flattenAdd = func(e ivl.Expr) {
+				if b, ok := e.(ivl.BinExpr); ok && b.Op == ivl.Add {
+					flattenAdd(b.X)
+					flattenAdd(b.Y)
+					return
+				}
+				addends = append(addends, e)
+			}
+			flattenAdd(add)
+			out := ivl.Expr(nil)
+			for _, a := range addends {
+				term := ivl.Bin(ivl.Mul, ivl.C(konst), a)
+				if out == nil {
+					out = term
+				} else {
+					out = ivl.Bin(ivl.Add, out, term)
+				}
+			}
+			return Normalize(out)
+		}
+	}
+
+	// Idempotence and self-inverse after sorting.
+	sort.Slice(rest, func(i, j int) bool { return exprKey(rest[i]) < exprKey(rest[j]) })
+	switch op {
+	case ivl.And, ivl.Or:
+		rest = dedupeAdjacent(rest)
+	case ivl.Xor:
+		rest = cancelPairs(rest)
+	case ivl.Add:
+		rest = collectLikeTerms(rest)
+	}
+
+	if konst != acIdentity(op) || len(rest) == 0 {
+		rest = append(rest, ivl.C(konst))
+	}
+	if len(rest) == 1 {
+		return rest[0]
+	}
+	// Rebuild left-associated with the constant (if any) last; rest is
+	// sorted and a constant sorts after most keys only by chance, so put
+	// it deterministically at the end.
+	out := rest[0]
+	for _, term := range rest[1:] {
+		out = ivl.BinExpr{Op: op, X: out, Y: term}
+	}
+	return out
+}
+
+func dedupeAdjacent(terms []ivl.Expr) []ivl.Expr {
+	if len(terms) < 2 {
+		return terms
+	}
+	out := terms[:1]
+	for _, term := range terms[1:] {
+		if exprKey(term) == exprKey(out[len(out)-1]) && !hasMemOrCall(term) {
+			continue
+		}
+		out = append(out, term)
+	}
+	return out
+}
+
+// collectLikeTerms groups normalized addends by their non-constant core,
+// summing multiplicative coefficients: x + (-1)*x cancels, x + x becomes
+// 2*x. Cores containing memory or calls are still deterministic values,
+// so grouping them is sound.
+func collectLikeTerms(terms []ivl.Expr) []ivl.Expr {
+	type group struct {
+		coeff uint64
+		core  ivl.Expr
+	}
+	var order []string
+	groups := map[string]*group{}
+	for _, term := range terms {
+		coeff, core := splitCoeff(term)
+		key := exprKey(core)
+		g, ok := groups[key]
+		if !ok {
+			g = &group{core: core}
+			groups[key] = g
+			order = append(order, key)
+		}
+		g.coeff += coeff
+	}
+	var out []ivl.Expr
+	for _, key := range order {
+		g := groups[key]
+		switch g.coeff {
+		case 0:
+			// cancelled
+		case 1:
+			out = append(out, g.core)
+		default:
+			out = append(out, normalizeAC(ivl.Mul, g.core, ivl.C(g.coeff)))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return exprKey(out[i]) < exprKey(out[j]) })
+	return out
+}
+
+// splitCoeff decomposes a normalized term into (constant coefficient,
+// core). A Mul chain with a constant factor yields that constant and the
+// remaining product; anything else has coefficient 1.
+func splitCoeff(term ivl.Expr) (uint64, ivl.Expr) {
+	be, ok := term.(ivl.BinExpr)
+	if !ok || be.Op != ivl.Mul {
+		return 1, term
+	}
+	var factors []ivl.Expr
+	var flatten func(e ivl.Expr)
+	flatten = func(e ivl.Expr) {
+		if b, ok := e.(ivl.BinExpr); ok && b.Op == ivl.Mul {
+			flatten(b.X)
+			flatten(b.Y)
+			return
+		}
+		factors = append(factors, e)
+	}
+	flatten(be)
+	coeff := uint64(1)
+	var rest []ivl.Expr
+	for _, f := range factors {
+		if c, ok := f.(ivl.ConstExpr); ok {
+			coeff *= c.Val
+			continue
+		}
+		rest = append(rest, f)
+	}
+	if len(rest) == 0 {
+		return coeff, ivl.C(1)
+	}
+	core := rest[0]
+	for _, f := range rest[1:] {
+		core = ivl.BinExpr{Op: ivl.Mul, X: core, Y: f}
+	}
+	return coeff, core
+}
+
+func cancelPairs(terms []ivl.Expr) []ivl.Expr {
+	var out []ivl.Expr
+	for i := 0; i < len(terms); {
+		if i+1 < len(terms) && exprKey(terms[i]) == exprKey(terms[i+1]) && !hasMemOrCall(terms[i]) {
+			i += 2 // x ^ x == 0 contributes nothing
+			continue
+		}
+		out = append(out, terms[i])
+		i++
+	}
+	return out
+}
+
+// hasMemOrCall reports whether the expression contains a load, store or
+// uninterpreted call. Idempotence/self-inverse rewrites stay valid for
+// these (they are deterministic), but keeping them intact preserves the
+// paper-visible structure; more importantly, exprKey equality for them is
+// still sound, so this is purely conservative.
+func hasMemOrCall(e ivl.Expr) bool {
+	found := false
+	var walk func(ivl.Expr)
+	walk = func(e ivl.Expr) {
+		if found {
+			return
+		}
+		switch t := e.(type) {
+		case ivl.LoadExpr, ivl.StoreExpr, ivl.CallExpr:
+			_ = t
+			found = true
+		case ivl.UnExpr:
+			walk(t.X)
+		case ivl.BinExpr:
+			walk(t.X)
+			walk(t.Y)
+		case ivl.IteExpr:
+			walk(t.Cond)
+			walk(t.Then)
+			walk(t.Else)
+		case ivl.TruncExpr:
+			walk(t.X)
+		case ivl.SextExpr:
+			walk(t.X)
+		}
+	}
+	walk(e)
+	return found
+}
+
+// exprKey returns a total-order key for canonical comparison and sorting.
+func exprKey(e ivl.Expr) string { return e.String() }
+
+// Equivalent reports whether a and b normalize to the same canonical
+// form. A true result is a proof of semantic equivalence; false is
+// inconclusive.
+func Equivalent(a, b ivl.Expr) bool {
+	return exprKey(Normalize(a)) == exprKey(Normalize(b))
+}

@@ -1,0 +1,140 @@
+package strand
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ivl"
+	"repro/internal/lift"
+)
+
+// Property tests of Algorithm 1 over random SSA blocks: full coverage
+// (every statement appears in some strand), closure (every strand is
+// backward-closed over its dependencies), execution order, and
+// minimality (number of strands equals the number of uncovered sinks).
+
+func randomBlock(rng *rand.Rand, nIn, nStmts int) *lift.Block {
+	b := &lift.Block{}
+	var names []string
+	for i := 0; i < nIn; i++ {
+		v := ivl.Var{Name: "in" + string(rune('a'+i)), Type: ivl.Int}
+		b.Inputs = append(b.Inputs, v)
+		names = append(names, v.Name)
+	}
+	ops := []ivl.BinOp{ivl.Add, ivl.Sub, ivl.Mul, ivl.Xor, ivl.And, ivl.Or}
+	for i := 0; i < nStmts; i++ {
+		pick := func() ivl.Expr {
+			if rng.Intn(5) == 0 {
+				return ivl.C(rng.Uint64() & 0xFFFF)
+			}
+			return ivl.IntVar(names[rng.Intn(len(names))])
+		}
+		dst := ivl.Var{Name: "s" + string(rune('A'+i)), Type: ivl.Int}
+		b.Stmts = append(b.Stmts, ivl.Assign(dst, ivl.Bin(ops[rng.Intn(len(ops))], pick(), pick())))
+		names = append(names, dst.Name)
+	}
+	return b
+}
+
+func TestQuickAlgorithm1Invariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 400; trial++ {
+		b := randomBlock(rng, 1+rng.Intn(3), 1+rng.Intn(15))
+		strands := FromBlock("p", b)
+
+		inputSet := map[string]bool{}
+		for _, v := range b.Inputs {
+			inputSet[v.Name] = true
+		}
+
+		// Coverage: every statement is in at least one strand.
+		covered := map[string]bool{}
+		for _, s := range strands {
+			for _, st := range s.Stmts {
+				covered[st.Dst.Name] = true
+			}
+		}
+		for _, st := range b.Stmts {
+			if !covered[st.Dst.Name] {
+				t.Fatalf("trial %d: statement %s uncovered", trial, st.Dst.Name)
+			}
+		}
+
+		for _, s := range strands {
+			defined := map[string]bool{}
+			declaredInput := map[string]bool{}
+			for _, v := range s.Inputs {
+				declaredInput[v.Name] = true
+			}
+			// Execution order is preserved within the strand.
+			lastIdx := -1
+			pos := map[string]int{}
+			for i, st := range b.Stmts {
+				pos[st.Dst.Name] = i
+			}
+			for _, st := range s.Stmts {
+				if pos[st.Dst.Name] < lastIdx {
+					t.Fatalf("trial %d: strand out of execution order", trial)
+				}
+				lastIdx = pos[st.Dst.Name]
+
+				// Backward closure: every reference is defined in the
+				// strand or declared as a strand input.
+				for _, v := range ivl.FreeVars(st.Rhs) {
+					if !defined[v.Name] && !declaredInput[v.Name] {
+						t.Fatalf("trial %d: %q neither defined nor input in strand", trial, v.Name)
+					}
+				}
+				defined[st.Dst.Name] = true
+			}
+			// Declared inputs are genuine: not defined inside the strand,
+			// and they are referenced somewhere.
+			for _, v := range s.Inputs {
+				if defined[v.Name] {
+					t.Fatalf("trial %d: input %q is defined by the strand", trial, v.Name)
+				}
+			}
+		}
+
+		// Canonical keys are stable and alpha-invariant under a renaming.
+		if len(strands) > 0 {
+			s := strands[0]
+			renamed := &Strand{ProcName: s.ProcName, BlockIndex: s.BlockIndex}
+			ren := func(v ivl.Var) ivl.Var { v.Name = "R" + v.Name; return v }
+			for _, in := range s.Inputs {
+				renamed.Inputs = append(renamed.Inputs, ren(in))
+			}
+			for _, st := range s.Stmts {
+				renamed.Stmts = append(renamed.Stmts, ivl.Assign(ren(st.Dst), ivl.Rename(st.Rhs, ren)))
+			}
+			if s.CanonicalKey() != renamed.CanonicalKey() {
+				t.Fatalf("trial %d: canonical key not alpha-invariant", trial)
+			}
+		}
+	}
+}
+
+// TestQuickStrandCountMatchesSinks: with a linear dependence chain there
+// is exactly one strand; with k independent chains there are k.
+func TestQuickStrandCountMatchesSinks(t *testing.T) {
+	rng := rand.New(rand.NewSource(101))
+	for trial := 0; trial < 100; trial++ {
+		k := 1 + rng.Intn(4)
+		b := &lift.Block{}
+		for c := 0; c < k; c++ {
+			in := ivl.Var{Name: "x" + string(rune('0'+c)), Type: ivl.Int}
+			b.Inputs = append(b.Inputs, in)
+			prev := in.Name
+			depth := 1 + rng.Intn(4)
+			for d := 0; d < depth; d++ {
+				dst := ivl.Var{Name: "c" + string(rune('0'+c)) + string(rune('a'+d)), Type: ivl.Int}
+				b.Stmts = append(b.Stmts, ivl.Assign(dst,
+					ivl.Bin(ivl.Add, ivl.IntVar(prev), ivl.C(uint64(d+1)))))
+				prev = dst.Name
+			}
+		}
+		if got := len(FromBlock("p", b)); got != k {
+			t.Fatalf("trial %d: %d chains decomposed into %d strands", trial, k, got)
+		}
+	}
+}

@@ -1,0 +1,215 @@
+package strand
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+	"repro/internal/ivl"
+	"repro/internal/lift"
+)
+
+func iv(name string) ivl.Var { return ivl.Var{Name: name, Type: ivl.Int} }
+
+// block builds a lift.Block from assignments with explicit inputs.
+func block(inputs []string, stmts ...ivl.Stmt) *lift.Block {
+	b := &lift.Block{Stmts: stmts}
+	for _, n := range inputs {
+		b.Inputs = append(b.Inputs, iv(n))
+	}
+	return b
+}
+
+func TestFromBlockSingleChain(t *testing.T) {
+	// v1 = x + 1; v2 = v1 * 2 : one strand containing both.
+	b := block([]string{"x"},
+		ivl.Assign(iv("v1"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(1))),
+		ivl.Assign(iv("v2"), ivl.Bin(ivl.Mul, ivl.IntVar("v1"), ivl.C(2))),
+	)
+	strands := FromBlock("p", b)
+	if len(strands) != 1 {
+		t.Fatalf("strands = %d, want 1", len(strands))
+	}
+	s := strands[0]
+	if s.NumVars() != 2 {
+		t.Errorf("NumVars = %d, want 2", s.NumVars())
+	}
+	if len(s.Inputs) != 1 || s.Inputs[0].Name != "x" {
+		t.Errorf("Inputs = %v", s.Inputs)
+	}
+}
+
+func TestFromBlockTwoIndependentChains(t *testing.T) {
+	// Two independent computations yield two strands.
+	b := block([]string{"x", "y"},
+		ivl.Assign(iv("v1"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(1))),
+		ivl.Assign(iv("v2"), ivl.Bin(ivl.Mul, ivl.IntVar("y"), ivl.C(2))),
+	)
+	strands := FromBlock("p", b)
+	if len(strands) != 2 {
+		t.Fatalf("strands = %d, want 2", len(strands))
+	}
+	// Backward order: the LAST unused statement seeds the first strand.
+	if strands[0].Stmts[0].Dst.Name != "v2" {
+		t.Errorf("first strand seeds %q, want v2", strands[0].Stmts[0].Dst.Name)
+	}
+	if strands[1].Stmts[0].Dst.Name != "v1" {
+		t.Errorf("second strand seeds %q, want v1", strands[1].Stmts[0].Dst.Name)
+	}
+}
+
+func TestFromBlockSharedPrefix(t *testing.T) {
+	// v1 = x+1; v2 = v1*2; v3 = v1*3
+	// Strand 1 (seeded by v3) pulls in v1; strand 2 (seeded by v2, the
+	// last remaining unused) pulls in v1 again.
+	b := block([]string{"x"},
+		ivl.Assign(iv("v1"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(1))),
+		ivl.Assign(iv("v2"), ivl.Bin(ivl.Mul, ivl.IntVar("v1"), ivl.C(2))),
+		ivl.Assign(iv("v3"), ivl.Bin(ivl.Mul, ivl.IntVar("v1"), ivl.C(3))),
+	)
+	strands := FromBlock("p", b)
+	if len(strands) != 2 {
+		t.Fatalf("strands = %d, want 2", len(strands))
+	}
+	if strands[0].NumVars() != 2 { // v1, v3
+		t.Errorf("strand0 vars = %d, want 2", strands[0].NumVars())
+	}
+	if strands[1].NumVars() != 2 { // v1, v2
+		t.Errorf("strand1 vars = %d, want 2", strands[1].NumVars())
+	}
+}
+
+func TestFromBlockCoverage(t *testing.T) {
+	// Every statement appears in at least one strand.
+	b := block([]string{"x", "y", "m"},
+		ivl.Assign(iv("v1"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.IntVar("y"))),
+		ivl.Assign(iv("v2"), ivl.LoadExpr{Mem: ivl.IntVar("m"), Addr: ivl.IntVar("v1"), W: 8}),
+		ivl.Assign(iv("v3"), ivl.Bin(ivl.Xor, ivl.IntVar("x"), ivl.C(0xFF))),
+		ivl.Assign(iv("v4"), ivl.Bin(ivl.Sub, ivl.IntVar("v3"), ivl.IntVar("y"))),
+	)
+	strands := FromBlock("p", b)
+	covered := map[string]bool{}
+	for _, s := range strands {
+		for _, st := range s.Stmts {
+			covered[st.Dst.Name] = true
+		}
+	}
+	for _, want := range []string{"v1", "v2", "v3", "v4"} {
+		if !covered[want] {
+			t.Errorf("statement defining %s not covered", want)
+		}
+	}
+}
+
+func TestStrandStmtsInExecutionOrder(t *testing.T) {
+	b := block([]string{"x"},
+		ivl.Assign(iv("a"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(1))),
+		ivl.Assign(iv("b"), ivl.Bin(ivl.Add, ivl.IntVar("a"), ivl.C(2))),
+		ivl.Assign(iv("c"), ivl.Bin(ivl.Add, ivl.IntVar("b"), ivl.C(3))),
+	)
+	s := FromBlock("p", b)[0]
+	want := []string{"a", "b", "c"}
+	for i, st := range s.Stmts {
+		if st.Dst.Name != want[i] {
+			t.Fatalf("stmt %d defines %q, want %q", i, st.Dst.Name, want[i])
+		}
+	}
+}
+
+func TestFromBlockEmpty(t *testing.T) {
+	if got := FromBlock("p", &lift.Block{}); got != nil {
+		t.Errorf("FromBlock(empty) = %v", got)
+	}
+}
+
+func TestCanonicalKeyAlphaInvariant(t *testing.T) {
+	a := &Strand{
+		Inputs: []ivl.Var{iv("x")},
+		Stmts: []ivl.Stmt{
+			ivl.Assign(iv("v1"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(1))),
+			ivl.Assign(iv("v2"), ivl.Bin(ivl.Mul, ivl.IntVar("v1"), ivl.C(2))),
+		},
+	}
+	b := &Strand{
+		Inputs: []ivl.Var{iv("rdi_0")},
+		Stmts: []ivl.Stmt{
+			ivl.Assign(iv("t9"), ivl.Bin(ivl.Add, ivl.IntVar("rdi_0"), ivl.C(1))),
+			ivl.Assign(iv("t11"), ivl.Bin(ivl.Mul, ivl.IntVar("t9"), ivl.C(2))),
+		},
+	}
+	if a.CanonicalKey() != b.CanonicalKey() {
+		t.Errorf("alpha-equivalent strands have different keys:\n%s\n%s",
+			a.CanonicalKey(), b.CanonicalKey())
+	}
+	c := &Strand{
+		Inputs: []ivl.Var{iv("x")},
+		Stmts: []ivl.Stmt{
+			ivl.Assign(iv("v1"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(2))), // different const
+			ivl.Assign(iv("v2"), ivl.Bin(ivl.Mul, ivl.IntVar("v1"), ivl.C(2))),
+		},
+	}
+	if a.CanonicalKey() == c.CanonicalKey() {
+		t.Error("different strands share a canonical key")
+	}
+}
+
+func TestFromProcEndToEnd(t *testing.T) {
+	src := `proc f
+	mov rax, rdi
+	add rax, rsi
+	test rax, rax
+	jne big
+	mov rax, 1
+	ret
+big:
+	shl rax, 2
+	ret
+endp`
+	p, err := asm.ParseProc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lp, err := lift.LiftProc(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	strands := FromProc(lp)
+	if len(strands) == 0 {
+		t.Fatal("no strands extracted")
+	}
+	// Each strand's referenced-but-not-defined variables are exactly its inputs.
+	for _, s := range strands {
+		defined := map[string]bool{}
+		for _, st := range s.Stmts {
+			defined[st.Dst.Name] = true
+		}
+		inputSet := map[string]bool{}
+		for _, in := range s.Inputs {
+			inputSet[in.Name] = true
+		}
+		for _, st := range s.Stmts {
+			for _, v := range ivl.FreeVars(st.Rhs) {
+				if !defined[v.Name] && !inputSet[v.Name] {
+					t.Errorf("strand var %q neither defined nor input:\n%s", v.Name, s)
+				}
+			}
+		}
+	}
+}
+
+// TestMinimality: the paper notes backward iteration minimizes strand
+// count. A chain a->b->c must give exactly one strand, not three.
+func TestMinimality(t *testing.T) {
+	b := block([]string{"x"},
+		ivl.Assign(iv("a"), ivl.Bin(ivl.Add, ivl.IntVar("x"), ivl.C(1))),
+		ivl.Assign(iv("b"), ivl.Bin(ivl.Add, ivl.IntVar("a"), ivl.C(1))),
+		ivl.Assign(iv("c"), ivl.Bin(ivl.Add, ivl.IntVar("b"), ivl.C(1))),
+	)
+	if got := len(FromBlock("p", b)); got != 1 {
+		t.Errorf("chain produced %d strands, want 1", got)
+	}
+}

@@ -1,0 +1,199 @@
+// Package tracy reimplements the tracelet-based code-search baseline the
+// paper compares against (David & Yahav, PLDI'14, "Tracelet-based code
+// search in executables"). Procedures decompose into k-tracelets —
+// partial execution paths of k consecutive basic blocks — which are
+// compared by alignment after register-name abstraction; a query tracelet
+// counts as matched when the best alignment similarity reaches the ratio
+// threshold (the paper's tables use Ratio-70, i.e. 0.70). The procedure
+// score is the matched fraction of query tracelets.
+//
+// TRACY is syntactic: it survives small patches and same-vendor version
+// changes (instruction sequences barely move) but degrades sharply across
+// compiler vendors — the behaviour Table 2 documents.
+package tracy
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/cfg"
+)
+
+// Config tunes the baseline.
+type Config struct {
+	// K is the tracelet length in basic blocks (the PLDI'14 evaluation
+	// settled on 3).
+	K int
+	// Ratio is the alignment-similarity acceptance threshold; the
+	// paper's comparison uses TRACY "Ratio-70" = 0.70.
+	Ratio float64
+}
+
+// Default returns the Ratio-70, k=3 configuration used in the paper.
+func Default() Config { return Config{K: 3, Ratio: 0.70} }
+
+// Tracelet is one abstracted k-block instruction sequence.
+type Tracelet struct {
+	Ops []string // abstracted instructions
+}
+
+// Proc is a procedure prepared for tracelet matching.
+type Proc struct {
+	Name      string
+	Source    asm.Provenance
+	Tracelets []Tracelet
+}
+
+// Prepare decomposes a procedure into k-tracelets.
+func Prepare(p *asm.Proc, cfgn Config) (*Proc, error) {
+	if cfgn.K <= 0 {
+		cfgn = Default()
+	}
+	g, err := cfg.Build(p)
+	if err != nil {
+		return nil, err
+	}
+	out := &Proc{Name: p.Name, Source: p.Source}
+
+	// Enumerate all paths of exactly K blocks (or shorter paths that
+	// dead-end), starting from every block.
+	var walk func(path []*cfg.Block)
+	walk = func(path []*cfg.Block) {
+		last := path[len(path)-1]
+		if len(path) == cfgn.K || len(last.Succs) == 0 {
+			out.Tracelets = append(out.Tracelets, abstract(path))
+			return
+		}
+		for _, s := range last.Succs {
+			ext := make([]*cfg.Block, len(path)+1)
+			copy(ext, path)
+			ext[len(path)] = g.Blocks[s]
+			walk(ext)
+		}
+	}
+	for _, b := range g.Blocks {
+		walk([]*cfg.Block{b})
+	}
+	return out, nil
+}
+
+// abstract turns a block path into a canonical instruction string list:
+// mnemonics are kept, registers are alpha-renamed in order of first
+// appearance (the PLDI'14 "rewrite" normalization), and immediates are
+// kept verbatim (they carry the semantics TRACY can see).
+func abstract(path []*cfg.Block) Tracelet {
+	names := map[asm.Reg]string{}
+	regName := func(r asm.Reg) string {
+		if n, ok := names[r]; ok {
+			return n
+		}
+		n := fmt.Sprintf("R%d", len(names))
+		names[r] = n
+		return n
+	}
+	opnd := func(o asm.Operand) string {
+		switch o.Kind {
+		case asm.KindReg:
+			return regName(o.Reg) + widthTag(o.Width)
+		case asm.KindImm:
+			return fmt.Sprintf("#%d", o.Imm)
+		case asm.KindMem:
+			var b strings.Builder
+			b.WriteByte('[')
+			if o.Base != asm.NoReg {
+				b.WriteString(regName(o.Base))
+			}
+			if o.Index != asm.NoReg {
+				fmt.Fprintf(&b, "+%s*%d", regName(o.Index), o.Scale)
+			}
+			if o.Disp != 0 {
+				fmt.Fprintf(&b, "%+d", o.Disp)
+			}
+			b.WriteByte(']')
+			return b.String()
+		}
+		return ""
+	}
+	var t Tracelet
+	for _, b := range path {
+		for _, in := range b.Insts {
+			var s string
+			switch {
+			case in.Op == asm.LABEL:
+				continue
+			case in.IsBranch() || in.Op == asm.CALL:
+				// Targets are addresses in real binaries; abstract away.
+				s = in.Mnemonic()
+			case in.Src.IsZero() && in.Dst.IsZero():
+				s = in.Mnemonic()
+			case in.Src.IsZero():
+				s = in.Mnemonic() + " " + opnd(in.Dst)
+			default:
+				s = in.Mnemonic() + " " + opnd(in.Dst) + "," + opnd(in.Src)
+			}
+			t.Ops = append(t.Ops, s)
+		}
+	}
+	return t
+}
+
+func widthTag(w asm.Width) string {
+	switch w {
+	case asm.Width1:
+		return ".b"
+	case asm.Width2:
+		return ".w"
+	case asm.Width4:
+		return ".d"
+	default:
+		return ""
+	}
+}
+
+// Similarity aligns two tracelets (longest common subsequence over
+// abstracted instructions) and returns 2*LCS / (len(a)+len(b)).
+func Similarity(a, b Tracelet) float64 {
+	n, m := len(a.Ops), len(b.Ops)
+	if n == 0 || m == 0 {
+		return 0
+	}
+	prev := make([]int, m+1)
+	cur := make([]int, m+1)
+	for i := 1; i <= n; i++ {
+		for j := 1; j <= m; j++ {
+			if a.Ops[i-1] == b.Ops[j-1] {
+				cur[j] = prev[j-1] + 1
+			} else if prev[j] >= cur[j-1] {
+				cur[j] = prev[j]
+			} else {
+				cur[j] = cur[j-1]
+			}
+		}
+		prev, cur = cur, prev
+	}
+	lcs := prev[m]
+	return 2 * float64(lcs) / float64(n+m)
+}
+
+// Score returns the TRACY similarity of query q to target t: the
+// fraction of q's tracelets whose best alignment within t clears the
+// ratio threshold.
+func Score(q, t *Proc, cfgn Config) float64 {
+	if cfgn.K <= 0 {
+		cfgn = Default()
+	}
+	if len(q.Tracelets) == 0 {
+		return 0
+	}
+	matched := 0
+	for _, qt := range q.Tracelets {
+		for _, tt := range t.Tracelets {
+			if Similarity(qt, tt) >= cfgn.Ratio {
+				matched++
+				break
+			}
+		}
+	}
+	return float64(matched) / float64(len(q.Tracelets))
+}

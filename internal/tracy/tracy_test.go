@@ -1,0 +1,153 @@
+package tracy
+
+import (
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/minic"
+)
+
+func prep(t *testing.T, p *asm.Proc) *Proc {
+	t.Helper()
+	tp, err := Prepare(p, Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func compileWith(t *testing.T, src, fn, tcName string) *asm.Proc {
+	t.Helper()
+	tc, ok := compile.ByName(tcName)
+	if !ok {
+		t.Fatalf("no toolchain %s", tcName)
+	}
+	p, err := compile.Compile(minic.MustParse(src), fn, tc, compile.O2())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+const loopSrc = `
+func f(buf, len) {
+	var s = 0;
+	var i = 0;
+	while (i < len) {
+		s = s + load8(buf + i);
+		i = i + 1;
+	}
+	return s;
+}`
+
+func TestSelfSimilarityIsOne(t *testing.T) {
+	p := compileWith(t, loopSrc, "f", "gcc-4.9")
+	tp := prep(t, p)
+	if got := Score(tp, tp, Default()); got != 1.0 {
+		t.Errorf("self score = %v, want 1", got)
+	}
+}
+
+func TestSimilarityBounds(t *testing.T) {
+	a := Tracelet{Ops: []string{"mov R0,R1", "add R0,#1"}}
+	b := Tracelet{Ops: []string{"mov R0,R1", "add R0,#1"}}
+	if Similarity(a, b) != 1.0 {
+		t.Error("identical tracelets not 1.0")
+	}
+	c := Tracelet{Ops: []string{"xor R0,R0"}}
+	if s := Similarity(a, c); s != 0 {
+		t.Errorf("disjoint tracelets = %v", s)
+	}
+	if Similarity(Tracelet{}, a) != 0 {
+		t.Error("empty tracelet should score 0")
+	}
+}
+
+func TestRegisterAbstraction(t *testing.T) {
+	// Same computation in different registers must abstract identically.
+	p1, _ := asm.ParseProc("proc a\n\tmov r10, rdi\n\tadd r10, 1\n\tret\nendp")
+	p2, _ := asm.ParseProc("proc b\n\tmov rbx, rsi\n\tadd rbx, 1\n\tret\nendp")
+	t1 := prep(t, p1)
+	t2 := prep(t, p2)
+	if got := Score(t1, t2, Default()); got != 1.0 {
+		t.Errorf("alpha-renamed code scores %v, want 1.0", got)
+	}
+}
+
+func TestVersionRobustPatchRobust(t *testing.T) {
+	// TRACY's strength: same vendor, small patch — score stays high.
+	v := corpus.Vulns()[0] // Heartbleed
+	gcc48 := mustCompileVuln(t, v, "gcc-4.8", false)
+	gcc49 := mustCompileVuln(t, v, "gcc-4.9", false)
+	gcc49p := mustCompileVuln(t, v, "gcc-4.9", true)
+
+	sameVendor := Score(prep(t, gcc49), prep(t, gcc48), Default())
+	if sameVendor < 0.4 {
+		t.Errorf("cross-version TRACY score = %v, expected robust (> 0.4)", sameVendor)
+	}
+	patched := Score(prep(t, gcc49), prep(t, gcc49p), Default())
+	if patched < 0.4 {
+		t.Errorf("patched TRACY score = %v, expected robust (> 0.4)", patched)
+	}
+}
+
+func TestCrossVendorDegrades(t *testing.T) {
+	// TRACY's weakness (Table 2): cross-vendor scores collapse relative
+	// to same-vendor scores.
+	v := corpus.Vulns()[0]
+	gcc49 := mustCompileVuln(t, v, "gcc-4.9", false)
+	gcc48 := mustCompileVuln(t, v, "gcc-4.8", false)
+	icc := mustCompileVuln(t, v, "icc-15.0.1", false)
+
+	q := prep(t, gcc49)
+	same := Score(q, prep(t, gcc48), Default())
+	cross := Score(q, prep(t, icc), Default())
+	if cross >= same {
+		t.Errorf("cross-vendor (%v) should degrade vs same-vendor (%v)", cross, same)
+	}
+}
+
+func mustCompileVuln(t *testing.T, v corpus.Vuln, tcName string, patched bool) *asm.Proc {
+	t.Helper()
+	tc, ok := compile.ByName(tcName)
+	if !ok {
+		t.Fatalf("no toolchain %s", tcName)
+	}
+	p, err := corpus.CompileVuln(v, tc, patched)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestTraceletCount(t *testing.T) {
+	// A diamond CFG (4 blocks) with K=3 must enumerate both paths.
+	src := `proc f
+	test rdi, rdi
+	jne b
+	mov rax, 1
+	jmp done
+b:
+	mov rax, 2
+done:
+	ret
+endp`
+	p, err := asm.ParseProc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tp := prep(t, p)
+	// Paths from entry: entry->then->done, entry->else->done; from then:
+	// then->done; from else: else->done; from done: done. Total 5.
+	if len(tp.Tracelets) != 5 {
+		t.Errorf("tracelets = %d, want 5", len(tp.Tracelets))
+	}
+}
+
+func TestPrepareError(t *testing.T) {
+	if _, err := Prepare(&asm.Proc{Name: "empty"}, Default()); err == nil {
+		t.Error("empty procedure accepted")
+	}
+}

@@ -1,0 +1,273 @@
+// Package vcp implements the paper's Algorithm 2: computing the Variable
+// Containment Proportion between two strands by enumerating input
+// correspondences γ, realizing the input-equality assumptions through
+// shared sample slots, and counting query variables that have an
+// equivalent counterpart in the target strand.
+//
+// The §5.5 engineering heuristics are implemented here as well: input
+// correspondences are one-to-one, total on the query inputs and
+// type-preserving; trivially small strands and grossly size-mismatched
+// pairs are rejected before any verifier work; and per-strand evaluation
+// vectors are computed once and reused across correspondences (the
+// batched-query optimization).
+package vcp
+
+import (
+	"repro/internal/ivl"
+	"repro/internal/smt"
+	"repro/internal/strand"
+)
+
+// Config tunes the VCP computation. The zero value selects the paper's
+// settings via Default.
+type Config struct {
+	// Samples is the number of evaluation vectors (verifier precision).
+	Samples int
+	// MinVars rejects query strands with fewer defined variables
+	// (paper §5.5 uses 5).
+	MinVars int
+	// SizeRatio rejects target strands whose variable count is below
+	// SizeRatio or above 1/SizeRatio times the query's (paper: 0.5).
+	SizeRatio float64
+	// MaxCorrespondences caps the γ enumeration per strand pair.
+	MaxCorrespondences int
+}
+
+// Default returns the configuration used in the paper's experiments.
+func Default() Config {
+	return Config{
+		Samples:            smt.DefaultSamples,
+		MinVars:            5,
+		SizeRatio:          0.5,
+		MaxCorrespondences: 96, // role signatures order the search; see Compute
+	}
+}
+
+// normalized fills in zero fields.
+func (c Config) normalized() Config {
+	d := Default()
+	if c.Samples <= 0 {
+		c.Samples = d.Samples
+	}
+	if c.MinVars <= 0 {
+		c.MinVars = d.MinVars
+	}
+	if c.SizeRatio <= 0 {
+		c.SizeRatio = d.SizeRatio
+	}
+	if c.MaxCorrespondences <= 0 {
+		c.MaxCorrespondences = d.MaxCorrespondences
+	}
+	return c
+}
+
+// Prepared caches a strand's compiled evaluation program and — under the
+// identity slot assignment, used when the strand is the target — the set
+// of its variables' value-vector fingerprints. Preparation happens once
+// per unique strand; VCP computations against many counterparts reuse it.
+type Prepared struct {
+	S *strand.Strand
+	// prog is the strand compiled to flat code (query-side evaluation).
+	prog *smt.Program
+	// fpSet is the set of variable-vector fingerprints under the
+	// identity slot assignment (target-side matching).
+	fpSet map[uint64]bool
+	// sigs holds one syntactic role signature per input (by input
+	// index): a hash of the operator contexts the input appears in.
+	// Matching inputs across strands almost always have equal
+	// signatures, so the γ search tries equal-signature slots first.
+	sigs []uint64
+	// key is the strand's canonical structural key (for caching).
+	key string
+	err error
+}
+
+// roleSignatures computes a context hash per strand input.
+func roleSignatures(s *strand.Strand) []uint64 {
+	sig := make(map[string]uint64, len(s.Inputs))
+	for _, st := range s.Stmts {
+		var walk func(e ivl.Expr, parentOp string, pos int)
+		walk = func(e ivl.Expr, parentOp string, pos int) {
+			switch t := e.(type) {
+			case ivl.VarExpr:
+				if isInput(s, t.V.Name) {
+					// Order-independent accumulation: sum of mixed
+					// context hashes.
+					h := hash64(parentOp)*31 + uint64(pos) + 1
+					h ^= h >> 27
+					h *= 0x94d049bb133111eb
+					sig[t.V.Name] += h
+				}
+			case ivl.UnExpr:
+				walk(t.X, "u"+t.Op.String(), 0)
+			case ivl.BinExpr:
+				op := t.Op.String()
+				if t.Op.IsCommutative() {
+					walk(t.X, op, 0)
+					walk(t.Y, op, 0)
+				} else {
+					walk(t.X, op, 0)
+					walk(t.Y, op, 1)
+				}
+			case ivl.IteExpr:
+				walk(t.Cond, "ite", 0)
+				walk(t.Then, "ite", 1)
+				walk(t.Else, "ite", 2)
+			case ivl.TruncExpr:
+				walk(t.X, "trunc", 0)
+			case ivl.SextExpr:
+				walk(t.X, "sext", 0)
+			case ivl.LoadExpr:
+				walk(t.Mem, "load", 0)
+				walk(t.Addr, "load", 1)
+			case ivl.StoreExpr:
+				walk(t.Mem, "store", 0)
+				walk(t.Addr, "store", 1)
+				walk(t.Val, "store", 2)
+			case ivl.CallExpr:
+				for i, a := range t.Args {
+					walk(a, t.Sym, i)
+				}
+			}
+		}
+		walk(st.Rhs, "=", 0)
+	}
+	out := make([]uint64, len(s.Inputs))
+	for i, in := range s.Inputs {
+		out[i] = sig[in.Name]
+	}
+	return out
+}
+
+func isInput(s *strand.Strand, name string) bool {
+	for _, in := range s.Inputs {
+		if in.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+func hash64(s string) uint64 {
+	h := uint64(14695981039346656037)
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Prepare compiles the strand and evaluates it under its own slot
+// assignment.
+func Prepare(s *strand.Strand, cfg Config) *Prepared {
+	cfg = cfg.normalized()
+	p := &Prepared{S: s, key: s.CanonicalKey()}
+	prog, err := smt.CompileStrand(s.Stmts, s.Inputs)
+	if err != nil {
+		p.err = err
+		return p
+	}
+	p.prog = prog
+	identity := make([]int, len(s.Inputs))
+	for i := range identity {
+		identity[i] = i
+	}
+	fps := prog.Fingerprints(identity, cfg.Samples)
+	p.fpSet = make(map[uint64]bool, len(fps))
+	for _, h := range fps {
+		p.fpSet[h] = true
+	}
+	p.sigs = roleSignatures(s)
+	return p
+}
+
+// Key returns the canonical structural key of the underlying strand.
+func (p *Prepared) Key() string { return p.key }
+
+// Err returns any evaluation error captured at preparation time.
+func (p *Prepared) Err() error { return p.err }
+
+// SizeCompatible applies the §5.5 size-ratio window.
+func SizeCompatible(q, t *strand.Strand, ratio float64) bool {
+	nq, nt := float64(q.NumVars()), float64(t.NumVars())
+	if nq == 0 || nt == 0 {
+		return false
+	}
+	return nt >= nq*ratio && nt <= nq/ratio
+}
+
+// Compute returns VCP(q, t): the maximal fraction of q's variables with
+// an input-output-equivalent variable in t over all type-preserving,
+// injective, total-on-q input correspondences. It returns 0 when no
+// valid correspondence exists.
+func Compute(q, t *Prepared, cfg Config) float64 {
+	cfg = cfg.normalized()
+	if q.err != nil || t.err != nil || q.S.NumVars() == 0 {
+		return 0
+	}
+	if len(q.S.Inputs) > len(t.S.Inputs) {
+		return 0 // γ must be injective and total on q's inputs
+	}
+
+	// Enumerate injective type-preserving assignments of q inputs to
+	// target slots.
+	qIn := q.S.Inputs
+	tIn := t.S.Inputs
+	assignment := make([]int, len(qIn)) // q input index -> target slot
+	usedSlot := make([]bool, len(tIn))
+	best := 0.0
+	tried := 0
+	nVars := float64(q.S.NumVars())
+
+	// Candidate slots per query input, equal-role-signature slots first:
+	// matching inputs across real compilations almost always play the
+	// same syntactic role, so the right correspondence is found within
+	// the first few attempts and the cap rarely bites.
+	candidates := make([][]int, len(qIn))
+	for i := range qIn {
+		var same, other []int
+		for slot := 0; slot < len(tIn); slot++ {
+			if tIn[slot].Type != qIn[i].Type {
+				continue
+			}
+			if q.sigs[i] == t.sigs[slot] {
+				same = append(same, slot)
+			} else {
+				other = append(other, slot)
+			}
+		}
+		candidates[i] = append(same, other...)
+	}
+
+	var rec func(i int)
+	rec = func(i int) {
+		if best >= 1.0 || tried >= cfg.MaxCorrespondences {
+			return
+		}
+		if i == len(qIn) {
+			tried++
+			fps := q.prog.Fingerprints(assignment, cfg.Samples)
+			matched := 0
+			for _, h := range fps {
+				if t.fpSet[h] {
+					matched++
+				}
+			}
+			if v := float64(matched) / nVars; v > best {
+				best = v
+			}
+			return
+		}
+		for _, slot := range candidates[i] {
+			if usedSlot[slot] {
+				continue
+			}
+			usedSlot[slot] = true
+			assignment[i] = slot
+			rec(i + 1)
+			usedSlot[slot] = false
+		}
+	}
+	rec(0)
+	return best
+}

@@ -1,0 +1,67 @@
+package verifier
+
+import (
+	"fmt"
+
+	"repro/internal/ivl"
+)
+
+// SolveBatch answers several queries in one call, the way the paper's
+// §5.5 batches verifier work: the queries' statements are merged into a
+// single joint program under disjoint namespaces (the paper uses Boogie's
+// non-deterministic branches; our engines evaluate all paths anyway), so
+// shared setup work — input classes and the sample battery — is paid
+// once per batch instead of once per query.
+func SolveBatch(queries []Query, samples int) ([]Result, error) {
+	if len(queries) == 0 {
+		return nil, nil
+	}
+	if len(queries) == 1 {
+		r, err := Solve(queries[0], samples)
+		if err != nil {
+			return nil, err
+		}
+		return []Result{r}, nil
+	}
+
+	// Merge under per-query namespaces.
+	var merged Query
+	assertsPer := make([]int, len(queries))
+	for qi, q := range queries {
+		prefix := fmt.Sprintf("b%d_", qi)
+		ren := func(v ivl.Var) ivl.Var {
+			v.Name = prefix + v.Name
+			return v
+		}
+		for _, in := range q.Inputs {
+			merged.Inputs = append(merged.Inputs, ren(in))
+		}
+		for _, s := range q.Stmts {
+			ns := ivl.Stmt{Kind: s.Kind, Rhs: ivl.Rename(s.Rhs, ren)}
+			if s.Kind == ivl.SAssign {
+				ns.Dst = ren(s.Dst)
+			} else if s.Kind == ivl.SAssert {
+				assertsPer[qi]++
+			}
+			merged.Stmts = append(merged.Stmts, ns)
+		}
+	}
+
+	res, err := Solve(merged, samples)
+	if err != nil {
+		return nil, err
+	}
+
+	// Split the flat assertion verdicts back per query.
+	out := make([]Result, len(queries))
+	pos := 0
+	for qi := range queries {
+		n := assertsPer[qi]
+		out[qi] = Result{
+			Holds:  append([]bool{}, res.Holds[pos:pos+n]...),
+			Proven: append([]bool{}, res.Proven[pos:pos+n]...),
+		}
+		pos += n
+	}
+	return out, nil
+}

@@ -1,0 +1,90 @@
+package verifier
+
+import (
+	"testing"
+
+	"repro/internal/ivl"
+)
+
+func TestSolveBatchMatchesIndividualSolve(t *testing.T) {
+	mk := func(c1, c2 uint64) Query {
+		return joint(
+			[]ivl.Var{iv("xq"), iv("xt")},
+			ivl.Assume(eq("xq", "xt")),
+			assign("vq", ivl.Bin(ivl.Add, ivl.IntVar("xq"), ivl.C(c1))),
+			assign("vt", ivl.Bin(ivl.Add, ivl.IntVar("xt"), ivl.C(c2))),
+			ivl.Assert(eq("vq", "vt")),
+			ivl.Assert(eq("vq", "vq")),
+		)
+	}
+	queries := []Query{mk(1, 1), mk(1, 2), mk(7, 7)}
+
+	batch, err := SolveBatch(queries, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(batch) != len(queries) {
+		t.Fatalf("results = %d", len(batch))
+	}
+	for i, q := range queries {
+		single, err := Solve(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(batch[i].Holds) != len(single.Holds) {
+			t.Fatalf("query %d: assertion counts differ", i)
+		}
+		for j := range single.Holds {
+			if batch[i].Holds[j] != single.Holds[j] {
+				t.Errorf("query %d assert %d: batch %v, single %v",
+					i, j, batch[i].Holds[j], single.Holds[j])
+			}
+		}
+	}
+	// Sanity on content: queries 0 and 2 hold, query 1 does not.
+	if !batch[0].Holds[0] || batch[1].Holds[0] || !batch[2].Holds[0] {
+		t.Errorf("batch verdicts wrong: %+v", batch)
+	}
+}
+
+func TestSolveBatchNamespaceIsolation(t *testing.T) {
+	// Identical variable names across queries must not interfere: the
+	// two queries assume different input pairings and must get their own
+	// verdicts.
+	q1 := joint(
+		[]ivl.Var{iv("a"), iv("b")},
+		ivl.Assume(eq("a", "b")),
+		assign("v", ivl.Bin(ivl.Sub, ivl.IntVar("a"), ivl.IntVar("b"))),
+		assign("w", ivl.C(0)),
+		ivl.Assert(eq("v", "w")),
+	)
+	q2 := joint(
+		[]ivl.Var{iv("a"), iv("b")}, // no assumption: a and b differ
+		assign("v", ivl.Bin(ivl.Sub, ivl.IntVar("a"), ivl.IntVar("b"))),
+		assign("w", ivl.C(0)),
+		ivl.Assert(eq("v", "w")),
+	)
+	res, err := SolveBatch([]Query{q1, q2}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res[0].Holds[0] {
+		t.Error("assumed-equal query should hold")
+	}
+	if res[1].Holds[0] {
+		t.Error("unassumed query leaked the other query's assumption")
+	}
+}
+
+func TestSolveBatchEmptyAndSingle(t *testing.T) {
+	if res, err := SolveBatch(nil, 0); err != nil || res != nil {
+		t.Errorf("empty batch: %v %v", res, err)
+	}
+	q := joint([]ivl.Var{iv("x")},
+		assign("v", ivl.IntVar("x")),
+		ivl.Assert(eq("v", "v")))
+	res, err := SolveBatch([]Query{q}, 0)
+	if err != nil || len(res) != 1 || !res[0].Holds[0] {
+		t.Errorf("single batch: %+v %v", res, err)
+	}
+}

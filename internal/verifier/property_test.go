@@ -1,0 +1,110 @@
+package verifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ivl"
+)
+
+// Property tests pitting Solve against brute-force evaluation: for random
+// joint programs, any assertion Solve accepts must hold on thousands of
+// fresh random environments satisfying the assumptions (soundness up to
+// the documented sampling caveat), and any assertion brute force shows to
+// hold on the sample battery must be accepted (completeness relative to
+// the battery).
+
+// randomJoint builds two structurally related strands: the target is the
+// query with operands rewritten through equivalence-preserving or
+// equivalence-breaking transforms, plus assumptions and assertions.
+func randomJoint(rng *rand.Rand, breakIt bool) (Query, int) {
+	nIn := 1 + rng.Intn(2)
+	var inputs []ivl.Var
+	var stmts []ivl.Stmt
+	for i := 0; i < nIn; i++ {
+		q := ivl.Var{Name: "q_in" + string(rune('0'+i)), Type: ivl.Int}
+		t := ivl.Var{Name: "t_in" + string(rune('0'+i)), Type: ivl.Int}
+		inputs = append(inputs, q, t)
+		stmts = append(stmts, ivl.Assume(ivl.Bin(ivl.Eq, ivl.V(q), ivl.V(t))))
+	}
+	in := func(side string, i int) ivl.Expr { return ivl.IntVar(side + "_in" + string(rune('0'+i))) }
+
+	// A small arithmetic chain; the target uses rewritten but equivalent
+	// forms (x*2 ↔ x<<1, a+b ↔ b+a, x-c ↔ x+(-c)).
+	c := int64(rng.Intn(64) + 1)
+	qExpr := ivl.Bin(ivl.Add,
+		ivl.Bin(ivl.Mul, in("q", 0), ivl.C(2)),
+		ivl.Bin(ivl.Sub, in("q", nIn-1), ivl.C(uint64(c))))
+	tExpr := ivl.Bin(ivl.Add,
+		ivl.Bin(ivl.Add, in("t", nIn-1), ivl.C(uint64(-c))),
+		ivl.Bin(ivl.Shl, in("t", 0), ivl.C(1)))
+	if breakIt {
+		tExpr = ivl.Bin(ivl.Add, tExpr, ivl.C(uint64(rng.Intn(5)+1)))
+	}
+	stmts = append(stmts,
+		ivl.Assign(ivl.Var{Name: "q_v", Type: ivl.Int}, qExpr),
+		ivl.Assign(ivl.Var{Name: "t_v", Type: ivl.Int}, tExpr),
+		ivl.Assert(ivl.Bin(ivl.Eq, ivl.IntVar("q_v"), ivl.IntVar("t_v"))),
+	)
+	return Query{Inputs: inputs, Stmts: stmts}, nIn
+}
+
+func TestQuickSolveAgreesWithBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(123))
+	for trial := 0; trial < 200; trial++ {
+		breakIt := trial%2 == 1
+		q, nIn := randomJoint(rng, breakIt)
+		res, err := Solve(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Holds[0] == breakIt {
+			t.Fatalf("trial %d: Solve says %v for broken=%v", trial, res.Holds[0], breakIt)
+		}
+		// Soundness: when Solve accepts, the equality holds on fresh
+		// random environments (not just the battery).
+		if res.Holds[0] {
+			for check := 0; check < 50; check++ {
+				env := ivl.Env{}
+				for i := 0; i < nIn; i++ {
+					v := rng.Uint64()
+					env["q_in"+string(rune('0'+i))] = ivl.IntValue(v)
+					env["t_in"+string(rune('0'+i))] = ivl.IntValue(v)
+				}
+				failed := map[int]bool{}
+				var asserts []ivl.Stmt
+				for _, s := range q.Stmts {
+					if s.Kind != ivl.SAssume {
+						asserts = append(asserts, s)
+					}
+				}
+				ok, err := ivl.RunStmts(asserts, env, failed)
+				if err != nil || !ok {
+					t.Fatal(err)
+				}
+				if len(failed) > 0 {
+					t.Fatalf("trial %d: Solve accepted but equality fails on env %v", trial, env)
+				}
+			}
+		}
+	}
+}
+
+// TestSolveProofEngineAgreesWithSampling: every assertion the symbolic
+// engine proves must also survive the sampling engine (the two engines
+// may never disagree in that direction).
+func TestSolveProofEngineAgreesWithSampling(t *testing.T) {
+	rng := rand.New(rand.NewSource(321))
+	for trial := 0; trial < 120; trial++ {
+		q, _ := randomJoint(rng, false)
+		res, err := Solve(q, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range res.Holds {
+			if res.Proven[i] && !res.Holds[i] {
+				t.Fatalf("trial %d: proven but not holding", trial)
+			}
+		}
+	}
+}

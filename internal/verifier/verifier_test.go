@@ -1,0 +1,240 @@
+package verifier
+
+import (
+	"testing"
+
+	"repro/internal/ivl"
+)
+
+func iv(n string) ivl.Var                  { return ivl.Var{Name: n, Type: ivl.Int} }
+func mv(n string) ivl.Var                  { return ivl.Var{Name: n, Type: ivl.Mem} }
+func eq(a, b string) ivl.Expr              { return ivl.Bin(ivl.Eq, ivl.IntVar(a), ivl.IntVar(b)) }
+func assign(d string, e ivl.Expr) ivl.Stmt { return ivl.Assign(iv(d), e) }
+
+// joint builds the canonical Algorithm-2 query shape used in tests.
+func joint(inputs []ivl.Var, stmts ...ivl.Stmt) Query {
+	return Query{Inputs: inputs, Stmts: stmts}
+}
+
+func TestSolveProvesSyntacticVariants(t *testing.T) {
+	// Query strand: vq = (xq + 1) * 2
+	// Target strand: vt = (xt * 2) + 2   — equal under xq == xt.
+	q := joint(
+		[]ivl.Var{iv("xq"), iv("xt")},
+		ivl.Assume(eq("xq", "xt")),
+		assign("vq", ivl.Bin(ivl.Mul, ivl.Bin(ivl.Add, ivl.IntVar("xq"), ivl.C(1)), ivl.C(2))),
+		assign("vt", ivl.Bin(ivl.Add, ivl.Bin(ivl.Mul, ivl.IntVar("xt"), ivl.C(2)), ivl.C(2))),
+		ivl.Assert(eq("vq", "vt")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds[0] {
+		t.Error("equivalent computations not accepted")
+	}
+	if !res.Proven[0] {
+		t.Error("distributive pair should be proved by canonicalization")
+	}
+}
+
+func TestSolveShiftVsMul(t *testing.T) {
+	// x << 3 vs x * 8 — the classic strength-reduction divergence.
+	q := joint(
+		[]ivl.Var{iv("xq"), iv("xt")},
+		ivl.Assume(eq("xq", "xt")),
+		assign("vq", ivl.Bin(ivl.Shl, ivl.IntVar("xq"), ivl.C(3))),
+		assign("vt", ivl.Bin(ivl.Mul, ivl.IntVar("xt"), ivl.C(8))),
+		ivl.Assert(eq("vq", "vt")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds[0] || !res.Proven[0] {
+		t.Errorf("shl/mul not proved: %+v", res)
+	}
+}
+
+func TestSolveRefutesDifferent(t *testing.T) {
+	q := joint(
+		[]ivl.Var{iv("xq"), iv("xt")},
+		ivl.Assume(eq("xq", "xt")),
+		assign("vq", ivl.Bin(ivl.Add, ivl.IntVar("xq"), ivl.C(1))),
+		assign("vt", ivl.Bin(ivl.Add, ivl.IntVar("xt"), ivl.C(2))),
+		ivl.Assert(eq("vq", "vt")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds[0] {
+		t.Error("x+1 == x+2 wrongly accepted")
+	}
+}
+
+func TestSolveWithoutAssumption(t *testing.T) {
+	// Without assuming xq == xt the inputs get different slots, so the
+	// same computation must NOT be equal.
+	q := joint(
+		[]ivl.Var{iv("xq"), iv("xt")},
+		assign("vq", ivl.Bin(ivl.Add, ivl.IntVar("xq"), ivl.C(1))),
+		assign("vt", ivl.Bin(ivl.Add, ivl.IntVar("xt"), ivl.C(1))),
+		ivl.Assert(eq("vq", "vt")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds[0] {
+		t.Error("unrelated inputs wrongly considered equal")
+	}
+}
+
+func TestSolveFig4SemanticDifference(t *testing.T) {
+	// The paper's Figure 4: syntactically near-identical strands
+	// (v2 = v1 + 1 vs v2 = v1 + 16) must disagree on nearly everything.
+	build := func(c uint64, pfx string) []ivl.Stmt {
+		v := func(i int) string { return pfx + string(rune('0'+i)) }
+		return []ivl.Stmt{
+			assign(v(2), ivl.Bin(ivl.Add, ivl.IntVar(pfx+"1"), ivl.C(c))),
+			assign(v(3), ivl.Bin(ivl.Xor, ivl.IntVar(v(2)), ivl.IntVar(pfx+"1"))),
+			assign(v(4), ivl.Bin(ivl.And, ivl.IntVar(v(3)), ivl.IntVar(v(2)))),
+			assign(v(5), ivl.Bin(ivl.SLt, ivl.IntVar(v(4)), ivl.C(0))),
+		}
+	}
+	stmts := []ivl.Stmt{ivl.Assume(eq("q1", "t1"))}
+	stmts = append(stmts, build(1, "q")...)
+	stmts = append(stmts, build(16, "t")...)
+	for _, pair := range [][2]string{{"q2", "t2"}, {"q3", "t3"}, {"q4", "t4"}, {"q5", "t5"}} {
+		stmts = append(stmts, ivl.Assert(eq(pair[0], pair[1])))
+	}
+	q := Query{Inputs: []ivl.Var{iv("q1"), iv("t1")}, Stmts: stmts}
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matched := 0
+	for _, h := range res.Holds {
+		if h {
+			matched++
+		}
+	}
+	if matched != 0 {
+		t.Errorf("Fig-4 strands matched %d/4 variables, want 0", matched)
+	}
+}
+
+func TestSolveMemoryEquivalence(t *testing.T) {
+	// Both strands store the same value at the same (assumed-equal)
+	// address: resulting memories must be equal.
+	st := func(mem, addr, val, dst string) ivl.Stmt {
+		return ivl.Stmt{Kind: ivl.SAssign, Dst: mv(dst), Rhs: ivl.StoreExpr{
+			Mem:  ivl.VarExpr{V: mv(mem)},
+			Addr: ivl.IntVar(addr),
+			Val:  ivl.IntVar(val),
+			W:    8,
+		}}
+	}
+	q := Query{
+		Inputs: []ivl.Var{mv("mq"), mv("mt"), iv("aq"), iv("at"), iv("vq"), iv("vt")},
+		Stmts: []ivl.Stmt{
+			ivl.Assume(eq("mq", "mt")),
+			ivl.Assume(eq("aq", "at")),
+			ivl.Assume(eq("vq", "vt")),
+			st("mq", "aq", "vq", "mq1"),
+			st("mt", "at", "vt", "mt1"),
+			ivl.Assert(eq("mq1", "mt1")),
+		},
+	}
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds[0] {
+		t.Error("identical stores produce unequal memories")
+	}
+}
+
+func TestSolveCallEquivalence(t *testing.T) {
+	call := func(arg string) ivl.Expr {
+		return ivl.CallExpr{Sym: "call/1", Args: []ivl.Expr{ivl.IntVar(arg)}}
+	}
+	q := joint(
+		[]ivl.Var{iv("aq"), iv("at")},
+		ivl.Assume(eq("aq", "at")),
+		assign("rq", call("aq")),
+		assign("rt", call("at")),
+		ivl.Assert(eq("rq", "rt")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Holds[0] {
+		t.Error("same-argument uninterpreted calls not equal")
+	}
+	if !res.Proven[0] {
+		t.Error("congruent calls should be proved by canonicalization")
+	}
+}
+
+func TestSolveRejectsBadAssumption(t *testing.T) {
+	q := joint(
+		[]ivl.Var{iv("x")},
+		ivl.Assume(ivl.Bin(ivl.SLt, ivl.IntVar("x"), ivl.C(5))),
+	)
+	if _, err := Solve(q, 0); err == nil {
+		t.Error("non-equality assumption not rejected")
+	}
+	q = joint(
+		[]ivl.Var{iv("x")},
+		assign("v", ivl.C(1)),
+		ivl.Assume(eq("x", "v")), // v is not an input
+	)
+	if _, err := Solve(q, 0); err == nil {
+		t.Error("assumption over non-input not rejected")
+	}
+}
+
+func TestSolveZeroOnlyDifferenceCaught(t *testing.T) {
+	// vq = ite(x != 0, 1, 1) == 1 constant; vt = (x != 0).
+	// These agree except at x == 0 — the battery must refute.
+	q := joint(
+		[]ivl.Var{iv("xq"), iv("xt")},
+		ivl.Assume(eq("xq", "xt")),
+		assign("vq", ivl.C(1)),
+		assign("vt", ivl.Bin(ivl.Ne, ivl.IntVar("xt"), ivl.C(0))),
+		ivl.Assert(eq("vq", "vt")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Holds[0] {
+		t.Error("x!=0 accepted as constant 1 (sample battery hole)")
+	}
+}
+
+func TestSolveMultipleAssertsOrdered(t *testing.T) {
+	q := joint(
+		[]ivl.Var{iv("xq"), iv("xt")},
+		ivl.Assume(eq("xq", "xt")),
+		assign("a", ivl.Bin(ivl.Add, ivl.IntVar("xq"), ivl.C(1))),
+		assign("b", ivl.Bin(ivl.Add, ivl.IntVar("xt"), ivl.C(1))),
+		assign("c", ivl.Bin(ivl.Add, ivl.IntVar("xt"), ivl.C(2))),
+		ivl.Assert(eq("a", "b")),
+		ivl.Assert(eq("a", "c")),
+		ivl.Assert(eq("b", "b")),
+	)
+	res, err := Solve(q, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{true, false, true}
+	for i := range want {
+		if res.Holds[i] != want[i] {
+			t.Errorf("assert %d = %v, want %v", i, res.Holds[i], want[i])
+		}
+	}
+}
