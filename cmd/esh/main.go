@@ -5,12 +5,14 @@
 //
 // Usage:
 //
-//	esh -query q.s [-db dir-or-file.s ...] [-top 20] [-method esh]
+//	esh -query q.s [-load corpus.eshidx] [dir-or-file.s ...] [-top 20] [-method esh]
 //
 // Files hold procedures in the Intel-like assembler syntax of
 // internal/asm (see Proc.String); a file may contain many procedures.
 // With -demo, esh builds a small demonstration database from the bundled
-// corpus instead of reading files.
+// corpus instead of reading files. With -load, the target database is
+// restored from a strand index snapshot written by eshcorpus -save, so
+// the corpus is not re-indexed on every invocation.
 package main
 
 import (
@@ -24,6 +26,7 @@ import (
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/index"
 	"repro/internal/stats"
 )
 
@@ -32,6 +35,10 @@ func main() {
 	top := flag.Int("top", 20, "number of ranked targets to print")
 	method := flag.String("method", "esh", "ranking method: esh, slog, svcp")
 	demo := flag.Bool("demo", false, "use the bundled demo corpus as the target database")
+	loadPath := flag.String("load", "", "restore the target database from a strand index snapshot (eshcorpus -save)")
+	workers := flag.Int("workers", 0, "query parallelism (0 = GOMAXPROCS)")
+	pathLen := flag.Int("pathlen", 0, "decompose small procedures over control-flow paths of this many blocks (0 = off)")
+	sigmoidK := flag.Float64("sigmoid-k", 0, "Esh sigmoid steepness (0 = paper's k=10)")
 	flag.Parse()
 
 	var m stats.Method
@@ -46,7 +53,24 @@ func main() {
 		fail("unknown method %q (esh, slog, svcp)", *method)
 	}
 
-	db := core.NewDB(core.Options{})
+	var db *core.DB
+	if *loadPath != "" {
+		loaded, err := index.LoadFile(*loadPath)
+		if err != nil {
+			fail("%v", err)
+		}
+		loaded.SetWorkers(*workers)
+		if *pathLen != 0 || *sigmoidK != 0 {
+			fmt.Fprintln(os.Stderr, "esh: -pathlen and -sigmoid-k are fixed at index time; the snapshot's values apply under -load")
+		}
+		db = loaded
+	} else {
+		db = core.NewDB(core.Options{
+			Workers:  *workers,
+			PathLen:  *pathLen,
+			SigmoidK: *sigmoidK,
+		})
+	}
 	var query *asm.Proc
 
 	if *demo {
@@ -96,7 +120,7 @@ func main() {
 		fail("no query: pass -query file.s (or -demo)")
 	}
 	if db.NumTargets() == 0 {
-		fail("no targets: pass database files as arguments (or -demo)")
+		fail("no targets: pass database files as arguments (or -demo / -load)")
 	}
 
 	rep, err := db.Query(query)
@@ -145,7 +169,7 @@ func loadInto(db *core.DB, path string) error {
 		}
 		for _, p := range procs {
 			if err := db.AddTarget(p); err != nil {
-				return err
+				return fmt.Errorf("index %s: procedure %s: %w", f, p.Name, err)
 			}
 		}
 	}

@@ -1,11 +1,14 @@
 // Command eshcorpus builds the simulated test-bed (§5.2–5.3) and either
-// describes it or writes every compiled procedure out as assembler text,
-// producing a database the esh command can search.
+// describes it, writes every compiled procedure out as assembler text
+// (a database the esh command can re-index per run), or indexes it once
+// and saves a strand index snapshot that esh -load and eshd serve
+// without re-running the pipeline.
 //
 // Usage:
 //
 //	eshcorpus -describe
 //	eshcorpus -out corpusdir [-scale full] [-patched]
+//	eshcorpus -save corpus.eshidx [-scale full] [-patched] [-pathlen 0] [-sigmoid-k 0]
 package main
 
 import (
@@ -14,17 +17,23 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"time"
 
 	"repro/internal/compile"
+	"repro/internal/core"
 	"repro/internal/corpus"
+	"repro/internal/index"
 )
 
 func main() {
 	describe := flag.Bool("describe", false, "print the corpus inventory and exit")
 	out := flag.String("out", "", "directory to write per-package .s files into")
+	save := flag.String("save", "", "index the corpus and write a strand index snapshot to this path")
 	scale := flag.String("scale", "full", "small (3 toolchains), medium (5), full (7)")
 	patched := flag.Bool("patched", true, "include patched variants of the vulnerable procedures")
 	synth := flag.Int("synth", 40, "number of generated decoy packages")
+	pathLen := flag.Int("pathlen", 0, "with -save: decompose small procedures over control-flow paths of this many blocks (0 = off)")
+	sigmoidK := flag.Float64("sigmoid-k", 0, "with -save: Esh sigmoid steepness baked into the snapshot (0 = paper's k=10)")
 	flag.Parse()
 
 	// Scales match the experiments package: small = one toolchain per
@@ -68,8 +77,8 @@ func main() {
 		fmt.Println()
 		return
 	}
-	if *out == "" {
-		fail("pass -describe or -out dir")
+	if *out == "" && *save == "" {
+		fail("pass -describe, -out dir, or -save snapshot.eshidx")
 	}
 
 	procs, err := corpus.Build(corpus.BuildConfig{
@@ -79,6 +88,24 @@ func main() {
 	})
 	if err != nil {
 		fail("build: %v", err)
+	}
+
+	if *save != "" {
+		start := time.Now()
+		db := core.NewDB(core.Options{PathLen: *pathLen, SigmoidK: *sigmoidK})
+		for _, p := range procs {
+			if err := db.AddTarget(p); err != nil {
+				fail("index %s: %v", p.Name, err)
+			}
+		}
+		if err := index.SaveFile(*save, db); err != nil {
+			fail("%v", err)
+		}
+		fmt.Printf("indexed %d procedures (%d unique strands) in %s; snapshot saved to %s\n",
+			db.NumTargets(), db.NumUniqueStrands(), time.Since(start).Round(time.Millisecond), *save)
+	}
+	if *out == "" {
+		return
 	}
 	files := map[string]*strings.Builder{}
 	for _, p := range procs {

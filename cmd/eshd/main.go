@@ -1,0 +1,105 @@
+// Command eshd is the query-serving daemon: it loads a strand index
+// snapshot produced by eshcorpus -save (or esh -save-like tooling) and
+// answers similarity queries over HTTP, so a corpus is indexed once and
+// served many times.
+//
+// Usage:
+//
+//	eshd -index corpus.eshidx [-addr :8710] [-timeout 60s]
+//	     [-max-inflight 16] [-workers 0] [-drain 30s]
+//
+// Endpoints:
+//
+//	POST /v1/query    {"asm": "...", "method": "esh|slog|svcp", "top": 20}
+//	GET  /v1/targets  indexed procedures with provenance
+//	GET  /v1/stats    index size, cache occupancy, query counters, latency
+//	GET  /healthz     liveness
+//
+// On SIGINT/SIGTERM the daemon stops accepting connections and drains
+// in-flight queries (up to -drain) before exiting.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/index"
+	"repro/internal/server"
+)
+
+func main() {
+	indexPath := flag.String("index", "", "strand index snapshot to serve (required)")
+	addr := flag.String("addr", ":8710", "listen address")
+	timeout := flag.Duration("timeout", 60*time.Second, "per-query timeout")
+	maxInflight := flag.Int("max-inflight", 0, "max concurrent queries (0 = 2×GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "per-query strand parallelism (0 = GOMAXPROCS)")
+	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	flag.Parse()
+
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	if *indexPath == "" {
+		fail("pass -index snapshot.eshidx (create one with: eshcorpus -save snapshot.eshidx)")
+	}
+
+	start := time.Now()
+	db, err := index.LoadFile(*indexPath)
+	if err != nil {
+		fail("%v", err)
+	}
+	db.SetWorkers(*workers)
+	st := db.Stats()
+	logger.Info("index loaded",
+		"path", *indexPath,
+		"targets", st.Targets,
+		"unique_strands", st.UniqueStrands,
+		"total_strands", st.TotalStrands,
+		"load_ms", time.Since(start).Milliseconds(),
+	)
+
+	srv := server.New(db, server.Config{
+		QueryTimeout: *timeout,
+		MaxInFlight:  *maxInflight,
+		Logger:       logger,
+	})
+	httpSrv := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	logger.Info("serving", "addr", *addr)
+
+	select {
+	case err := <-errCh:
+		fail("serve: %v", err)
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting, let in-flight queries finish.
+	logger.Info("shutting down", "drain", (*drain).String())
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		logger.Error("shutdown incomplete", "err", err)
+		os.Exit(1)
+	}
+	logger.Info("drained, exiting")
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "eshd: "+format+"\n", args...)
+	os.Exit(1)
+}

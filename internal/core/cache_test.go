@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/vcp"
+)
+
+// TestVCPCacheEviction checks that the cross-query memo cache stays
+// bounded: with a tiny pair cap, querying two different procedures must
+// trigger eviction and keep occupancy at (or under) one query's row.
+func TestVCPCacheEviction(t *testing.T) {
+	db := NewDB(Options{VCP: vcp.Config{MinVars: 3}, VCPCachePairs: 2})
+	for _, src := range []string{iccStyle, unrelated} {
+		if err := db.AddTarget(parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query(parse(t, gccStyle)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(parse(t, unrelated)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.VCPCacheEvicted == 0 {
+		t.Fatalf("no evictions with cap 2: %+v", s)
+	}
+	if s.VCPCacheCap != 2 {
+		t.Fatalf("cap = %d, want 2", s.VCPCacheCap)
+	}
+	// Bound may be transiently exceeded by one query strand's row, never
+	// by more: every retained row belongs to a live query strand key.
+	if s.VCPCacheQueries > s.VCPCachePairs {
+		t.Fatalf("more query keys than pairs: %+v", s)
+	}
+}
+
+// TestVCPCacheUnbounded checks that a negative cap disables eviction.
+func TestVCPCacheUnbounded(t *testing.T) {
+	db := NewDB(Options{VCP: vcp.Config{MinVars: 3}, VCPCachePairs: -1})
+	for _, src := range []string{iccStyle, unrelated} {
+		if err := db.AddTarget(parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.Query(parse(t, gccStyle)); err != nil {
+		t.Fatal(err)
+	}
+	s := db.Stats()
+	if s.VCPCacheEvicted != 0 {
+		t.Fatalf("unexpected evictions: %+v", s)
+	}
+	if s.VCPCachePairs == 0 {
+		t.Fatal("cache did not populate")
+	}
+}
+
+// TestQueryAfterEvictionDeterministic checks that eviction never changes
+// scores, only recomputation cost.
+func TestQueryAfterEvictionDeterministic(t *testing.T) {
+	bounded := NewDB(Options{VCP: vcp.Config{MinVars: 3}, VCPCachePairs: 1})
+	unbounded := NewDB(Options{VCP: vcp.Config{MinVars: 3}, VCPCachePairs: -1})
+	for _, src := range []string{iccStyle, unrelated} {
+		if err := bounded.AddTarget(parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+		if err := unbounded.AddTarget(parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 3; i++ {
+		rb, err := bounded.Query(parse(t, gccStyle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ru, err := unbounded.Query(parse(t, gccStyle))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range rb.Results {
+			if rb.Results[j].GES != ru.Results[j].GES {
+				t.Fatalf("iteration %d: bounded GES %v != unbounded %v",
+					i, rb.Results[j].GES, ru.Results[j].GES)
+			}
+		}
+	}
+}

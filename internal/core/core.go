@@ -35,7 +35,19 @@ type Options struct {
 	PathLen int
 	// PathMaxBlocks bounds the path explosion (0 selects 12).
 	PathMaxBlocks int
+	// VCPCachePairs bounds the cross-query VCP memo cache to roughly
+	// this many cached strand-pair results, so a long-running server
+	// does not grow without limit. 0 selects DefaultVCPCachePairs; a
+	// negative value disables the bound. Eviction is FIFO over query
+	// strands: the cache may transiently exceed the bound by one query
+	// strand's row.
+	VCPCachePairs int
 }
+
+// DefaultVCPCachePairs is the default vcpCache bound: at 16 bytes per
+// cached pair (plus key overhead) this keeps the steady-state cache in
+// the low hundreds of MB even with long canonical keys.
+const DefaultVCPCachePairs = 1 << 21
 
 // Target is one indexed procedure.
 type Target struct {
@@ -59,9 +71,14 @@ type DB struct {
 	total   int // Σ counts: |T|, the H0 denominator
 
 	// vcpCache memoizes forward and reverse VCP by (query strand key,
-	// target strand key).
-	mu       sync.Mutex
-	vcpCache map[string]map[string][2]float64
+	// target strand key). It is bounded by Options.VCPCachePairs with
+	// FIFO eviction at query-strand granularity: cacheOrder records
+	// query keys in insertion order, cachePairs counts cached pairs.
+	mu             sync.Mutex
+	vcpCache       map[string]map[string][2]float64
+	cacheOrder     []string
+	cachePairs     int
+	cacheEvictions uint64
 }
 
 // NewDB returns an empty database.
@@ -87,6 +104,59 @@ func (db *DB) TotalStrands() int { return db.total }
 
 // Targets returns the indexed targets (do not modify).
 func (db *DB) Targets() []*Target { return db.targets }
+
+// SetWorkers overrides query parallelism (n <= 0 selects GOMAXPROCS).
+// It exists so a snapshot indexed on one machine can serve on another;
+// it must not be called concurrently with Query.
+func (db *DB) SetWorkers(n int) {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	db.opts.Workers = n
+}
+
+// Options returns the engine options the database was built with.
+func (db *DB) Options() Options { return db.opts }
+
+// DBStats is a point-in-time snapshot of database and cache occupancy,
+// safe to collect concurrently with Query.
+type DBStats struct {
+	Targets       int
+	UniqueStrands int
+	TotalStrands  int
+	// VCPCachePairs is the number of cached strand-pair results;
+	// VCPCacheQueries the number of distinct query strands they span.
+	VCPCachePairs   int
+	VCPCacheQueries int
+	VCPCacheCap     int
+	VCPCacheEvicted uint64
+}
+
+// Stats returns current occupancy counters. Targets, unique strands and
+// totals are only written by AddTarget (not concurrency-safe anyway);
+// the cache counters are read under the cache lock.
+func (db *DB) Stats() DBStats {
+	s := DBStats{
+		Targets:       len(db.targets),
+		UniqueStrands: len(db.uniq),
+		TotalStrands:  db.total,
+		VCPCacheCap:   db.cacheCap(),
+	}
+	db.mu.Lock()
+	s.VCPCachePairs = db.cachePairs
+	s.VCPCacheQueries = len(db.vcpCache)
+	s.VCPCacheEvicted = db.cacheEvictions
+	db.mu.Unlock()
+	return s
+}
+
+// cacheCap resolves the configured vcpCache bound (< 0: unbounded).
+func (db *DB) cacheCap() int {
+	if db.opts.VCPCachePairs == 0 {
+		return DefaultVCPCachePairs
+	}
+	return db.opts.VCPCachePairs
+}
 
 // decompose runs the front half of the pipeline on one procedure and
 // returns its strands that survive the minimum-size filter, plus the
@@ -361,11 +431,46 @@ func (db *DB) vcpRow(q *vcp.Prepared) (fwd, rev []float64) {
 		if shared == nil {
 			shared = map[string][2]float64{}
 			db.vcpCache[qKey] = shared
+			db.cacheOrder = append(db.cacheOrder, qKey)
 		}
 		for k, v := range fresh {
+			if _, dup := shared[k]; !dup {
+				db.cachePairs++
+			}
 			shared[k] = v
 		}
+		db.evictLocked(qKey)
 		db.mu.Unlock()
 	}
 	return fwd, rev
+}
+
+// evictLocked drops whole query-strand rows, oldest first, until the
+// cache is back under its pair bound. The row just written (keep) is
+// spared unless it is the only one left, so a single huge query cannot
+// evict itself into a cold cache on every call. Callers hold db.mu.
+func (db *DB) evictLocked(keep string) {
+	bound := db.cacheCap()
+	if bound < 0 {
+		return
+	}
+	for db.cachePairs > bound && len(db.cacheOrder) > 0 {
+		oldest := db.cacheOrder[0]
+		if oldest == keep && len(db.cacheOrder) == 1 {
+			return
+		}
+		db.cacheOrder = db.cacheOrder[1:]
+		if oldest == keep {
+			db.cacheOrder = append(db.cacheOrder, oldest)
+			continue
+		}
+		db.cachePairs -= len(db.vcpCache[oldest])
+		delete(db.vcpCache, oldest)
+		db.cacheEvictions++
+	}
+	// Re-base the order slice occasionally so the sliced-off prefix of
+	// the backing array can be collected.
+	if cap(db.cacheOrder) > 2*len(db.cacheOrder)+64 {
+		db.cacheOrder = append([]string(nil), db.cacheOrder...)
+	}
 }

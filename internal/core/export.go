@@ -1,0 +1,124 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/asm"
+	"repro/internal/strand"
+	"repro/internal/vcp"
+)
+
+// Export is the serializable state of an indexed DB: everything needed
+// to rebuild a database that answers queries identically, without
+// re-running the disassemble→lift→strand pipeline over the corpus.
+// Verifier preparations (compiled programs, fingerprints) are derived
+// deterministically from the strands at import time, so they are not
+// part of the exported state.
+type Export struct {
+	Opts Options
+	// Strands holds the unique strands in index order with their corpus
+	// multiplicity; index order is significant (targets reference
+	// strands by position, and reports must be reproducible).
+	Strands []ExportStrand
+	Targets []ExportTarget
+}
+
+// ExportStrand is one unique strand and its corpus multiplicity.
+type ExportStrand struct {
+	S     *strand.Strand
+	Count int
+}
+
+// ExportTarget mirrors Target with the strand index list exported.
+type ExportTarget struct {
+	Name       string
+	Source     asm.Provenance
+	NumBlocks  int
+	NumStrands int
+	StrandIdx  []int
+}
+
+// Export captures the database state for serialization. The returned
+// value aliases the DB's strands and targets; treat it as read-only.
+func (db *DB) Export() *Export {
+	ex := &Export{Opts: db.opts}
+	ex.Strands = make([]ExportStrand, len(db.uniq))
+	for i, p := range db.uniq {
+		ex.Strands[i] = ExportStrand{S: p.S, Count: db.counts[i]}
+	}
+	ex.Targets = make([]ExportTarget, len(db.targets))
+	for i, t := range db.targets {
+		ex.Targets[i] = ExportTarget{
+			Name:       t.Name,
+			Source:     t.Source,
+			NumBlocks:  t.NumBlocks,
+			NumStrands: t.NumStrands,
+			StrandIdx:  t.strandIdx,
+		}
+	}
+	return ex
+}
+
+// FromExport rebuilds a queryable DB from exported state, re-preparing
+// every strand (compilation + fingerprints are deterministic, so the
+// rebuilt DB produces reports identical to the original). Preparation
+// runs in parallel under Opts.Workers.
+func FromExport(ex *Export) (*DB, error) {
+	db := NewDB(ex.Opts)
+	db.uniq = make([]*vcp.Prepared, len(ex.Strands))
+	db.counts = make([]int, len(ex.Strands))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, db.opts.Workers)
+	for i, es := range ex.Strands {
+		wg.Add(1)
+		go func(i int, s *strand.Strand) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			db.uniq[i] = vcp.Prepare(s, db.opts.VCP)
+		}(i, es.S)
+	}
+	wg.Wait()
+
+	for i, es := range ex.Strands {
+		prep := db.uniq[i]
+		if err := prep.Err(); err != nil {
+			return nil, fmt.Errorf("core: import strand %d: %w", i, err)
+		}
+		if es.Count < 1 {
+			return nil, fmt.Errorf("core: import strand %d: multiplicity %d", i, es.Count)
+		}
+		key := prep.Key()
+		if prev, dup := db.byKey[key]; dup {
+			return nil, fmt.Errorf("core: import strand %d: duplicate canonical key with strand %d", i, prev)
+		}
+		db.byKey[key] = i
+		db.counts[i] = es.Count
+		db.total += es.Count
+	}
+
+	for ti, et := range ex.Targets {
+		t := &Target{
+			Name:       et.Name,
+			Source:     et.Source,
+			NumBlocks:  et.NumBlocks,
+			NumStrands: et.NumStrands,
+		}
+		seen := make(map[int]bool, len(et.StrandIdx))
+		for _, idx := range et.StrandIdx {
+			if idx < 0 || idx >= len(db.uniq) {
+				return nil, fmt.Errorf("core: import target %d (%s): strand index %d out of range [0,%d)",
+					ti, et.Name, idx, len(db.uniq))
+			}
+			if seen[idx] {
+				return nil, fmt.Errorf("core: import target %d (%s): duplicate strand index %d", ti, et.Name, idx)
+			}
+			seen[idx] = true
+		}
+		t.strandIdx = append(t.strandIdx, et.StrandIdx...)
+		db.targets = append(db.targets, t)
+	}
+	return db, nil
+}

@@ -1,0 +1,504 @@
+// Package index persists an indexed core.DB to disk and reloads it, so
+// a corpus is indexed once (eshcorpus -save) and served many times
+// (eshd, esh -load) without re-running the disassemble→CFG→lift→strand
+// pipeline.
+//
+// Snapshot layout: a single header line
+//
+//	eshidx <version> <body-length> <sha256-of-body>\n
+//
+// followed by the body — a line-oriented text encoding of the engine
+// options, the unique strands (canonical IVL text, multiplicity), and
+// the targets (provenance plus strand index lists). The header makes
+// corruption detectable before any parsing: a truncated file fails the
+// length check and a bit flip fails the checksum. Verifier preparations
+// are recomputed at load time (they are deterministic functions of the
+// strands), which keeps snapshots small and format-stable.
+package index
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/ivl"
+	"repro/internal/strand"
+)
+
+// Magic identifies snapshot files; Version is the current format.
+const (
+	Magic   = "eshidx"
+	Version = 1
+)
+
+// Save writes a snapshot of the database to w.
+func Save(w io.Writer, db *core.DB) error {
+	body := encodeBody(db.Export())
+	sum := sha256.Sum256(body)
+	if _, err := fmt.Fprintf(w, "%s %d %d %s\n", Magic, Version, len(body), hex.EncodeToString(sum[:])); err != nil {
+		return fmt.Errorf("index: write header: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("index: write body: %w", err)
+	}
+	return nil
+}
+
+// SaveFile writes a snapshot atomically: to a temp file in the target
+// directory, then rename.
+func SaveFile(path string, db *core.DB) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".eshidx-*")
+	if err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriterSize(tmp, 1<<20)
+	if err := Save(bw, db); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return fmt.Errorf("index: flush %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		return fmt.Errorf("index: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		return fmt.Errorf("index: %w", err)
+	}
+	return nil
+}
+
+// Load reads a snapshot and rebuilds a queryable database, re-preparing
+// every strand. The rebuilt DB answers Query identically to the one that
+// was saved.
+func Load(r io.Reader) (*core.DB, error) {
+	ex, err := LoadExport(r)
+	if err != nil {
+		return nil, err
+	}
+	db, err := core.FromExport(ex)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	return db, nil
+}
+
+// LoadFile loads a snapshot from path.
+func LoadFile(path string) (*core.DB, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("index: %w", err)
+	}
+	defer f.Close()
+	db, err := Load(bufio.NewReaderSize(f, 1<<20))
+	if err != nil {
+		return nil, fmt.Errorf("index: load %s: %w", path, err)
+	}
+	return db, nil
+}
+
+// LoadExport reads and verifies a snapshot, returning the decoded state
+// without preparing strands.
+func LoadExport(r io.Reader) (*core.Export, error) {
+	br := bufio.NewReader(r)
+	header, err := br.ReadString('\n')
+	if err != nil {
+		return nil, fmt.Errorf("index: read header: %w", err)
+	}
+	var magic, sumHex string
+	var version, bodyLen int
+	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"), "%s %d %d %s", &magic, &version, &bodyLen, &sumHex); err != nil {
+		return nil, fmt.Errorf("index: malformed header %q", strings.TrimSpace(header))
+	}
+	if magic != Magic {
+		return nil, fmt.Errorf("index: not a snapshot (magic %q)", magic)
+	}
+	if version != Version {
+		return nil, fmt.Errorf("index: unsupported format version %d (have %d)", version, Version)
+	}
+	body, err := io.ReadAll(br)
+	if err != nil {
+		return nil, fmt.Errorf("index: read body: %w", err)
+	}
+	if len(body) != bodyLen {
+		return nil, fmt.Errorf("index: truncated snapshot: body is %d bytes, header says %d", len(body), bodyLen)
+	}
+	sum := sha256.Sum256(body)
+	if hex.EncodeToString(sum[:]) != sumHex {
+		return nil, fmt.Errorf("index: checksum mismatch: snapshot is corrupted")
+	}
+	return decodeBody(body)
+}
+
+// ---- body encoding ----
+
+func ftoa(f float64) string { return strconv.FormatFloat(f, 'g', -1, 64) }
+
+func typeCode(t ivl.Type) int {
+	if t == ivl.Mem {
+		return 1
+	}
+	return 0
+}
+
+func codeType(c int) (ivl.Type, error) {
+	switch c {
+	case 0:
+		return ivl.Int, nil
+	case 1:
+		return ivl.Mem, nil
+	}
+	return ivl.Int, fmt.Errorf("unknown type code %d", c)
+}
+
+func encodeBody(ex *core.Export) []byte {
+	var b bytes.Buffer
+	o := ex.Opts
+	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d\n",
+		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
+		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences)
+
+	fmt.Fprintf(&b, "strands %d\n", len(ex.Strands))
+	for _, es := range ex.Strands {
+		s := es.S
+		fmt.Fprintf(&b, "s %d %d %d %d %s\n", es.Count, s.BlockIndex, len(s.Inputs), len(s.Stmts), strconv.Quote(s.ProcName))
+		for _, in := range s.Inputs {
+			fmt.Fprintf(&b, "i %d %s\n", typeCode(in.Type), strconv.Quote(in.Name))
+		}
+		for _, st := range s.Stmts {
+			fmt.Fprintf(&b, "a %d %s %s\n", typeCode(st.Dst.Type), strconv.Quote(st.Dst.Name), strconv.Quote(st.Rhs.String()))
+		}
+	}
+
+	fmt.Fprintf(&b, "targets %d\n", len(ex.Targets))
+	for _, t := range ex.Targets {
+		patched := 0
+		if t.Source.Patched {
+			patched = 1
+		}
+		fmt.Fprintf(&b, "t %d %d %d %s %s %s %s %s\n",
+			t.NumBlocks, t.NumStrands, patched,
+			strconv.Quote(t.Name), strconv.Quote(t.Source.Package), strconv.Quote(t.Source.SourceSym),
+			strconv.Quote(t.Source.Toolchain), strconv.Quote(t.Source.OptLevel))
+		fmt.Fprintf(&b, "x %d", len(t.StrandIdx))
+		for _, idx := range t.StrandIdx {
+			fmt.Fprintf(&b, " %d", idx)
+		}
+		b.WriteByte('\n')
+	}
+	return b.Bytes()
+}
+
+// ---- body decoding ----
+
+type decoder struct {
+	lines []string
+	pos   int // current line number (1-based for errors)
+}
+
+func (d *decoder) next() (string, error) {
+	if d.pos >= len(d.lines) {
+		return "", fmt.Errorf("index: unexpected end of snapshot at line %d", d.pos+1)
+	}
+	d.pos++
+	return d.lines[d.pos-1], nil
+}
+
+func (d *decoder) errf(format string, args ...any) error {
+	return fmt.Errorf("index: line %d: %s", d.pos, fmt.Sprintf(format, args...))
+}
+
+// fields splits a body line into tokens, decoding %q-quoted tokens
+// (which may contain spaces).
+func (d *decoder) fields(line string) ([]string, error) {
+	var out []string
+	for {
+		line = strings.TrimLeft(line, " ")
+		if line == "" {
+			return out, nil
+		}
+		if line[0] == '"' {
+			q, rest, err := quotedPrefix(line)
+			if err != nil {
+				return nil, d.errf("bad quoted token: %v", err)
+			}
+			u, err := strconv.Unquote(q)
+			if err != nil {
+				return nil, d.errf("bad quoted token %s: %v", q, err)
+			}
+			out = append(out, u)
+			line = rest
+			continue
+		}
+		i := strings.IndexByte(line, ' ')
+		if i < 0 {
+			out = append(out, line)
+			return out, nil
+		}
+		out = append(out, line[:i])
+		line = line[i:]
+	}
+}
+
+func quotedPrefix(s string) (quoted, rest string, err error) {
+	q, err := strconv.QuotedPrefix(s)
+	if err != nil {
+		return "", "", err
+	}
+	return q, s[len(q):], nil
+}
+
+func (d *decoder) ints(toks []string) ([]int, error) {
+	out := make([]int, len(toks))
+	for i, t := range toks {
+		n, err := strconv.Atoi(t)
+		if err != nil {
+			return nil, d.errf("bad integer %q", t)
+		}
+		out[i] = n
+	}
+	return out, nil
+}
+
+// record reads the next line, checks its tag, and returns its fields
+// (tag stripped).
+func (d *decoder) record(tag string, minFields int) ([]string, error) {
+	line, err := d.next()
+	if err != nil {
+		return nil, err
+	}
+	toks, err := d.fields(line)
+	if err != nil {
+		return nil, err
+	}
+	if len(toks) == 0 || toks[0] != tag {
+		return nil, d.errf("expected %q record, got %q", tag, line)
+	}
+	if len(toks)-1 < minFields {
+		return nil, d.errf("%q record has %d fields, want at least %d", tag, len(toks)-1, minFields)
+	}
+	return toks[1:], nil
+}
+
+func decodeBody(body []byte) (*core.Export, error) {
+	lines := strings.Split(string(body), "\n")
+	if n := len(lines); n > 0 && lines[n-1] == "" {
+		lines = lines[:n-1]
+	}
+	d := &decoder{lines: lines}
+	ex := &core.Export{}
+
+	if err := d.decodeOptions(ex); err != nil {
+		return nil, err
+	}
+	if err := d.decodeStrands(ex); err != nil {
+		return nil, err
+	}
+	if err := d.decodeTargets(ex); err != nil {
+		return nil, err
+	}
+	if d.pos != len(d.lines) {
+		return nil, d.errf("trailing data after targets section")
+	}
+	return ex, nil
+}
+
+func (d *decoder) decodeOptions(ex *core.Export) error {
+	toks, err := d.record("options", 1)
+	if err != nil {
+		return err
+	}
+	for _, kv := range toks {
+		key, val, ok := strings.Cut(kv, "=")
+		if !ok {
+			return d.errf("bad option %q", kv)
+		}
+		var ierr error
+		atoi := func() int {
+			n, err := strconv.Atoi(val)
+			if err != nil {
+				ierr = err
+			}
+			return n
+		}
+		atof := func() float64 {
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				ierr = err
+			}
+			return f
+		}
+		switch key {
+		case "workers":
+			ex.Opts.Workers = atoi()
+		case "sigmoidk":
+			ex.Opts.SigmoidK = atof()
+		case "pathlen":
+			ex.Opts.PathLen = atoi()
+		case "pathmaxblocks":
+			ex.Opts.PathMaxBlocks = atoi()
+		case "cachepairs":
+			ex.Opts.VCPCachePairs = atoi()
+		case "vcpsamples":
+			ex.Opts.VCP.Samples = atoi()
+		case "vcpminvars":
+			ex.Opts.VCP.MinVars = atoi()
+		case "vcpsizeratio":
+			ex.Opts.VCP.SizeRatio = atof()
+		case "vcpmaxcorr":
+			ex.Opts.VCP.MaxCorrespondences = atoi()
+		default:
+			// Unknown keys are ignored so minor option additions do not
+			// invalidate old readers within a format version.
+		}
+		if ierr != nil {
+			return d.errf("bad option value %q: %v", kv, ierr)
+		}
+	}
+	return nil
+}
+
+func (d *decoder) decodeStrands(ex *core.Export) error {
+	toks, err := d.record("strands", 1)
+	if err != nil {
+		return err
+	}
+	counts, err := d.ints(toks[:1])
+	if err != nil {
+		return err
+	}
+	n := counts[0]
+	if n < 0 {
+		return d.errf("negative strand count %d", n)
+	}
+	ex.Strands = make([]core.ExportStrand, 0, n)
+	for si := 0; si < n; si++ {
+		toks, err := d.record("s", 5)
+		if err != nil {
+			return err
+		}
+		nums, err := d.ints(toks[:4])
+		if err != nil {
+			return err
+		}
+		count, blockIdx, nIn, nSt := nums[0], nums[1], nums[2], nums[3]
+		if nIn < 0 || nSt < 0 {
+			return d.errf("negative section size in strand %d", si)
+		}
+		s := &strand.Strand{ProcName: toks[4], BlockIndex: blockIdx}
+
+		// symtab types variable references in statement right-hand sides:
+		// in SSA, every reference is an input or an earlier definition.
+		symtab := make(map[string]ivl.Type, nIn+nSt)
+		for k := 0; k < nIn; k++ {
+			toks, err := d.record("i", 2)
+			if err != nil {
+				return err
+			}
+			tc, err := d.ints(toks[:1])
+			if err != nil {
+				return err
+			}
+			typ, err := codeType(tc[0])
+			if err != nil {
+				return d.errf("%v", err)
+			}
+			v := ivl.Var{Name: toks[1], Type: typ}
+			s.Inputs = append(s.Inputs, v)
+			symtab[v.Name] = v.Type
+		}
+		for k := 0; k < nSt; k++ {
+			toks, err := d.record("a", 3)
+			if err != nil {
+				return err
+			}
+			tc, err := d.ints(toks[:1])
+			if err != nil {
+				return err
+			}
+			typ, err := codeType(tc[0])
+			if err != nil {
+				return d.errf("%v", err)
+			}
+			rhs, err := ivl.ParseExpr(toks[2])
+			if err != nil {
+				return d.errf("strand %d stmt %d: %v", si, k, err)
+			}
+			rhs = ivl.Rename(rhs, func(v ivl.Var) ivl.Var {
+				if t, ok := symtab[v.Name]; ok {
+					v.Type = t
+				}
+				return v
+			})
+			dst := ivl.Var{Name: toks[1], Type: typ}
+			s.Stmts = append(s.Stmts, ivl.Assign(dst, rhs))
+			symtab[dst.Name] = dst.Type
+		}
+		ex.Strands = append(ex.Strands, core.ExportStrand{S: s, Count: count})
+	}
+	return nil
+}
+
+func (d *decoder) decodeTargets(ex *core.Export) error {
+	toks, err := d.record("targets", 1)
+	if err != nil {
+		return err
+	}
+	counts, err := d.ints(toks[:1])
+	if err != nil {
+		return err
+	}
+	n := counts[0]
+	if n < 0 {
+		return d.errf("negative target count %d", n)
+	}
+	ex.Targets = make([]core.ExportTarget, 0, n)
+	for ti := 0; ti < n; ti++ {
+		toks, err := d.record("t", 8)
+		if err != nil {
+			return err
+		}
+		nums, err := d.ints(toks[:3])
+		if err != nil {
+			return err
+		}
+		et := core.ExportTarget{
+			Name:       toks[3],
+			NumBlocks:  nums[0],
+			NumStrands: nums[1],
+			Source: asm.Provenance{
+				Package:   toks[4],
+				SourceSym: toks[5],
+				Toolchain: toks[6],
+				OptLevel:  toks[7],
+				Patched:   nums[2] != 0,
+			},
+		}
+		xtoks, err := d.record("x", 1)
+		if err != nil {
+			return err
+		}
+		idx, err := d.ints(xtoks)
+		if err != nil {
+			return err
+		}
+		if idx[0] != len(idx)-1 {
+			return d.errf("target %d: strand index list has %d entries, header says %d", ti, len(idx)-1, idx[0])
+		}
+		et.StrandIdx = idx[1:]
+		ex.Targets = append(ex.Targets, et)
+	}
+	return nil
+}

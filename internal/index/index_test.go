@@ -1,0 +1,218 @@
+package index
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/vcp"
+)
+
+const gccStyle = `proc checksum_gcc
+	xor eax, eax
+	mov rcx, rdi
+	lea rdx, [rsi+rsi*2]
+	shl rdx, 2
+	add rdx, 0x20
+	imul rcx, rdx
+	mov rax, rcx
+	shr rax, 7
+	xor rax, rcx
+	mov r8, rax
+	and r8, 0xff
+	add rax, r8
+	ret
+endp`
+
+const iccStyle = `proc checksum_icc
+	xor r9d, r9d
+	mov r10, rdi
+	mov r11, rsi
+	imul r11, 3
+	imul r11, 4
+	add r11, 0x20
+	imul r10, r11
+	mov rax, r10
+	shr rax, 7
+	xor rax, r10
+	mov rbx, rax
+	and rbx, 0xff
+	add rax, rbx
+	ret
+endp`
+
+const memStyle = `proc save_pair
+	mov [rdi], rsi
+	mov [rdi+8], rdx
+	mov rax, rsi
+	add rax, rdx
+	mov [rdi+16], rax
+	call helper
+	ret
+endp`
+
+func parse(t *testing.T, src string) *asm.Proc {
+	t.Helper()
+	p, err := asm.ParseProc(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func buildDB(t *testing.T) *core.DB {
+	t.Helper()
+	db := core.NewDB(core.Options{VCP: vcp.Config{MinVars: 3}, Workers: 2})
+	for _, src := range []string{iccStyle, memStyle} {
+		if err := db.AddTarget(parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func saveBytes(t *testing.T, db *core.DB) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, db); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestRoundTrip is the format's core guarantee: a reloaded DB produces
+// bit-identical Query reports.
+func TestRoundTrip(t *testing.T) {
+	db := buildDB(t)
+	snap := saveBytes(t, db)
+
+	db2, err := Load(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumTargets() != db.NumTargets() || db2.NumUniqueStrands() != db.NumUniqueStrands() ||
+		db2.TotalStrands() != db.TotalStrands() {
+		t.Fatalf("reloaded shape %d/%d/%d, want %d/%d/%d",
+			db2.NumTargets(), db2.NumUniqueStrands(), db2.TotalStrands(),
+			db.NumTargets(), db.NumUniqueStrands(), db.TotalStrands())
+	}
+
+	for _, qsrc := range []string{gccStyle, memStyle} {
+		r1, err := db.Query(parse(t, qsrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := db2.Query(parse(t, qsrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r1.NumStrands != r2.NumStrands || r1.NumBlocks != r2.NumBlocks {
+			t.Fatalf("query shape differs: %+v vs %+v", r1, r2)
+		}
+		if len(r1.Results) != len(r2.Results) {
+			t.Fatalf("result count %d vs %d", len(r1.Results), len(r2.Results))
+		}
+		for i := range r1.Results {
+			a, b := r1.Results[i], r2.Results[i]
+			if a.Target.Name != b.Target.Name {
+				t.Fatalf("rank %d: %s vs %s", i, a.Target.Name, b.Target.Name)
+			}
+			if a.GES != b.GES || a.SLOG != b.SLOG || a.SVCP != b.SVCP {
+				t.Fatalf("rank %d (%s): scores (%v,%v,%v) vs (%v,%v,%v)",
+					i, a.Target.Name, a.GES, a.SLOG, a.SVCP, b.GES, b.SLOG, b.SVCP)
+			}
+		}
+	}
+}
+
+// TestRoundTripStable checks save→load→save produces identical bytes
+// (the snapshot is a fixed point).
+func TestRoundTripStable(t *testing.T) {
+	db := buildDB(t)
+	snap := saveBytes(t, db)
+	db2, err := Load(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap2 := saveBytes(t, db2); !bytes.Equal(snap, snap2) {
+		t.Fatal("snapshot is not a save/load fixed point")
+	}
+}
+
+func TestOptionsPersist(t *testing.T) {
+	db := core.NewDB(core.Options{
+		VCP:      vcp.Config{MinVars: 3, SizeRatio: 0.25},
+		SigmoidK: 7.5,
+		PathLen:  2,
+	})
+	if err := db.AddTarget(parse(t, iccStyle)); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Load(bytes.NewReader(saveBytes(t, db)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, want := db2.Options(), db.Options()
+	if got.SigmoidK != want.SigmoidK || got.PathLen != want.PathLen ||
+		got.VCP.MinVars != want.VCP.MinVars || got.VCP.SizeRatio != want.VCP.SizeRatio {
+		t.Fatalf("options %+v, want %+v", got, want)
+	}
+}
+
+func TestTruncatedRejected(t *testing.T) {
+	snap := saveBytes(t, buildDB(t))
+	for _, cut := range []int{len(snap) / 2, len(snap) - 1} {
+		_, err := Load(bytes.NewReader(snap[:cut]))
+		if err == nil {
+			t.Fatalf("truncation at %d accepted", cut)
+		}
+		if !strings.Contains(err.Error(), "truncated") {
+			t.Fatalf("truncation at %d: unexpected error %v", cut, err)
+		}
+	}
+}
+
+func TestCorruptedRejected(t *testing.T) {
+	snap := saveBytes(t, buildDB(t))
+	// Flip one byte deep in the body: must fail the checksum, never
+	// parse successfully.
+	corrupt := append([]byte(nil), snap...)
+	corrupt[len(corrupt)/2] ^= 0x40
+	_, err := Load(bytes.NewReader(corrupt))
+	if err == nil {
+		t.Fatal("corrupted snapshot accepted")
+	}
+	if !strings.Contains(err.Error(), "checksum") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestBadHeaderRejected(t *testing.T) {
+	for _, src := range []string{
+		"",
+		"notanindex 1 0 aa\n",
+		"eshidx 999 0 e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855\n",
+		"eshidx one two three\n",
+	} {
+		if _, err := Load(strings.NewReader(src)); err == nil {
+			t.Fatalf("header %q accepted", src)
+		}
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db := buildDB(t)
+	path := t.TempDir() + "/corpus.eshidx"
+	if err := SaveFile(path, db); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db2.NumTargets() != db.NumTargets() {
+		t.Fatalf("targets %d, want %d", db2.NumTargets(), db.NumTargets())
+	}
+}

@@ -1,0 +1,215 @@
+package ivl
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseExpr parses the textual rendering produced by Expr.String back
+// into an expression tree. The grammar is exactly the String output:
+//
+//	(X op Y)             binary operators, space-separated
+//	not(X) neg(X) !(X)   unary operators
+//	ite(C, T, E)         if-then-else
+//	trunc<b>(X)          truncation to b bits
+//	sext<b>(X)           sign extension from b bits
+//	load<b>(M, A)        b-bit load
+//	store<b>(M, A, V)    b-bit store
+//	sym(A, ...)          uninterpreted call (sym may contain '/')
+//	0x2a, 0              64-bit constants
+//	name                 variable reference
+//
+// Variable references parse with type Int; callers that know variable
+// types (e.g. from a declared input list) should fix them up with Rename.
+// It is the inverse used by the snapshot index to reload persisted
+// strands, so round-tripping is guaranteed: for any expression e,
+// ParseExpr(e.String()).String() == e.String().
+func ParseExpr(s string) (Expr, error) {
+	p := &exprParser{src: s}
+	e, err := p.expr()
+	if err != nil {
+		return nil, err
+	}
+	p.ws()
+	if p.pos != len(p.src) {
+		return nil, fmt.Errorf("ivl: trailing input at %d in %q", p.pos, s)
+	}
+	return e, nil
+}
+
+var binOpByName = func() map[string]BinOp {
+	m := make(map[string]BinOp, len(binNames))
+	for op, name := range binNames {
+		m[name] = op
+	}
+	return m
+}()
+
+type exprParser struct {
+	src string
+	pos int
+}
+
+func (p *exprParser) ws() {
+	for p.pos < len(p.src) && p.src[p.pos] == ' ' {
+		p.pos++
+	}
+}
+
+func (p *exprParser) errf(format string, args ...any) error {
+	return fmt.Errorf("ivl: parse %q at %d: %s", p.src, p.pos, fmt.Sprintf(format, args...))
+}
+
+// token reads a run of characters up to a delimiter (space, paren, comma).
+func (p *exprParser) token() string {
+	start := p.pos
+	for p.pos < len(p.src) {
+		switch p.src[p.pos] {
+		case ' ', '(', ')', ',':
+			return p.src[start:p.pos]
+		}
+		p.pos++
+	}
+	return p.src[start:]
+}
+
+func (p *exprParser) expect(c byte) error {
+	if p.pos >= len(p.src) || p.src[p.pos] != c {
+		return p.errf("expected %q", string(c))
+	}
+	p.pos++
+	return nil
+}
+
+// args parses "(" expr ("," expr)* ")".
+func (p *exprParser) args() ([]Expr, error) {
+	if err := p.expect('('); err != nil {
+		return nil, err
+	}
+	var out []Expr
+	for {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, e)
+		p.ws()
+		if p.pos < len(p.src) && p.src[p.pos] == ',' {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if err := p.expect(')'); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+func (p *exprParser) expr() (Expr, error) {
+	p.ws()
+	if p.pos >= len(p.src) {
+		return nil, p.errf("unexpected end of input")
+	}
+	if p.src[p.pos] == '(' {
+		// Binary: "(" X " " op " " Y ")".
+		p.pos++
+		x, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		opName := p.token()
+		op, ok := binOpByName[opName]
+		if !ok {
+			return nil, p.errf("unknown binary operator %q", opName)
+		}
+		y, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		p.ws()
+		if err := p.expect(')'); err != nil {
+			return nil, err
+		}
+		return BinExpr{Op: op, X: x, Y: y}, nil
+	}
+
+	tok := p.token()
+	if tok == "" {
+		return nil, p.errf("expected expression")
+	}
+	if p.pos < len(p.src) && p.src[p.pos] == '(' {
+		return p.callForm(tok)
+	}
+	if tok[0] >= '0' && tok[0] <= '9' {
+		v, err := strconv.ParseUint(tok, 0, 64)
+		if err != nil {
+			return nil, p.errf("bad constant %q: %v", tok, err)
+		}
+		return ConstExpr{Val: v}, nil
+	}
+	return VarExpr{V: Var{Name: tok, Type: Int}}, nil
+}
+
+// callForm dispatches "name(" forms: unary operators, ite, width-suffixed
+// builtins, and uninterpreted calls.
+func (p *exprParser) callForm(name string) (Expr, error) {
+	args, err := p.args()
+	if err != nil {
+		return nil, err
+	}
+	arity := func(n int) error {
+		if len(args) != n {
+			return p.errf("%s expects %d arguments, got %d", name, n, len(args))
+		}
+		return nil
+	}
+	switch name {
+	case "not", "neg", "!":
+		if err := arity(1); err != nil {
+			return nil, err
+		}
+		op := map[string]UnOp{"not": Not, "neg": Neg, "!": BoolNot}[name]
+		return UnExpr{Op: op, X: args[0]}, nil
+	case "ite":
+		if err := arity(3); err != nil {
+			return nil, err
+		}
+		return IteExpr{Cond: args[0], Then: args[1], Else: args[2]}, nil
+	}
+	for _, b := range [...]struct {
+		prefix string
+		arity  int
+	}{{"trunc", 1}, {"sext", 1}, {"load", 2}, {"store", 3}} {
+		suffix, ok := strings.CutPrefix(name, b.prefix)
+		if !ok || suffix == "" {
+			continue
+		}
+		bits, err := strconv.Atoi(suffix)
+		if err != nil || bits <= 0 {
+			continue // e.g. a call symbol that happens to start with "load"
+		}
+		if err := arity(b.arity); err != nil {
+			return nil, err
+		}
+		switch b.prefix {
+		case "trunc":
+			return TruncExpr{Bits: uint(bits), X: args[0]}, nil
+		case "sext":
+			return SextExpr{Bits: uint(bits), X: args[0]}, nil
+		case "load":
+			if bits%8 != 0 {
+				return nil, p.errf("load width %d is not a multiple of 8", bits)
+			}
+			return LoadExpr{Mem: args[0], Addr: args[1], W: uint(bits / 8)}, nil
+		default:
+			if bits%8 != 0 {
+				return nil, p.errf("store width %d is not a multiple of 8", bits)
+			}
+			return StoreExpr{Mem: args[0], Addr: args[1], Val: args[2], W: uint(bits / 8)}, nil
+		}
+	}
+	return CallExpr{Sym: name, Args: args}, nil
+}

@@ -1,0 +1,71 @@
+package ivl
+
+import "testing"
+
+func TestParseExprRoundTrip(t *testing.T) {
+	v := func(n string) Expr { return VarExpr{V: Var{Name: n, Type: Int}} }
+	exprs := []Expr{
+		ConstExpr{Val: 0},
+		ConstExpr{Val: 0x2a},
+		ConstExpr{Val: ^uint64(0)},
+		v("rax_3"),
+		v("stk_rbp_-8_64"),
+		UnExpr{Op: Not, X: v("v1")},
+		UnExpr{Op: Neg, X: v("v1")},
+		UnExpr{Op: BoolNot, X: v("v1")},
+		BinExpr{Op: Add, X: v("a"), Y: ConstExpr{Val: 0x20}},
+		BinExpr{Op: SRem, X: v("a"), Y: v("b")},
+		BinExpr{Op: AShr, X: BinExpr{Op: Sub, X: v("a"), Y: v("b")}, Y: ConstExpr{Val: 7}},
+		IteExpr{Cond: BinExpr{Op: ULt, X: v("a"), Y: v("b")}, Then: v("a"), Else: ConstExpr{Val: 1}},
+		TruncExpr{Bits: 32, X: v("v7")},
+		SextExpr{Bits: 8, X: BinExpr{Op: And, X: v("a"), Y: ConstExpr{Val: 0xff}}},
+		LoadExpr{Mem: v("mem_0"), Addr: BinExpr{Op: Add, X: v("rdi_0"), Y: ConstExpr{Val: 8}}, W: 4},
+		StoreExpr{Mem: v("mem_1"), Addr: v("p"), Val: ConstExpr{Val: 0x7f}, W: 8},
+		CallExpr{Sym: "call/2", Args: []Expr{v("rdi_0"), v("rsi_0")}},
+		CallExpr{Sym: "callmem/1", Args: []Expr{v("rdi_0")}},
+		CallExpr{Sym: "flags/-/lt/64", Args: []Expr{v("a"), v("b")}},
+	}
+	for _, e := range exprs {
+		s := e.String()
+		got, err := ParseExpr(s)
+		if err != nil {
+			t.Errorf("ParseExpr(%q): %v", s, err)
+			continue
+		}
+		if got.String() != s {
+			t.Errorf("round trip %q -> %q", s, got.String())
+		}
+	}
+}
+
+func TestParseExprCompareBinops(t *testing.T) {
+	// Every binary operator name round-trips.
+	for op := Add; op <= UGe; op++ {
+		e := BinExpr{Op: op, X: IntVar("x"), Y: IntVar("y")}
+		got, err := ParseExpr(e.String())
+		if err != nil {
+			t.Fatalf("op %v: %v", op, err)
+		}
+		if got.String() != e.String() {
+			t.Fatalf("op %v: %q != %q", op, got.String(), e.String())
+		}
+	}
+}
+
+func TestParseExprErrors(t *testing.T) {
+	for _, s := range []string{
+		"",
+		"(a +",
+		"(a ?? b)",
+		"ite(a, b)",
+		"not(a, b)",
+		"0xzz",
+		"(a + b) trailing",
+		"load7(m, a)",
+		"trunc32(a, b)",
+	} {
+		if _, err := ParseExpr(s); err == nil {
+			t.Errorf("ParseExpr(%q): expected error", s)
+		}
+	}
+}

@@ -1,0 +1,402 @@
+// Package server exposes an indexed core.DB over HTTP as a JSON query
+// service — the lookup half of the index-once/query-many split. It is
+// deliberately small: request decoding, a per-request timeout, an
+// in-flight query limit (back-pressure instead of queue collapse),
+// metrics, and structured logging. Process lifecycle (listening,
+// signal-driven graceful shutdown) belongs to cmd/eshd.
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// Config tunes the service. Zero values select the documented defaults.
+type Config struct {
+	// QueryTimeout bounds one query's wall time, queueing included
+	// (default 60s).
+	QueryTimeout time.Duration
+	// MaxInFlight bounds concurrently executing queries; excess
+	// requests are rejected with 429 (default 2×GOMAXPROCS).
+	MaxInFlight int
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxTop caps the top parameter (default 1000).
+	MaxTop int
+	// Logger receives one structured line per request (default
+	// slog.Default).
+	Logger *slog.Logger
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 2 * runtime.GOMAXPROCS(0)
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxTop <= 0 {
+		c.MaxTop = 1000
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	return c
+}
+
+// latencyBucketsMS are the upper bounds (milliseconds) of the query
+// latency histogram; the last bucket is unbounded.
+var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+
+// Server serves similarity queries against one immutable DB.
+type Server struct {
+	db  *core.DB
+	cfg Config
+	sem chan struct{}
+	// queryFn indirects db.Query so tests can inject slow or failing
+	// queries deterministically.
+	queryFn func(*asm.Proc) (*core.Report, error)
+
+	mu        sync.Mutex
+	queries   uint64 // completed successfully
+	failures  uint64 // engine errors
+	timeouts  uint64
+	rejected  uint64 // 429s
+	badInput  uint64 // 4xx parse/validation errors
+	latencyMS [len(latencyBucketsMS) + 1]uint64
+	started   time.Time
+}
+
+// New builds a Server around an indexed database.
+func New(db *core.DB, cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		db:      db,
+		cfg:     cfg,
+		sem:     make(chan struct{}, cfg.MaxInFlight),
+		queryFn: db.Query,
+		started: time.Now(),
+	}
+}
+
+// Handler returns the HTTP handler tree (with request logging).
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	return s.logged(mux)
+}
+
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	w.status = code
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (s *Server) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
+		next.ServeHTTP(sw, r)
+		s.cfg.Logger.Info("request",
+			"method", r.Method,
+			"path", r.URL.Path,
+			"status", sw.status,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (s *Server) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+// QueryRequest is the POST /v1/query body.
+type QueryRequest struct {
+	// Asm holds one or more procedures in assembler-text form; the
+	// first is the query.
+	Asm string `json:"asm"`
+	// Method is the ranking method: "esh" (default), "slog", "svcp".
+	Method string `json:"method,omitempty"`
+	// Top bounds the number of ranked results (default 20).
+	Top int `json:"top,omitempty"`
+}
+
+// QueryResult is one ranked row of a QueryResponse.
+type QueryResult struct {
+	Rank      int     `json:"rank"`
+	Target    string  `json:"target"`
+	Package   string  `json:"package,omitempty"`
+	Toolchain string  `json:"toolchain,omitempty"`
+	Patched   bool    `json:"patched,omitempty"`
+	Score     float64 `json:"score"`
+	GES       float64 `json:"ges"`
+	SLOG      float64 `json:"slog"`
+	SVCP      float64 `json:"svcp"`
+}
+
+// QueryResponse is the POST /v1/query reply.
+type QueryResponse struct {
+	Query      string        `json:"query"`
+	Method     string        `json:"method"`
+	NumBlocks  int           `json:"num_blocks"`
+	NumStrands int           `json:"num_strands"`
+	Results    []QueryResult `json:"results"`
+}
+
+func methodByName(name string) (stats.Method, error) {
+	switch name {
+	case "", "esh":
+		return stats.Esh, nil
+	case "slog":
+		return stats.SLOG, nil
+	case "svcp":
+		return stats.SVCP, nil
+	}
+	return stats.Esh, fmt.Errorf("unknown method %q (esh, slog, svcp)", name)
+}
+
+func (s *Server) count(c *uint64) {
+	s.mu.Lock()
+	*c++
+	s.mu.Unlock()
+}
+
+func (s *Server) observe(d time.Duration) {
+	ms := float64(d.Microseconds()) / 1000
+	i := 0
+	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
+		i++
+	}
+	s.mu.Lock()
+	s.queries++
+	s.latencyMS[i]++
+	s.mu.Unlock()
+}
+
+func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.count(&s.badInput)
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	m, err := methodByName(req.Method)
+	if err != nil {
+		s.count(&s.badInput)
+		s.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 20
+	}
+	if top > s.cfg.MaxTop {
+		top = s.cfg.MaxTop
+	}
+	procs, err := asm.Parse(req.Asm)
+	if err != nil {
+		s.count(&s.badInput)
+		s.fail(w, http.StatusBadRequest, "parse asm: %v", err)
+		return
+	}
+	if len(procs) == 0 {
+		s.count(&s.badInput)
+		s.fail(w, http.StatusBadRequest, "no procedure in request")
+		return
+	}
+
+	// Admission: reject rather than queue when the configured number of
+	// queries is already executing — a loaded search service should shed,
+	// not build an unbounded latency backlog.
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.count(&s.rejected)
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "too many in-flight queries (limit %d)", s.cfg.MaxInFlight)
+		return
+	}
+
+	start := time.Now()
+	type result struct {
+		rep *core.Report
+		err error
+	}
+	done := make(chan result, 1)
+	go func() {
+		defer func() { <-s.sem }()
+		rep, err := s.queryFn(procs[0])
+		done <- result{rep, err}
+	}()
+
+	timer := time.NewTimer(s.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			s.count(&s.failures)
+			s.fail(w, http.StatusUnprocessableEntity, "query: %v", res.err)
+			return
+		}
+		s.observe(time.Since(start))
+		writeJSON(w, http.StatusOK, buildResponse(res.rep, m, top))
+	case <-timer.C:
+		// The engine query is not cancellable; it keeps running (and
+		// keeps holding its in-flight slot) while the client gets a 504.
+		s.count(&s.timeouts)
+		s.fail(w, http.StatusGatewayTimeout, "query exceeded %s", s.cfg.QueryTimeout)
+	}
+}
+
+func buildResponse(rep *core.Report, m stats.Method, top int) *QueryResponse {
+	resp := &QueryResponse{
+		Query:      rep.QueryName,
+		Method:     m.String(),
+		NumBlocks:  rep.NumBlocks,
+		NumStrands: rep.NumStrands,
+		Results:    []QueryResult{},
+	}
+	for i, ts := range rep.Rank(m) {
+		if i >= top {
+			break
+		}
+		resp.Results = append(resp.Results, QueryResult{
+			Rank:      i + 1,
+			Target:    ts.Target.Name,
+			Package:   ts.Target.Source.Package,
+			Toolchain: ts.Target.Source.Toolchain,
+			Patched:   ts.Target.Source.Patched,
+			Score:     ts.Score(m),
+			GES:       ts.GES,
+			SLOG:      ts.SLOG,
+			SVCP:      ts.SVCP,
+		})
+	}
+	return resp
+}
+
+// TargetInfo is one row of GET /v1/targets.
+type TargetInfo struct {
+	Name       string `json:"name"`
+	Package    string `json:"package,omitempty"`
+	Toolchain  string `json:"toolchain,omitempty"`
+	Patched    bool   `json:"patched,omitempty"`
+	NumBlocks  int    `json:"num_blocks"`
+	NumStrands int    `json:"num_strands"`
+}
+
+func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
+	out := make([]TargetInfo, 0, s.db.NumTargets())
+	for _, t := range s.db.Targets() {
+		out = append(out, TargetInfo{
+			Name:       t.Name,
+			Package:    t.Source.Package,
+			Toolchain:  t.Source.Toolchain,
+			Patched:    t.Source.Patched,
+			NumBlocks:  t.NumBlocks,
+			NumStrands: t.NumStrands,
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"targets": out})
+}
+
+// StatsResponse is the GET /v1/stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Index         struct {
+		Targets       int `json:"targets"`
+		UniqueStrands int `json:"unique_strands"`
+		TotalStrands  int `json:"total_strands"`
+	} `json:"index"`
+	VCPCache struct {
+		Pairs     int    `json:"pairs"`
+		QueryKeys int    `json:"query_keys"`
+		CapPairs  int    `json:"cap_pairs"`
+		Evicted   uint64 `json:"evicted"`
+	} `json:"vcp_cache"`
+	Queries struct {
+		Completed uint64 `json:"completed"`
+		Failures  uint64 `json:"failures"`
+		Timeouts  uint64 `json:"timeouts"`
+		Rejected  uint64 `json:"rejected"`
+		BadInput  uint64 `json:"bad_input"`
+		InFlight  int    `json:"in_flight"`
+		MaxIn     int    `json:"max_in_flight"`
+	} `json:"queries"`
+	// LatencyMS maps histogram bucket labels ("<=50ms", ">10000ms") to
+	// completed-query counts.
+	LatencyMS map[string]uint64 `json:"latency_ms"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	dbs := s.db.Stats()
+	resp := &StatsResponse{UptimeSeconds: time.Since(s.started).Seconds()}
+	resp.Index.Targets = dbs.Targets
+	resp.Index.UniqueStrands = dbs.UniqueStrands
+	resp.Index.TotalStrands = dbs.TotalStrands
+	resp.VCPCache.Pairs = dbs.VCPCachePairs
+	resp.VCPCache.QueryKeys = dbs.VCPCacheQueries
+	resp.VCPCache.CapPairs = dbs.VCPCacheCap
+	resp.VCPCache.Evicted = dbs.VCPCacheEvicted
+	resp.LatencyMS = make(map[string]uint64, len(s.latencyMS))
+
+	s.mu.Lock()
+	resp.Queries.Completed = s.queries
+	resp.Queries.Failures = s.failures
+	resp.Queries.Timeouts = s.timeouts
+	resp.Queries.Rejected = s.rejected
+	resp.Queries.BadInput = s.badInput
+	for i, n := range s.latencyMS {
+		if n == 0 {
+			continue
+		}
+		if i < len(latencyBucketsMS) {
+			resp.LatencyMS[fmt.Sprintf("<=%gms", latencyBucketsMS[i])] = n
+		} else {
+			resp.LatencyMS[fmt.Sprintf(">%gms", latencyBucketsMS[len(latencyBucketsMS)-1])] = n
+		}
+	}
+	s.mu.Unlock()
+
+	resp.Queries.InFlight = len(s.sem)
+	resp.Queries.MaxIn = s.cfg.MaxInFlight
+	writeJSON(w, http.StatusOK, resp)
+}

@@ -1,0 +1,319 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/vcp"
+)
+
+const gccStyle = `proc checksum_gcc
+	xor eax, eax
+	mov rcx, rdi
+	lea rdx, [rsi+rsi*2]
+	shl rdx, 2
+	add rdx, 0x20
+	imul rcx, rdx
+	mov rax, rcx
+	shr rax, 7
+	xor rax, rcx
+	mov r8, rax
+	and r8, 0xff
+	add rax, r8
+	ret
+endp`
+
+const iccStyle = `proc checksum_icc
+	xor r9d, r9d
+	mov r10, rdi
+	mov r11, rsi
+	imul r11, 3
+	imul r11, 4
+	add r11, 0x20
+	imul r10, r11
+	mov rax, r10
+	shr rax, 7
+	xor rax, r10
+	mov rbx, rax
+	and rbx, 0xff
+	add rax, rbx
+	ret
+endp`
+
+const unrelated = `proc strlen_like
+	xor eax, eax
+	mov rdx, rdi
+top:
+	movzx ecx, byte [rdx]
+	test rcx, rcx
+	je done
+	add rdx, 1
+	add rax, 1
+	cmp rax, 0x1000
+	jb top
+done:
+	ret
+endp`
+
+func testDB(t *testing.T) *core.DB {
+	t.Helper()
+	db := core.NewDB(core.Options{VCP: vcp.Config{MinVars: 3}})
+	for _, src := range []string{iccStyle, unrelated} {
+		p, err := asm.ParseProc(src)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := db.AddTarget(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+func quietConfig() Config {
+	return Config{Logger: slog.New(slog.NewTextHandler(io.Discard, nil))}
+}
+
+// newTestServer starts an httptest server; queryFn (optional) replaces
+// the engine query before the listener accepts traffic.
+func newTestServer(t *testing.T, db *core.DB, cfg Config, queryFn func(*asm.Proc) (*core.Report, error)) (*Server, *httptest.Server) {
+	t.Helper()
+	if cfg.Logger == nil {
+		cfg.Logger = quietConfig().Logger
+	}
+	s := New(db, cfg)
+	if queryFn != nil {
+		s.queryFn = queryFn
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postQuery(t *testing.T, url string, req QueryRequest) *http.Response {
+	t.Helper()
+	body, _ := json.Marshal(req)
+	resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return resp
+}
+
+// TestQueryEndpoint checks that HTTP results match an in-process Query
+// exactly (same ranking, same scores bit for bit).
+func TestQueryEndpoint(t *testing.T) {
+	db := testDB(t)
+	_, ts := newTestServer(t, db, quietConfig(), nil)
+
+	resp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle, Method: "esh", Top: 10})
+	if resp.StatusCode != http.StatusOK {
+		b, _ := io.ReadAll(resp.Body)
+		t.Fatalf("status %d: %s", resp.StatusCode, b)
+	}
+	var got QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := asm.ParseProc(gccStyle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := db.Query(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ranked := want.Rank(stats.Esh)
+	if len(got.Results) != len(ranked) {
+		t.Fatalf("results %d, want %d", len(got.Results), len(ranked))
+	}
+	for i, r := range got.Results {
+		w := ranked[i]
+		if r.Target != w.Target.Name || r.GES != w.GES || r.SLOG != w.SLOG || r.SVCP != w.SVCP {
+			t.Fatalf("rank %d: got (%s %v %v %v), want (%s %v %v %v)",
+				i, r.Target, r.GES, r.SLOG, r.SVCP, w.Target.Name, w.GES, w.SLOG, w.SVCP)
+		}
+	}
+	if got.Results[0].Target != "checksum_icc" {
+		t.Fatalf("top result %s, want checksum_icc", got.Results[0].Target)
+	}
+}
+
+func TestQueryBadInput(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+	for _, tc := range []struct {
+		req  QueryRequest
+		want int
+	}{
+		{QueryRequest{Asm: "this is not assembler"}, http.StatusBadRequest},
+		{QueryRequest{Asm: ""}, http.StatusBadRequest},
+		{QueryRequest{Asm: gccStyle, Method: "bogus"}, http.StatusBadRequest},
+	} {
+		resp := postQuery(t, ts.URL, tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%+v: status %d, want %d", tc.req, resp.StatusCode, tc.want)
+		}
+	}
+}
+
+func TestHealthz(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	if strings.TrimSpace(string(b)) != "ok" {
+		t.Fatalf("body %q", b)
+	}
+}
+
+func TestTargetsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+	resp, err := http.Get(ts.URL + "/v1/targets")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var got struct {
+		Targets []TargetInfo `json:"targets"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Targets) != 2 {
+		t.Fatalf("targets %d, want 2", len(got.Targets))
+	}
+	if got.Targets[0].Name != "checksum_icc" {
+		t.Fatalf("first target %s", got.Targets[0].Name)
+	}
+}
+
+// TestQueryTimeout injects a query that outlives the configured timeout
+// and expects 504.
+func TestQueryTimeout(t *testing.T) {
+	cfg := quietConfig()
+	cfg.QueryTimeout = 20 * time.Millisecond
+	release := make(chan struct{})
+	defer close(release)
+	_, ts := newTestServer(t, testDB(t), cfg, func(p *asm.Proc) (*core.Report, error) {
+		<-release
+		return &core.Report{QueryName: p.Name}, nil
+	})
+
+	resp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle})
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+}
+
+// TestInFlightLimit saturates MaxInFlight with blocked queries and
+// expects the next request to be shed with 429.
+func TestInFlightLimit(t *testing.T) {
+	cfg := quietConfig()
+	cfg.MaxInFlight = 2
+	cfg.QueryTimeout = 5 * time.Second
+	release := make(chan struct{})
+	started := make(chan struct{}, 8)
+	_, ts := newTestServer(t, testDB(t), cfg, func(p *asm.Proc) (*core.Report, error) {
+		started <- struct{}{}
+		<-release
+		return &core.Report{QueryName: p.Name}, nil
+	})
+
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle})
+			if resp.StatusCode != http.StatusOK {
+				t.Errorf("blocked query status %d", resp.StatusCode)
+			}
+		}()
+	}
+	for i := 0; i < cfg.MaxInFlight; i++ {
+		select {
+		case <-started:
+		case <-time.After(5 * time.Second):
+			t.Fatal("queries did not start")
+		}
+	}
+
+	resp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle})
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("status %d, want 429", resp.StatusCode)
+	}
+
+	close(release)
+	wg.Wait()
+
+	// Counters surfaced via /v1/stats reflect the traffic.
+	statsResp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer statsResp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(statsResp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Rejected != 1 {
+		t.Errorf("rejected = %d, want 1", st.Queries.Rejected)
+	}
+	if st.Queries.Completed != uint64(cfg.MaxInFlight) {
+		t.Errorf("completed = %d, want %d", st.Queries.Completed, cfg.MaxInFlight)
+	}
+	if st.Index.Targets != 2 {
+		t.Errorf("index targets = %d, want 2", st.Index.Targets)
+	}
+}
+
+func TestStatsAfterQueries(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+	for i := 0; i < 3; i++ {
+		resp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle})
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("status %d", resp.StatusCode)
+		}
+	}
+	resp, err := http.Get(ts.URL + "/v1/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st StatsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	if st.Queries.Completed != 3 {
+		t.Fatalf("completed = %d, want 3", st.Queries.Completed)
+	}
+	var histTotal uint64
+	for _, n := range st.LatencyMS {
+		histTotal += n
+	}
+	if histTotal != 3 {
+		t.Fatalf("latency histogram total = %d, want 3", histTotal)
+	}
+	if st.VCPCache.Pairs == 0 {
+		t.Error("vcp cache occupancy not reported")
+	}
+}
