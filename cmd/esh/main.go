@@ -16,6 +16,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -28,6 +29,7 @@ import (
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	workers := flag.Int("workers", 0, "query parallelism (0 = GOMAXPROCS)")
 	pathLen := flag.Int("pathlen", 0, "decompose small procedures over control-flow paths of this many blocks (0 = off)")
 	sigmoidK := flag.Float64("sigmoid-k", 0, "Esh sigmoid steepness (0 = paper's k=10)")
+	timings := flag.Bool("timings", false, "print a per-stage timing and work breakdown to stderr")
 	flag.Parse()
 
 	var m stats.Method
@@ -123,7 +126,9 @@ func main() {
 		fail("no targets: pass database files as arguments (or -demo / -load)")
 	}
 
-	rep, err := db.Query(query)
+	ctx, root := telemetry.StartSpan(context.Background(), "query")
+	rep, err := db.QueryCtx(ctx, query)
+	root.End()
 	if err != nil {
 		fail("query: %v", err)
 	}
@@ -135,6 +140,10 @@ func main() {
 			break
 		}
 		fmt.Printf("%-4d %-52s %12.3f\n", i+1, ts.Target.Name, ts.Score(m))
+	}
+	if *timings {
+		fmt.Fprintln(os.Stderr, "timings:")
+		root.Snapshot().WriteTree(os.Stderr)
 	}
 }
 

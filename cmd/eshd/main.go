@@ -7,13 +7,20 @@
 //
 //	eshd -index corpus.eshidx [-addr :8710] [-timeout 60s]
 //	     [-max-inflight 16] [-workers 0] [-drain 30s]
+//	     [-log-format text|json] [-pprof-addr 127.0.0.1:6060]
 //
 // Endpoints:
 //
 //	POST /v1/query    {"asm": "...", "method": "esh|slog|svcp", "top": 20}
+//	                  append ?trace=1 for a per-stage timing breakdown
 //	GET  /v1/targets  indexed procedures with provenance
 //	GET  /v1/stats    index size, cache occupancy, query counters, latency
+//	GET  /metrics     Prometheus text-format exposition
 //	GET  /healthz     liveness
+//
+// With -pprof-addr, net/http/pprof profiling endpoints are served on a
+// separate (normally loopback-only) listener, so profiles are never
+// exposed on the query port.
 //
 // On SIGINT/SIGTERM the daemon stops accepting connections and drains
 // in-flight queries (up to -drain) before exiting.
@@ -26,6 +33,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -33,6 +41,7 @@ import (
 
 	"repro/internal/index"
 	"repro/internal/server"
+	"repro/internal/telemetry"
 )
 
 func main() {
@@ -42,27 +51,61 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent queries (0 = 2×GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "per-query strand parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	flag.Parse()
 
-	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fail("unknown -log-format %q (text, json)", *logFormat)
+	}
+	logger := slog.New(handler)
 	if *indexPath == "" {
 		fail("pass -index snapshot.eshidx (create one with: eshcorpus -save snapshot.eshidx)")
 	}
 
-	start := time.Now()
-	db, err := index.LoadFile(*indexPath)
+	lctx, loadSpan := telemetry.StartSpan(context.Background(), "startup")
+	db, err := index.LoadFileCtx(lctx, *indexPath)
+	loadSpan.End()
 	if err != nil {
 		fail("%v", err)
 	}
 	db.SetWorkers(*workers)
 	st := db.Stats()
-	logger.Info("index loaded",
+	attrs := []any{
 		"path", *indexPath,
 		"targets", st.Targets,
 		"unique_strands", st.UniqueStrands,
 		"total_strands", st.TotalStrands,
-		"load_ms", time.Since(start).Milliseconds(),
-	)
+		"load_ms", loadSpan.Duration().Milliseconds(),
+	}
+	// The index.load child span carries the decode/prepare split.
+	if snap := loadSpan.Snapshot(); len(snap.Children) == 1 {
+		for _, c := range snap.Children[0].Children {
+			attrs = append(attrs, c.Name+"_ms", c.DurationMS)
+		}
+	}
+	logger.Info("index loaded", attrs...)
+
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
+	}
 
 	srv := server.New(db, server.Config{
 		QueryTimeout: *timeout,

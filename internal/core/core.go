@@ -6,16 +6,19 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sort"
 	"sync"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/lift"
 	"repro/internal/stats"
 	"repro/internal/strand"
+	"repro/internal/telemetry"
 	"repro/internal/vcp"
 )
 
@@ -74,22 +77,101 @@ type DB struct {
 	// target strand key). It is bounded by Options.VCPCachePairs with
 	// FIFO eviction at query-strand granularity: cacheOrder records
 	// query keys in insertion order, cachePairs counts cached pairs.
-	mu             sync.Mutex
-	vcpCache       map[string]map[string][2]float64
-	cacheOrder     []string
-	cachePairs     int
-	cacheEvictions uint64
+	mu         sync.Mutex
+	vcpCache   map[string]map[string][2]float64
+	cacheOrder []string
+	cachePairs int
+
+	// Telemetry: a per-DB registry so multiple databases in one process
+	// (tests, blue/green index swaps) do not share counters. Per-pair
+	// work is accumulated locally in vcpRow and flushed here once per
+	// query strand, so the hot loop never touches an atomic.
+	reg            *telemetry.Registry
+	stageHist      map[string]*telemetry.Histogram
+	mCacheHits     *telemetry.Counter
+	mCacheMisses   *telemetry.Counter
+	mCacheEvict    *telemetry.Counter
+	mPairsPruned   *telemetry.Counter
+	mPairsIdent    *telemetry.Counter
+	mVerifierCalls *telemetry.Counter
+	mGamma         *telemetry.Counter
+	mQueries       *telemetry.Counter
 }
+
+// queryStages names the Query pipeline stages, in execution order. Each
+// has a span in the per-query trace and a duration histogram in the
+// DB's metrics registry.
+var queryStages = [...]string{"decompose", "prepare", "vcp", "score"}
 
 // NewDB returns an empty database.
 func NewDB(opts Options) *DB {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
-	return &DB{
+	db := &DB{
 		opts:     opts,
 		byKey:    map[string]int{},
 		vcpCache: map[string]map[string][2]float64{},
+	}
+	db.initMetrics()
+	return db
+}
+
+// initMetrics builds the DB's metrics registry. Gauge funcs read index
+// sizes without the lock: they are written only by AddTarget, which is
+// documented as not concurrency-safe (serving reads an immutable index).
+func (db *DB) initMetrics() {
+	reg := telemetry.NewRegistry()
+	db.reg = reg
+	db.stageHist = make(map[string]*telemetry.Histogram, len(queryStages))
+	for _, st := range queryStages {
+		db.stageHist[st] = reg.Histogram("esh_query_stage_seconds",
+			"Wall time per query pipeline stage.", nil, "stage", st)
+	}
+	db.mQueries = reg.Counter("esh_engine_queries_total", "Queries answered by the engine.")
+	db.mCacheHits = reg.Counter("esh_vcp_cache_hits_total", "VCP memo cache hits (pair results reused).")
+	db.mCacheMisses = reg.Counter("esh_vcp_cache_misses_total", "VCP memo cache misses (pair results computed).")
+	db.mCacheEvict = reg.Counter("esh_vcp_cache_evictions_total", "Query-strand rows evicted from the VCP cache.")
+	db.mPairsPruned = reg.Counter("esh_vcp_pairs_pruned_total", "Strand pairs rejected by the size-ratio window before any verifier work.")
+	db.mPairsIdent = reg.Counter("esh_vcp_pairs_identical_total", "Strand pairs short-circuited as structurally identical.")
+	db.mVerifierCalls = reg.Counter("esh_verifier_calls_total", "vcp.Compute invocations (two per cache miss: forward and reverse).")
+	db.mGamma = reg.Counter("esh_verifier_correspondences_total", "Input correspondences evaluated by the probabilistic verifier.")
+	reg.GaugeFunc("esh_vcp_cache_pairs", "Strand-pair results currently cached.", func() float64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return float64(db.cachePairs)
+	})
+	reg.GaugeFunc("esh_vcp_cache_query_strands", "Distinct query strands with cached rows.", func() float64 {
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		return float64(len(db.vcpCache))
+	})
+	reg.GaugeFunc("esh_vcp_cache_hit_ratio", "Lifetime VCP cache hit ratio.", func() float64 {
+		h, m := db.mCacheHits.Value(), db.mCacheMisses.Value()
+		if h+m == 0 {
+			return 0
+		}
+		return float64(h) / float64(h+m)
+	})
+	reg.GaugeFunc("esh_index_targets", "Indexed target procedures.", func() float64 {
+		return float64(len(db.targets))
+	})
+	reg.GaugeFunc("esh_index_unique_strands", "Distinct strands in the index.", func() float64 {
+		return float64(len(db.uniq))
+	})
+	reg.GaugeFunc("esh_index_total_strands", "Corpus strand count |T| (H0 denominator).", func() float64 {
+		return float64(db.total)
+	})
+}
+
+// Metrics returns the DB's metrics registry, for exposition alongside
+// server-level metrics.
+func (db *DB) Metrics() *telemetry.Registry { return db.reg }
+
+// observeStage records one stage duration into the per-stage histogram.
+func (db *DB) observeStage(stage string, d time.Duration) {
+	if h := db.stageHist[stage]; h != nil {
+		h.Observe(d.Seconds())
 	}
 }
 
@@ -130,6 +212,29 @@ type DBStats struct {
 	VCPCacheQueries int
 	VCPCacheCap     int
 	VCPCacheEvicted uint64
+	// Lifetime cache traffic: hits reused a cached pair result, misses
+	// computed one (two verifier calls each).
+	VCPCacheHits   uint64
+	VCPCacheMisses uint64
+	// VCPPairsPruned counts pairs rejected by the size-ratio window;
+	// VerifierCalls counts vcp.Compute invocations;
+	// VerifierCorrespondences counts γ evaluations inside them.
+	VCPPairsPruned          uint64
+	VerifierCalls           uint64
+	VerifierCorrespondences uint64
+	// Queries is the number of Query calls answered; StageSeconds holds
+	// the cumulative wall-clock seconds each pipeline stage has consumed
+	// across them.
+	Queries      uint64
+	StageSeconds map[string]float64
+}
+
+// VCPCacheHitRate returns hits/(hits+misses), or 0 before any traffic.
+func (s DBStats) VCPCacheHitRate() float64 {
+	if s.VCPCacheHits+s.VCPCacheMisses == 0 {
+		return 0
+	}
+	return float64(s.VCPCacheHits) / float64(s.VCPCacheHits+s.VCPCacheMisses)
 }
 
 // Stats returns current occupancy counters. Targets, unique strands and
@@ -137,15 +242,25 @@ type DBStats struct {
 // the cache counters are read under the cache lock.
 func (db *DB) Stats() DBStats {
 	s := DBStats{
-		Targets:       len(db.targets),
-		UniqueStrands: len(db.uniq),
-		TotalStrands:  db.total,
-		VCPCacheCap:   db.cacheCap(),
+		Targets:                 len(db.targets),
+		UniqueStrands:           len(db.uniq),
+		TotalStrands:            db.total,
+		VCPCacheCap:             db.cacheCap(),
+		VCPCacheEvicted:         db.mCacheEvict.Value(),
+		VCPCacheHits:            db.mCacheHits.Value(),
+		VCPCacheMisses:          db.mCacheMisses.Value(),
+		VCPPairsPruned:          db.mPairsPruned.Value(),
+		VerifierCalls:           db.mVerifierCalls.Value(),
+		VerifierCorrespondences: db.mGamma.Value(),
+		Queries:                 db.mQueries.Value(),
+		StageSeconds:            make(map[string]float64, len(queryStages)),
+	}
+	for _, st := range queryStages {
+		s.StageSeconds[st] = db.stageHist[st].Sum()
 	}
 	db.mu.Lock()
 	s.VCPCachePairs = db.cachePairs
 	s.VCPCacheQueries = len(db.vcpCache)
-	s.VCPCacheEvicted = db.cacheEvictions
 	db.mu.Unlock()
 	return s
 }
@@ -276,12 +391,32 @@ func (r *Report) Rank(m stats.Method) []TargetScore {
 	return out
 }
 
-// Query scores every indexed target against the query procedure.
+// Query scores every indexed target against the query procedure. It is
+// QueryCtx with a background context (metrics are still recorded; no
+// trace tree is reachable by the caller).
 func (db *DB) Query(p *asm.Proc) (*Report, error) {
+	return db.QueryCtx(context.Background(), p)
+}
+
+// QueryCtx scores every indexed target against the query procedure.
+// Each pipeline stage (decompose, prepare, vcp, score) is recorded as a
+// child of the telemetry span carried by ctx (if any) with work counts
+// attached — strand pairs examined, cache hits and misses, verifier
+// invocations — so callers can report a per-query stage breakdown.
+// Stage durations also feed the DB's stage histograms regardless of
+// whether ctx carries a span.
+func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
+	db.mQueries.Inc()
+
+	// Stage 1: decompose — disassembly → CFG → lift → strands.
+	_, spDec := telemetry.StartSpan(ctx, "decompose")
 	kept, nBlocks, err := db.decompose(p)
+	db.observeStage("decompose", spDec.End())
 	if err != nil {
 		return nil, fmt.Errorf("core: query %s: %w", p.Name, err)
 	}
+	spDec.SetAttr("blocks", float64(nBlocks))
+	spDec.SetAttr("strands", float64(len(kept)))
 	rep := &Report{
 		QueryName:  p.Name,
 		Source:     p.Source,
@@ -289,7 +424,9 @@ func (db *DB) Query(p *asm.Proc) (*Report, error) {
 		NumStrands: len(kept),
 	}
 
-	// Deduplicate query strands, keeping multiplicity as LES weight.
+	// Stage 2: prepare — deduplicate query strands (multiplicity becomes
+	// LES weight) and build their verifier preparations.
+	_, spPrep := telemetry.StartSpan(ctx, "prepare")
 	type qstrand struct {
 		prep   *vcp.Prepared
 		weight float64
@@ -304,17 +441,23 @@ func (db *DB) Query(p *asm.Proc) (*Report, error) {
 		}
 		prep := vcp.Prepare(s, db.opts.VCP)
 		if prep.Err() != nil {
+			spPrep.End()
 			return nil, fmt.Errorf("core: prepare query strand: %w", prep.Err())
 		}
 		qIdx[key] = len(qs)
 		qs = append(qs, &qstrand{prep: prep, weight: 1})
 	}
+	spPrep.SetAttr("unique_strands", float64(len(qs)))
+	db.observeStage("prepare", spPrep.End())
 
-	// For each unique query strand, compute the VCP row against every
-	// unique target strand, in both directions (parallel over query
-	// strands). The forward direction VCP(sq, st) drives S-LOG and Esh;
-	// the reverse direction VCP(st, sq) drives the paper's S-VCP
-	// definition (§6.2), which sums over target strands.
+	// Stage 3: vcp — for each unique query strand, compute the VCP row
+	// against every unique target strand, in both directions (parallel
+	// over query strands). The forward direction VCP(sq, st) drives
+	// S-LOG and Esh; the reverse direction VCP(st, sq) drives the
+	// paper's S-VCP definition (§6.2), which sums over target strands.
+	// Workers accumulate their counts locally and flush once per row
+	// into the shared stage span and the DB counters.
+	_, spVCP := telemetry.StartSpan(ctx, "vcp")
 	rows := make([][]float64, len(qs))
 	revRows := make([][]float64, len(qs))
 	var wg sync.WaitGroup
@@ -325,10 +468,14 @@ func (db *DB) Query(p *asm.Proc) (*Report, error) {
 			defer wg.Done()
 			sem <- struct{}{}
 			defer func() { <-sem }()
-			rows[i], revRows[i] = db.vcpRow(q.prep)
+			rows[i], revRows[i] = db.vcpRow(q.prep, spVCP)
 		}(i, q)
 	}
 	wg.Wait()
+	db.observeStage("vcp", spVCP.End())
+
+	// Stage 4: score — H0 evidence, per-target maxima, GES per method.
+	_, spScore := telemetry.StartSpan(ctx, "score")
 
 	// maxRev[j]: the best any query strand contains target strand j.
 	maxRev := make([]float64, len(db.uniq))
@@ -379,14 +526,51 @@ func (db *DB) Query(p *asm.Proc) (*Report, error) {
 	sort.SliceStable(rep.Results, func(i, j int) bool {
 		return rep.Results[i].GES > rep.Results[j].GES
 	})
+	spScore.SetAttr("targets", float64(len(db.targets)))
+	db.observeStage("score", spScore.End())
 	return rep, nil
+}
+
+// rowStats is the per-row telemetry accumulator: vcpRow counts its work
+// locally and flushes once, so the pair loop never touches an atomic or
+// a span lock.
+type rowStats struct {
+	pairs     int // unique target strands examined
+	pruned    int // rejected by the size-ratio window
+	identical int // short-circuited as structurally identical
+	hits      int // cache hits (pair results reused)
+	misses    int // cache misses (pair results computed)
+	calls     int // vcp.Compute invocations (two per miss)
+	gamma     int // input correspondences evaluated inside them
+}
+
+// flush adds the row's counts to the DB counters and, when sp is part of
+// a live trace, to the shared vcp stage span.
+func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
+	db.mPairsPruned.Add(uint64(rs.pruned))
+	db.mPairsIdent.Add(uint64(rs.identical))
+	db.mCacheHits.Add(uint64(rs.hits))
+	db.mCacheMisses.Add(uint64(rs.misses))
+	db.mVerifierCalls.Add(uint64(rs.calls))
+	db.mGamma.Add(uint64(rs.gamma))
+	if sp == nil {
+		return
+	}
+	sp.AddAttr("pairs", float64(rs.pairs))
+	sp.AddAttr("pairs_pruned", float64(rs.pruned))
+	sp.AddAttr("pairs_identical", float64(rs.identical))
+	sp.AddAttr("cache_hits", float64(rs.hits))
+	sp.AddAttr("cache_misses", float64(rs.misses))
+	sp.AddAttr("verifier_calls", float64(rs.calls))
+	sp.AddAttr("correspondences", float64(rs.gamma))
 }
 
 // vcpRow computes VCP(q, u) and VCP(u, q) for every unique target strand
 // u, applying the §5.5 size window and the cross-query memo cache. The
 // cache is read once and written back once, so concurrent query strands
-// do not fight over the lock in the inner loop.
-func (db *DB) vcpRow(q *vcp.Prepared) (fwd, rev []float64) {
+// do not fight over the lock in the inner loop. Work counts flow into sp
+// (the shared vcp stage span) and the DB counters.
+func (db *DB) vcpRow(q *vcp.Prepared, sp *telemetry.Span) (fwd, rev []float64) {
 	qKey := q.Key()
 	db.mu.Lock()
 	cached := map[string][2]float64{}
@@ -403,27 +587,35 @@ func (db *DB) vcpRow(q *vcp.Prepared) (fwd, rev []float64) {
 	fwd = make([]float64, len(db.uniq))
 	rev = make([]float64, len(db.uniq))
 	fresh := map[string][2]float64{}
+	rs := rowStats{pairs: len(db.uniq)}
 	for j, u := range db.uniq {
 		uKey := u.Key()
 		if qKey == uKey {
 			fwd[j], rev[j] = 1.0, 1.0 // identical strands match exactly
+			rs.identical++
 			continue
 		}
 		// The size window is symmetric, so it gates both directions.
 		if !vcp.SizeCompatible(q.S, u.S, ratio) {
+			rs.pruned++
 			continue
 		}
 		v, hit := cached[uKey]
 		if !hit {
-			v = [2]float64{
-				vcp.Compute(q, u, db.opts.VCP),
-				vcp.Compute(u, q, db.opts.VCP),
-			}
+			fv, fst := vcp.ComputeWithStats(q, u, db.opts.VCP)
+			rv, rst := vcp.ComputeWithStats(u, q, db.opts.VCP)
+			v = [2]float64{fv, rv}
+			rs.misses++
+			rs.calls += 2
+			rs.gamma += fst.Correspondences + rst.Correspondences
 			cached[uKey] = v
 			fresh[uKey] = v
+		} else {
+			rs.hits++
 		}
 		fwd[j], rev[j] = v[0], v[1]
 	}
+	db.flushRowStats(rs, sp)
 
 	if len(fresh) > 0 {
 		db.mu.Lock()
@@ -466,7 +658,7 @@ func (db *DB) evictLocked(keep string) {
 		}
 		db.cachePairs -= len(db.vcpCache[oldest])
 		delete(db.vcpCache, oldest)
-		db.cacheEvictions++
+		db.mCacheEvict.Inc()
 	}
 	// Re-base the order slice occasionally so the sliced-off prefix of
 	// the backing array can be collected.

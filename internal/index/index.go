@@ -19,6 +19,7 @@ package index
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"fmt"
@@ -32,6 +33,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/ivl"
 	"repro/internal/strand"
+	"repro/internal/telemetry"
 )
 
 // Magic identifies snapshot files; Version is the current format.
@@ -40,9 +42,32 @@ const (
 	Version = 1
 )
 
-// Save writes a snapshot of the database to w.
+// Snapshot I/O metrics live in the process-wide default registry (the
+// package has no natural instance to hang them on) and are exposed by
+// eshd's /metrics alongside the engine and server registries.
+var (
+	mLoadSeconds = telemetry.Default().Histogram("esh_index_load_seconds",
+		"Wall time to load and verify one index snapshot.", nil)
+	mSaveSeconds = telemetry.Default().Histogram("esh_index_save_seconds",
+		"Wall time to encode and write one index snapshot.", nil)
+	mSnapshotBytes = telemetry.Default().Gauge("esh_index_snapshot_bytes",
+		"Body size of the most recently loaded or saved snapshot.")
+)
+
+// Save writes a snapshot of the database to w. It is SaveCtx with a
+// background context.
 func Save(w io.Writer, db *core.DB) error {
+	return SaveCtx(context.Background(), w, db)
+}
+
+// SaveCtx writes a snapshot of the database to w, recording an
+// "index.save" telemetry span under the one carried by ctx (if any).
+func SaveCtx(ctx context.Context, w io.Writer, db *core.DB) error {
+	_, sp := telemetry.StartSpan(ctx, "index.save")
+	defer func() { mSaveSeconds.Observe(sp.End().Seconds()) }()
 	body := encodeBody(db.Export())
+	sp.SetAttr("bytes", float64(len(body)))
+	mSnapshotBytes.Set(float64(len(body)))
 	sum := sha256.Sum256(body)
 	if _, err := fmt.Fprintf(w, "%s %d %d %s\n", Magic, Version, len(body), hex.EncodeToString(sum[:])); err != nil {
 		return fmt.Errorf("index: write header: %w", err)
@@ -82,13 +107,32 @@ func SaveFile(path string, db *core.DB) error {
 
 // Load reads a snapshot and rebuilds a queryable database, re-preparing
 // every strand. The rebuilt DB answers Query identically to the one that
-// was saved.
+// was saved. It is LoadCtx with a background context.
 func Load(r io.Reader) (*core.DB, error) {
+	return LoadCtx(context.Background(), r)
+}
+
+// LoadCtx reads a snapshot and rebuilds a queryable database, recording
+// an "index.load" telemetry span (with decode and prepare child spans)
+// under the one carried by ctx, if any.
+func LoadCtx(ctx context.Context, r io.Reader) (*core.DB, error) {
+	lctx, sp := telemetry.StartSpan(ctx, "index.load")
+	defer func() { mLoadSeconds.Observe(sp.End().Seconds()) }()
+
+	_, spDec := telemetry.StartSpan(lctx, "decode")
 	ex, err := LoadExport(r)
+	spDec.End()
 	if err != nil {
 		return nil, err
 	}
+	sp.SetAttr("strands", float64(len(ex.Strands)))
+	sp.SetAttr("targets", float64(len(ex.Targets)))
+
+	// FromExport re-prepares every strand for the verifier — usually the
+	// dominant cost of a load, hence its own child span.
+	_, spPrep := telemetry.StartSpan(lctx, "prepare")
 	db, err := core.FromExport(ex)
+	spPrep.End()
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
@@ -97,12 +141,17 @@ func Load(r io.Reader) (*core.DB, error) {
 
 // LoadFile loads a snapshot from path.
 func LoadFile(path string) (*core.DB, error) {
+	return LoadFileCtx(context.Background(), path)
+}
+
+// LoadFileCtx loads a snapshot from path with LoadCtx tracing.
+func LoadFileCtx(ctx context.Context, path string) (*core.DB, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, fmt.Errorf("index: %w", err)
 	}
 	defer f.Close()
-	db, err := Load(bufio.NewReaderSize(f, 1<<20))
+	db, err := LoadCtx(ctx, bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
 		return nil, fmt.Errorf("index: load %s: %w", path, err)
 	}
@@ -139,6 +188,7 @@ func LoadExport(r io.Reader) (*core.Export, error) {
 	if hex.EncodeToString(sum[:]) != sumHex {
 		return nil, fmt.Errorf("index: checksum mismatch: snapshot is corrupted")
 	}
+	mSnapshotBytes.Set(float64(len(body)))
 	return decodeBody(body)
 }
 

@@ -7,18 +7,21 @@
 package server
 
 import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"log/slog"
 	"net/http"
 	"runtime"
-	"sync"
 	"time"
 
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 )
 
 // Config tunes the service. Zero values select the documented defaults.
@@ -57,47 +60,62 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// latencyBucketsMS are the upper bounds (milliseconds) of the query
-// latency histogram; the last bucket is unbounded.
-var latencyBucketsMS = [...]float64{1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000}
+// queryResults enumerate the label values of esh_http_queries_total: one
+// terminal outcome per query request.
+var queryResults = [...]string{"completed", "failure", "timeout", "rejected", "bad_input"}
 
 // Server serves similarity queries against one immutable DB.
 type Server struct {
 	db  *core.DB
 	cfg Config
 	sem chan struct{}
-	// queryFn indirects db.Query so tests can inject slow or failing
+	// queryFn indirects db.QueryCtx so tests can inject slow or failing
 	// queries deterministically.
-	queryFn func(*asm.Proc) (*core.Report, error)
+	queryFn func(context.Context, *asm.Proc) (*core.Report, error)
 
-	mu        sync.Mutex
-	queries   uint64 // completed successfully
-	failures  uint64 // engine errors
-	timeouts  uint64
-	rejected  uint64 // 429s
-	badInput  uint64 // 4xx parse/validation errors
-	latencyMS [len(latencyBucketsMS) + 1]uint64
-	started   time.Time
+	// HTTP-level metrics; engine metrics live in the DB's registry and
+	// both are rendered by /metrics.
+	reg      *telemetry.Registry
+	outcomes map[string]*telemetry.Counter // by queryResults label
+	latency  *telemetry.Histogram
+	started  time.Time
 }
 
 // New builds a Server around an indexed database.
 func New(db *core.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		db:      db,
 		cfg:     cfg,
 		sem:     make(chan struct{}, cfg.MaxInFlight),
-		queryFn: db.Query,
+		queryFn: db.QueryCtx,
+		reg:     telemetry.NewRegistry(),
 		started: time.Now(),
 	}
+	s.outcomes = make(map[string]*telemetry.Counter, len(queryResults))
+	for _, res := range queryResults {
+		s.outcomes[res] = s.reg.Counter("esh_http_queries_total",
+			"Query requests by terminal outcome.", "result", res)
+	}
+	s.latency = s.reg.Histogram("esh_http_query_seconds",
+		"End-to-end latency of completed queries.", nil)
+	s.reg.GaugeFunc("esh_http_inflight_queries", "Queries executing right now.",
+		func() float64 { return float64(len(s.sem)) })
+	s.reg.GaugeFunc("esh_http_max_inflight", "Configured in-flight query limit.",
+		func() float64 { return float64(cfg.MaxInFlight) })
+	s.reg.GaugeFunc("esh_http_uptime_seconds", "Seconds since the server started.",
+		func() float64 { return time.Since(s.started).Seconds() })
+	return s
 }
 
-// Handler returns the HTTP handler tree (with request logging).
+// Handler returns the HTTP handler tree (with request-ID assignment and
+// request logging).
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
@@ -115,12 +133,41 @@ func (w *statusWriter) WriteHeader(code int) {
 	w.ResponseWriter.WriteHeader(code)
 }
 
+type requestIDKey struct{}
+
+// newRequestID returns 8 random bytes, hex-encoded.
+func newRequestID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		return "unknown"
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// RequestID returns the request ID assigned to ctx by the handler
+// chain, or "".
+func RequestID(ctx context.Context) string {
+	id, _ := ctx.Value(requestIDKey{}).(string)
+	return id
+}
+
+// logged assigns every request an ID (the client's X-Request-ID when
+// present, otherwise generated), echoes it in the response header, and
+// emits one structured log line carrying it — so a log line, a traced
+// response and a client retry all correlate on one token.
 func (s *Server) logged(next http.Handler) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" || len(rid) > 128 {
+			rid = newRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
 		sw := &statusWriter{ResponseWriter: w, status: http.StatusOK}
 		next.ServeHTTP(sw, r)
 		s.cfg.Logger.Info("request",
+			"request_id", rid,
 			"method", r.Method,
 			"path", r.URL.Path,
 			"status", sw.status,
@@ -128,6 +175,19 @@ func (s *Server) logged(next http.Handler) http.Handler {
 			"remote", r.RemoteAddr,
 		)
 	})
+}
+
+// handleMetrics renders the server, engine, and process-default metric
+// registries as one Prometheus text-format page. Names are disjoint by
+// construction (esh_http_*, esh_vcp_*/esh_query_*/esh_index_* gauges,
+// esh_index_*_seconds), so concatenation is a valid exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, reg := range []*telemetry.Registry{s.reg, s.db.Metrics(), telemetry.Default()} {
+		if err := reg.WriteText(w); err != nil {
+			return // client went away; nothing sensible to do
+		}
+	}
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
@@ -169,10 +229,14 @@ type QueryResult struct {
 // QueryResponse is the POST /v1/query reply.
 type QueryResponse struct {
 	Query      string        `json:"query"`
+	RequestID  string        `json:"request_id,omitempty"`
 	Method     string        `json:"method"`
 	NumBlocks  int           `json:"num_blocks"`
 	NumStrands int           `json:"num_strands"`
 	Results    []QueryResult `json:"results"`
+	// Trace is the per-query span tree (stage timings and work counts),
+	// present when the request opted in with ?trace=1.
+	Trace *telemetry.SpanData `json:"trace,omitempty"`
 }
 
 func methodByName(name string) (stats.Method, error) {
@@ -187,29 +251,13 @@ func methodByName(name string) (stats.Method, error) {
 	return stats.Esh, fmt.Errorf("unknown method %q (esh, slog, svcp)", name)
 }
 
-func (s *Server) count(c *uint64) {
-	s.mu.Lock()
-	*c++
-	s.mu.Unlock()
-}
-
-func (s *Server) observe(d time.Duration) {
-	ms := float64(d.Microseconds()) / 1000
-	i := 0
-	for i < len(latencyBucketsMS) && ms > latencyBucketsMS[i] {
-		i++
-	}
-	s.mu.Lock()
-	s.queries++
-	s.latencyMS[i]++
-	s.mu.Unlock()
-}
+func (s *Server) count(result string) { s.outcomes[result].Inc() }
 
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
 	if err := json.NewDecoder(body).Decode(&req); err != nil {
-		s.count(&s.badInput)
+		s.count("bad_input")
 		var tooLarge *http.MaxBytesError
 		if errors.As(err, &tooLarge) {
 			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
@@ -220,7 +268,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	m, err := methodByName(req.Method)
 	if err != nil {
-		s.count(&s.badInput)
+		s.count("bad_input")
 		s.fail(w, http.StatusBadRequest, "%v", err)
 		return
 	}
@@ -233,15 +281,16 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 	procs, err := asm.Parse(req.Asm)
 	if err != nil {
-		s.count(&s.badInput)
+		s.count("bad_input")
 		s.fail(w, http.StatusBadRequest, "parse asm: %v", err)
 		return
 	}
 	if len(procs) == 0 {
-		s.count(&s.badInput)
+		s.count("bad_input")
 		s.fail(w, http.StatusBadRequest, "no procedure in request")
 		return
 	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
 
 	// Admission: reject rather than queue when the configured number of
 	// queries is already executing — a loaded search service should shed,
@@ -249,7 +298,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case s.sem <- struct{}{}:
 	default:
-		s.count(&s.rejected)
+		s.count("rejected")
 		w.Header().Set("Retry-After", "1")
 		s.fail(w, http.StatusTooManyRequests, "too many in-flight queries (limit %d)", s.cfg.MaxInFlight)
 		return
@@ -261,9 +310,15 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		err error
 	}
 	done := make(chan result, 1)
+	// The engine runs on a background context (not r.Context()): a query
+	// is not cancellable once started, and the span tree must stay valid
+	// past a client disconnect. The root span covers queueing-free engine
+	// time; QueryCtx hangs the stage spans under it.
+	qctx, root := telemetry.StartSpan(context.Background(), "query")
 	go func() {
 		defer func() { <-s.sem }()
-		rep, err := s.queryFn(procs[0])
+		rep, err := s.queryFn(qctx, procs[0])
+		root.End()
 		done <- result{rep, err}
 	}()
 
@@ -272,16 +327,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	select {
 	case res := <-done:
 		if res.err != nil {
-			s.count(&s.failures)
+			s.count("failure")
 			s.fail(w, http.StatusUnprocessableEntity, "query: %v", res.err)
 			return
 		}
-		s.observe(time.Since(start))
-		writeJSON(w, http.StatusOK, buildResponse(res.rep, m, top))
+		s.count("completed")
+		s.latency.Observe(time.Since(start).Seconds())
+		resp := buildResponse(res.rep, m, top)
+		resp.RequestID = RequestID(r.Context())
+		if wantTrace {
+			resp.Trace = root.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, resp)
 	case <-timer.C:
 		// The engine query is not cancellable; it keeps running (and
 		// keeps holding its in-flight slot) while the client gets a 504.
-		s.count(&s.timeouts)
+		s.count("timeout")
 		s.fail(w, http.StatusGatewayTimeout, "query exceeded %s", s.cfg.QueryTimeout)
 	}
 }
@@ -347,11 +408,23 @@ type StatsResponse struct {
 		TotalStrands  int `json:"total_strands"`
 	} `json:"index"`
 	VCPCache struct {
-		Pairs     int    `json:"pairs"`
-		QueryKeys int    `json:"query_keys"`
-		CapPairs  int    `json:"cap_pairs"`
-		Evicted   uint64 `json:"evicted"`
+		Pairs     int     `json:"pairs"`
+		QueryKeys int     `json:"query_keys"`
+		CapPairs  int     `json:"cap_pairs"`
+		Evicted   uint64  `json:"evicted"`
+		Hits      uint64  `json:"hits"`
+		Misses    uint64  `json:"misses"`
+		HitRate   float64 `json:"hit_rate"`
 	} `json:"vcp_cache"`
+	// Engine aggregates pipeline work across all queries: verifier
+	// effort, pruning effectiveness, and cumulative per-stage wall time.
+	Engine struct {
+		Queries                 uint64             `json:"queries"`
+		PairsPruned             uint64             `json:"pairs_pruned"`
+		VerifierCalls           uint64             `json:"verifier_calls"`
+		VerifierCorrespondences uint64             `json:"verifier_correspondences"`
+		StageSeconds            map[string]float64 `json:"stage_seconds"`
+	} `json:"engine"`
 	Queries struct {
 		Completed uint64 `json:"completed"`
 		Failures  uint64 `json:"failures"`
@@ -362,7 +435,7 @@ type StatsResponse struct {
 		MaxIn     int    `json:"max_in_flight"`
 	} `json:"queries"`
 	// LatencyMS maps histogram bucket labels ("<=50ms", ">10000ms") to
-	// completed-query counts.
+	// completed-query counts. Empty buckets are omitted.
 	LatencyMS map[string]uint64 `json:"latency_ms"`
 }
 
@@ -376,27 +449,34 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.VCPCache.QueryKeys = dbs.VCPCacheQueries
 	resp.VCPCache.CapPairs = dbs.VCPCacheCap
 	resp.VCPCache.Evicted = dbs.VCPCacheEvicted
-	resp.LatencyMS = make(map[string]uint64, len(s.latencyMS))
+	resp.VCPCache.Hits = dbs.VCPCacheHits
+	resp.VCPCache.Misses = dbs.VCPCacheMisses
+	resp.VCPCache.HitRate = dbs.VCPCacheHitRate()
+	resp.Engine.Queries = dbs.Queries
+	resp.Engine.PairsPruned = dbs.VCPPairsPruned
+	resp.Engine.VerifierCalls = dbs.VerifierCalls
+	resp.Engine.VerifierCorrespondences = dbs.VerifierCorrespondences
+	resp.Engine.StageSeconds = dbs.StageSeconds
 
-	s.mu.Lock()
-	resp.Queries.Completed = s.queries
-	resp.Queries.Failures = s.failures
-	resp.Queries.Timeouts = s.timeouts
-	resp.Queries.Rejected = s.rejected
-	resp.Queries.BadInput = s.badInput
-	for i, n := range s.latencyMS {
+	resp.Queries.Completed = s.outcomes["completed"].Value()
+	resp.Queries.Failures = s.outcomes["failure"].Value()
+	resp.Queries.Timeouts = s.outcomes["timeout"].Value()
+	resp.Queries.Rejected = s.outcomes["rejected"].Value()
+	resp.Queries.BadInput = s.outcomes["bad_input"].Value()
+	resp.Queries.InFlight = len(s.sem)
+	resp.Queries.MaxIn = s.cfg.MaxInFlight
+
+	bounds, counts := s.latency.Snapshot()
+	resp.LatencyMS = make(map[string]uint64, len(counts))
+	for i, n := range counts {
 		if n == 0 {
 			continue
 		}
-		if i < len(latencyBucketsMS) {
-			resp.LatencyMS[fmt.Sprintf("<=%gms", latencyBucketsMS[i])] = n
+		if i < len(bounds) {
+			resp.LatencyMS[fmt.Sprintf("<=%gms", bounds[i]*1000)] = n
 		} else {
-			resp.LatencyMS[fmt.Sprintf(">%gms", latencyBucketsMS[len(latencyBucketsMS)-1])] = n
+			resp.LatencyMS[fmt.Sprintf(">%gms", bounds[len(bounds)-1]*1000)] = n
 		}
 	}
-	s.mu.Unlock()
-
-	resp.Queries.InFlight = len(s.sem)
-	resp.Queries.MaxIn = s.cfg.MaxInFlight
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -2,9 +2,11 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -87,7 +89,7 @@ func quietConfig() Config {
 
 // newTestServer starts an httptest server; queryFn (optional) replaces
 // the engine query before the listener accepts traffic.
-func newTestServer(t *testing.T, db *core.DB, cfg Config, queryFn func(*asm.Proc) (*core.Report, error)) (*Server, *httptest.Server) {
+func newTestServer(t *testing.T, db *core.DB, cfg Config, queryFn func(context.Context, *asm.Proc) (*core.Report, error)) (*Server, *httptest.Server) {
 	t.Helper()
 	if cfg.Logger == nil {
 		cfg.Logger = quietConfig().Logger
@@ -213,7 +215,7 @@ func TestQueryTimeout(t *testing.T) {
 	cfg.QueryTimeout = 20 * time.Millisecond
 	release := make(chan struct{})
 	defer close(release)
-	_, ts := newTestServer(t, testDB(t), cfg, func(p *asm.Proc) (*core.Report, error) {
+	_, ts := newTestServer(t, testDB(t), cfg, func(_ context.Context, p *asm.Proc) (*core.Report, error) {
 		<-release
 		return &core.Report{QueryName: p.Name}, nil
 	})
@@ -232,7 +234,7 @@ func TestInFlightLimit(t *testing.T) {
 	cfg.QueryTimeout = 5 * time.Second
 	release := make(chan struct{})
 	started := make(chan struct{}, 8)
-	_, ts := newTestServer(t, testDB(t), cfg, func(p *asm.Proc) (*core.Report, error) {
+	_, ts := newTestServer(t, testDB(t), cfg, func(_ context.Context, p *asm.Proc) (*core.Report, error) {
 		started <- struct{}{}
 		<-release
 		return &core.Report{QueryName: p.Name}, nil
@@ -286,6 +288,156 @@ func TestInFlightLimit(t *testing.T) {
 	}
 }
 
+// TestMetricsEndpoint scrapes /metrics after one query and checks that
+// the exposition is well-formed and covers the server, engine, and
+// process registries.
+func TestMetricsEndpoint(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+	if resp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle}); resp.StatusCode != http.StatusOK {
+		t.Fatalf("query status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("content type %q", ct)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	body := string(b)
+	for _, want := range []string{
+		"# TYPE esh_http_queries_total counter",
+		`esh_http_queries_total{result="completed"} 1`,
+		"# TYPE esh_http_query_seconds histogram",
+		"esh_http_query_seconds_count 1",
+		"esh_http_inflight_queries 0",
+		"esh_engine_queries_total 1",
+		`esh_query_stage_seconds_bucket{stage="vcp",le="+Inf"} 1`,
+		"# TYPE esh_vcp_cache_hit_ratio gauge",
+		"esh_vcp_cache_pairs ",
+		"esh_index_targets 2",
+		"esh_verifier_calls_total",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+	// Every non-comment line is "name{labels} value".
+	for _, line := range strings.Split(strings.TrimSpace(body), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Errorf("malformed sample line %q", line)
+		}
+	}
+}
+
+// TestQueryTrace opts into ?trace=1 and checks the span tree shape: a
+// query root whose four stage children account for ≈ all of its time,
+// with VCP work counts attached.
+func TestQueryTrace(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+	body, _ := json.Marshal(QueryRequest{Asm: gccStyle})
+	resp, err := http.Post(ts.URL+"/v1/query?trace=1", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var got QueryResponse
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("no trace in response")
+	}
+	if got.Trace.Name != "query" {
+		t.Fatalf("root span %q", got.Trace.Name)
+	}
+	wantStages := []string{"decompose", "prepare", "vcp", "score"}
+	if len(got.Trace.Children) != len(wantStages) {
+		t.Fatalf("stages %d, want %d: %+v", len(got.Trace.Children), len(wantStages), got.Trace.Children)
+	}
+	var stageSum float64
+	for i, c := range got.Trace.Children {
+		if c.Name != wantStages[i] {
+			t.Errorf("stage %d is %q, want %q", i, c.Name, wantStages[i])
+		}
+		if c.DurationMS < 0 {
+			t.Errorf("stage %s has negative duration", c.Name)
+		}
+		stageSum += c.DurationMS
+	}
+	// Stages run back to back inside the root span, so their durations
+	// must sum to at most the root's and, when the query is long enough
+	// to measure, to most of it.
+	if stageSum > got.Trace.DurationMS+0.1 {
+		t.Errorf("stage sum %.3fms exceeds root %.3fms", stageSum, got.Trace.DurationMS)
+	}
+	if got.Trace.DurationMS > 5 && stageSum < 0.5*got.Trace.DurationMS {
+		t.Errorf("stage sum %.3fms does not account for root %.3fms", stageSum, got.Trace.DurationMS)
+	}
+	vcpSpan := got.Trace.Children[2]
+	if vcpSpan.Attrs["pairs"] <= 0 {
+		t.Errorf("vcp span missing pairs attr: %v", vcpSpan.Attrs)
+	}
+	if math.IsNaN(vcpSpan.Attrs["verifier_calls"]) || vcpSpan.Attrs["verifier_calls"] <= 0 {
+		t.Errorf("vcp span missing verifier_calls attr: %v", vcpSpan.Attrs)
+	}
+
+	// Without ?trace=1 the response carries no trace.
+	plain := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle})
+	var noTrace QueryResponse
+	if err := json.NewDecoder(plain.Body).Decode(&noTrace); err != nil {
+		t.Fatal(err)
+	}
+	if noTrace.Trace != nil {
+		t.Error("trace present without opt-in")
+	}
+}
+
+// TestRequestID checks ID propagation: a client-supplied X-Request-ID is
+// echoed, a missing one is generated, and query responses embed it.
+func TestRequestID(t *testing.T) {
+	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
+
+	req, _ := http.NewRequest("GET", ts.URL+"/healthz", nil)
+	req.Header.Set("X-Request-ID", "client-supplied-42")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get("X-Request-ID"); got != "client-supplied-42" {
+		t.Errorf("echoed ID %q, want client-supplied-42", got)
+	}
+
+	resp2, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp2.Body.Close()
+	if got := resp2.Header.Get("X-Request-ID"); len(got) != 16 {
+		t.Errorf("generated ID %q, want 16 hex chars", got)
+	}
+
+	qresp := postQuery(t, ts.URL, QueryRequest{Asm: gccStyle})
+	var qr QueryResponse
+	if err := json.NewDecoder(qresp.Body).Decode(&qr); err != nil {
+		t.Fatal(err)
+	}
+	if qr.RequestID == "" || qr.RequestID != qresp.Header.Get("X-Request-ID") {
+		t.Errorf("response request_id %q vs header %q", qr.RequestID, qresp.Header.Get("X-Request-ID"))
+	}
+}
+
 func TestStatsAfterQueries(t *testing.T) {
 	_, ts := newTestServer(t, testDB(t), quietConfig(), nil)
 	for i := 0; i < 3; i++ {
@@ -315,5 +467,21 @@ func TestStatsAfterQueries(t *testing.T) {
 	}
 	if st.VCPCache.Pairs == 0 {
 		t.Error("vcp cache occupancy not reported")
+	}
+	// Repeat queries replay the same strand rows, so the cache must
+	// report hits and a nonzero hit rate.
+	if st.VCPCache.Hits == 0 || st.VCPCache.HitRate <= 0 || st.VCPCache.HitRate > 1 {
+		t.Errorf("cache traffic hits=%d rate=%v", st.VCPCache.Hits, st.VCPCache.HitRate)
+	}
+	if st.Engine.Queries != 3 {
+		t.Errorf("engine queries = %d, want 3", st.Engine.Queries)
+	}
+	for _, stage := range []string{"decompose", "prepare", "vcp", "score"} {
+		if _, ok := st.Engine.StageSeconds[stage]; !ok {
+			t.Errorf("stage_seconds missing %q", stage)
+		}
+	}
+	if st.Engine.VerifierCalls == 0 {
+		t.Error("verifier calls not reported")
 	}
 }

@@ -196,17 +196,32 @@ func SizeCompatible(q, t *strand.Strand, ratio float64) bool {
 	return nt >= nq*ratio && nt <= nq/ratio
 }
 
+// Stats reports the work one Compute call performed, for telemetry:
+// Correspondences is the number of input correspondences γ whose
+// evaluation vectors were computed and matched (each one is a
+// probabilistic-verifier invocation).
+type Stats struct {
+	Correspondences int
+}
+
 // Compute returns VCP(q, t): the maximal fraction of q's variables with
 // an input-output-equivalent variable in t over all type-preserving,
 // injective, total-on-q input correspondences. It returns 0 when no
 // valid correspondence exists.
 func Compute(q, t *Prepared, cfg Config) float64 {
+	v, _ := ComputeWithStats(q, t, cfg)
+	return v
+}
+
+// ComputeWithStats is Compute plus a work report, so call sites can
+// account verifier effort without a second pass.
+func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 	cfg = cfg.normalized()
 	if q.err != nil || t.err != nil || q.S.NumVars() == 0 {
-		return 0
+		return 0, Stats{}
 	}
 	if len(q.S.Inputs) > len(t.S.Inputs) {
-		return 0 // γ must be injective and total on q's inputs
+		return 0, Stats{} // γ must be injective and total on q's inputs
 	}
 
 	// Enumerate injective type-preserving assignments of q inputs to
@@ -269,5 +284,5 @@ func Compute(q, t *Prepared, cfg Config) float64 {
 		}
 	}
 	rec(0)
-	return best
+	return best, Stats{Correspondences: tried}
 }
