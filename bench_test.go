@@ -229,26 +229,37 @@ func BenchmarkVCP(b *testing.B) {
 
 // BenchmarkQuery measures one full query against a small database (the
 // end-to-end figure the paper reports as ~3 minutes per pair on their
-// 8-core machine; see EXPERIMENTS.md for our full-scale timing).
+// 8-core machine; see EXPERIMENTS.md for our full-scale timing). The
+// prefilter=off/lsh sub-benchmarks share everything but the sketch
+// prefilter; the reported verifier-calls/op metric is the work the
+// sound injectability core saves (cumulative calls over all iterations
+// divided by N — the VCP memo cache makes iterations after the first
+// nearly call-free, so compare modes at equal -benchtime).
 func BenchmarkQuery(b *testing.B) {
 	prog := minic.MustParse(microSrc)
-	db := core.NewDB(core.Options{})
-	for _, tc := range compile.Toolchains() {
-		p, err := compile.Compile(prog, "bench_fn", tc, compile.O2())
-		if err != nil {
-			b.Fatal(err)
-		}
-		p.Name = "bench_fn@" + tc.Name()
-		if err := db.AddTarget(p); err != nil {
-			b.Fatal(err)
-		}
-	}
 	q := microProc(b, "clang-3.5")
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := db.Query(q); err != nil {
-			b.Fatal(err)
-		}
+	for _, mode := range []string{core.PrefilterOff, core.PrefilterLSH} {
+		b.Run("prefilter="+mode, func(b *testing.B) {
+			db := core.NewDB(core.Options{Prefilter: mode})
+			for _, tc := range compile.Toolchains() {
+				p, err := compile.Compile(prog, "bench_fn", tc, compile.O2())
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.Name = "bench_fn@" + tc.Name()
+				if err := db.AddTarget(p); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.Stats().VerifierCalls)/float64(b.N), "verifier-calls/op")
+		})
 	}
 }
 

@@ -1,0 +1,90 @@
+package main_test
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+)
+
+// End-to-end golden test of the CLI pipeline: eshcorpus -save builds a
+// snapshot, esh -load queries it, and the ranked output must match the
+// committed golden byte for byte. The corpus, toolchains, and engine
+// are all deterministic, so any diff is a behavior change — bump the
+// golden deliberately (UPDATE_GOLDEN=1 go test ./cmd/esh) when one is
+// intended. The same query is then repeated with -prefilter=off, which
+// must print the identical ranking: the CLI-level form of the
+// prefilter's soundness guarantee.
+func TestCLIGoldenQuery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds binaries and indexes a corpus")
+	}
+	dir := t.TempDir()
+	eshBin := filepath.Join(dir, "esh")
+	corpusBin := filepath.Join(dir, "eshcorpus")
+	build := func(bin, pkg string) {
+		t.Helper()
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+	build(eshBin, "repro/cmd/esh")
+	build(corpusBin, "repro/cmd/eshcorpus")
+
+	snap := filepath.Join(dir, "corpus.eshidx")
+	if out, err := exec.Command(corpusBin, "-save", snap, "-scale", "small", "-synth", "0").CombinedOutput(); err != nil {
+		t.Fatalf("eshcorpus -save: %v\n%s", err, out)
+	}
+
+	// The query is Heartbleed compiled by an in-corpus toolchain, written
+	// out the same way eshcorpus -out would.
+	qtc, ok := compile.ByName("clang-3.5")
+	if !ok {
+		t.Fatal("query toolchain missing")
+	}
+	q, err := corpus.CompileVuln(corpus.Vulns()[0], qtc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	queryPath := filepath.Join(dir, "query.s")
+	if err := os.WriteFile(queryPath, []byte(q.String()), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	run := func(args ...string) string {
+		t.Helper()
+		cmd := exec.Command(eshBin, args...)
+		out, err := cmd.Output()
+		if err != nil {
+			t.Fatalf("esh %v: %v", args, err)
+		}
+		return string(out)
+	}
+	got := run("-load", snap, "-query", queryPath, "-top", "10")
+
+	goldenPath := filepath.Join("testdata", "query_golden.txt")
+	if os.Getenv("UPDATE_GOLDEN") != "" {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("read golden (regenerate with UPDATE_GOLDEN=1): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("CLI output diverges from golden %s:\n--- got ---\n%s--- want ---\n%s", goldenPath, got, want)
+	}
+
+	off := run("-load", snap, "-query", queryPath, "-top", "10", "-prefilter", "off")
+	if off != got {
+		t.Errorf("-prefilter=off output differs from the default lsh run:\n--- off ---\n%s--- lsh ---\n%s", off, got)
+	}
+}

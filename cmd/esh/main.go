@@ -42,7 +42,16 @@ func main() {
 	pathLen := flag.Int("pathlen", 0, "decompose small procedures over control-flow paths of this many blocks (0 = off)")
 	sigmoidK := flag.Float64("sigmoid-k", 0, "Esh sigmoid steepness (0 = paper's k=10)")
 	timings := flag.Bool("timings", false, "print a per-stage timing and work breakdown to stderr")
+	prefilter := flag.String("prefilter", "lsh", "candidate prefilter for the VCP pair loop: off or lsh")
+	lshBands := flag.Int("lsh-bands", 0, "LSH bands of the sketch prefilter (0 = default)")
+	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = default)")
+	lshMinCont := flag.Float64("lsh-min-containment", 0, "enable the heuristic prefilter tier at this estimated-containment threshold (0 = sound tier only; rankings can change when set)")
 	flag.Parse()
+
+	prefMode, err := core.NormalizePrefilter(*prefilter)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	var m stats.Method
 	switch *method {
@@ -66,12 +75,19 @@ func main() {
 		if *pathLen != 0 || *sigmoidK != 0 {
 			fmt.Fprintln(os.Stderr, "esh: -pathlen and -sigmoid-k are fixed at index time; the snapshot's values apply under -load")
 		}
+		if err := loaded.ConfigurePrefilter(prefMode, *lshBands, *lshRows, *lshMinCont); err != nil {
+			fail("%v", err)
+		}
 		db = loaded
 	} else {
 		db = core.NewDB(core.Options{
-			Workers:  *workers,
-			PathLen:  *pathLen,
-			SigmoidK: *sigmoidK,
+			Workers:           *workers,
+			PathLen:           *pathLen,
+			SigmoidK:          *sigmoidK,
+			Prefilter:         prefMode,
+			LSHBands:          *lshBands,
+			LSHRows:           *lshRows,
+			LSHMinContainment: *lshMinCont,
 		})
 	}
 	var query *asm.Proc

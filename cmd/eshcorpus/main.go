@@ -34,7 +34,16 @@ func main() {
 	synth := flag.Int("synth", 40, "number of generated decoy packages")
 	pathLen := flag.Int("pathlen", 0, "with -save: decompose small procedures over control-flow paths of this many blocks (0 = off)")
 	sigmoidK := flag.Float64("sigmoid-k", 0, "with -save: Esh sigmoid steepness baked into the snapshot (0 = paper's k=10)")
+	prefilter := flag.String("prefilter", "lsh", "with -save: prefilter mode baked into the snapshot (off or lsh; serve-time flags can override)")
+	lshBands := flag.Int("lsh-bands", 0, "with -save: LSH bands of the sketch prefilter (0 = default)")
+	lshRows := flag.Int("lsh-rows", 0, "with -save: LSH rows per band (0 = default)")
+	lshMinCont := flag.Float64("lsh-min-containment", 0, "with -save: heuristic prefilter tier threshold baked into the snapshot (0 = sound tier only)")
 	flag.Parse()
+
+	prefMode, err := core.NormalizePrefilter(*prefilter)
+	if err != nil {
+		fail("%v", err)
+	}
 
 	// Scales match the experiments package: small = one toolchain per
 	// vendor, medium = five, full = all seven.
@@ -92,7 +101,14 @@ func main() {
 
 	if *save != "" {
 		start := time.Now()
-		db := core.NewDB(core.Options{PathLen: *pathLen, SigmoidK: *sigmoidK})
+		db := core.NewDB(core.Options{
+			PathLen:           *pathLen,
+			SigmoidK:          *sigmoidK,
+			Prefilter:         prefMode,
+			LSHBands:          *lshBands,
+			LSHRows:           *lshRows,
+			LSHMinContainment: *lshMinCont,
+		})
 		for _, p := range procs {
 			if err := db.AddTarget(p); err != nil {
 				fail("index %s: %v", p.Name, err)

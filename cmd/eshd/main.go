@@ -53,6 +53,10 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	prefilter := flag.String("prefilter", "", "candidate prefilter for the VCP pair loop: off or lsh (empty = snapshot's setting)")
+	lshBands := flag.Int("lsh-bands", 0, "LSH bands of the sketch prefilter (0 = snapshot's geometry)")
+	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = snapshot's geometry)")
+	lshMinCont := flag.Float64("lsh-min-containment", -1, "heuristic prefilter tier threshold (0 = sound tier only, -1 = snapshot's setting; rankings can change when > 0)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -76,12 +80,22 @@ func main() {
 		fail("%v", err)
 	}
 	db.SetWorkers(*workers)
+	mode := *prefilter
+	if mode == "" {
+		mode = db.Options().Prefilter // keep the snapshot's setting
+	}
+	if err := db.ConfigurePrefilter(mode, *lshBands, *lshRows, *lshMinCont); err != nil {
+		fail("%v", err)
+	}
 	st := db.Stats()
 	attrs := []any{
 		"path", *indexPath,
 		"targets", st.Targets,
 		"unique_strands", st.UniqueStrands,
 		"total_strands", st.TotalStrands,
+		"prefilter", st.Prefilter,
+		"lsh_bands", st.LSHBands,
+		"lsh_rows", st.LSHRows,
 		"load_ms", loadSpan.Duration().Milliseconds(),
 	}
 	// The index.load child span carries the decode/prepare split.

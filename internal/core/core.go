@@ -16,11 +16,42 @@ import (
 	"repro/internal/asm"
 	"repro/internal/cfg"
 	"repro/internal/lift"
+	"repro/internal/sketch"
 	"repro/internal/stats"
 	"repro/internal/strand"
 	"repro/internal/telemetry"
 	"repro/internal/vcp"
 )
+
+// Prefilter modes: which candidate prefilter runs before the §5.5
+// size-ratio window in the VCP pair loop.
+const (
+	// PrefilterOff disables prefiltering: every (query strand, target
+	// strand) pair reaches the size window. The zero Options value and
+	// the empty string select this mode.
+	PrefilterOff = "off"
+	// PrefilterLSH gates pairs through the sketch index (package
+	// sketch). Its sound core skips pairs whose typed input counts
+	// make VCP provably zero in both directions, and computes only the
+	// live direction of half-dead pairs — rankings stay byte-identical
+	// to PrefilterOff. An opt-in heuristic tier (LSHMinContainment)
+	// additionally requires an LSH band collision or an estimated
+	// feature-containment level, trading a small measured recall loss
+	// for a larger skip rate.
+	PrefilterLSH = "lsh"
+)
+
+// NormalizePrefilter maps a user-facing mode string to a canonical
+// value, rejecting unknown modes.
+func NormalizePrefilter(mode string) (string, error) {
+	switch mode {
+	case "", PrefilterOff:
+		return PrefilterOff, nil
+	case PrefilterLSH:
+		return PrefilterLSH, nil
+	}
+	return "", fmt.Errorf("core: unknown prefilter mode %q (off, lsh)", mode)
+}
 
 // Options configures the engine.
 type Options struct {
@@ -45,6 +76,21 @@ type Options struct {
 	// strands: the cache may transiently exceed the bound by one query
 	// strand's row.
 	VCPCachePairs int
+	// Prefilter selects the candidate prefilter consulted before the
+	// size-ratio window: PrefilterOff ("" or "off") or PrefilterLSH
+	// ("lsh"). The sketch index is maintained regardless, so the mode
+	// can be flipped at runtime with ConfigurePrefilter.
+	Prefilter string
+	// LSHBands and LSHRows shape the MinHash signature of the sketch
+	// prefilter (0 selects sketch.DefaultBands / sketch.DefaultRows).
+	LSHBands int
+	LSHRows  int
+	// LSHMinContainment, when > 0, enables the heuristic tier of the
+	// lsh prefilter (see sketch.Config.MinContainment;
+	// sketch.SuggestedMinContainment is the calibrated setting). The
+	// default 0 keeps the prefilter sound: rankings are byte-identical
+	// to prefilter-off.
+	LSHMinContainment float64
 }
 
 // DefaultVCPCachePairs is the default vcpCache bound: at 16 bytes per
@@ -73,6 +119,15 @@ type DB struct {
 	targets []*Target
 	total   int // Σ counts: |T|, the H0 denominator
 
+	// Prefilter state: one sketch summary per unique strand (in uniq
+	// order; MinHash signatures are persisted in snapshots, the rest
+	// is recomputed cheaply) and the banded index over them.
+	// Maintained unconditionally — it is cheap next to verifier
+	// preparation — so Options.Prefilter can be toggled at runtime.
+	sketchCfg sketch.Config
+	sums      []sketch.Summary
+	sketchIdx *sketch.Index
+
 	// vcpCache memoizes forward and reverse VCP by (query strand key,
 	// target strand key). It is bounded by Options.VCPCachePairs with
 	// FIFO eviction at query-strand granularity: cacheOrder records
@@ -96,6 +151,10 @@ type DB struct {
 	mVerifierCalls *telemetry.Counter
 	mGamma         *telemetry.Counter
 	mQueries       *telemetry.Counter
+	mLSHSkipped    *telemetry.Counter
+	mDeadDirs      *telemetry.Counter
+	hLSHCands      *telemetry.Histogram
+	hSketchBuild   *telemetry.Histogram
 }
 
 // queryStages names the Query pipeline stages, in execution order. Each
@@ -108,10 +167,22 @@ func NewDB(opts Options) *DB {
 	if opts.Workers <= 0 {
 		opts.Workers = runtime.GOMAXPROCS(0)
 	}
+	opts.Prefilter, _ = NormalizePrefilter(opts.Prefilter) // unknown modes read as off
+	if opts.Prefilter == "" {
+		opts.Prefilter = PrefilterOff
+	}
+	cfg := sketch.Config{
+		Bands:          opts.LSHBands,
+		Rows:           opts.LSHRows,
+		MinContainment: opts.LSHMinContainment,
+	}.Normalized()
+	opts.LSHBands, opts.LSHRows = cfg.Bands, cfg.Rows
 	db := &DB{
-		opts:     opts,
-		byKey:    map[string]int{},
-		vcpCache: map[string]map[string][2]float64{},
+		opts:      opts,
+		byKey:     map[string]int{},
+		vcpCache:  map[string]map[string][2]float64{},
+		sketchCfg: cfg,
+		sketchIdx: sketch.NewIndex(cfg),
 	}
 	db.initMetrics()
 	return db
@@ -136,6 +207,19 @@ func (db *DB) initMetrics() {
 	db.mPairsIdent = reg.Counter("esh_vcp_pairs_identical_total", "Strand pairs short-circuited as structurally identical.")
 	db.mVerifierCalls = reg.Counter("esh_verifier_calls_total", "vcp.Compute invocations (two per cache miss: forward and reverse).")
 	db.mGamma = reg.Counter("esh_verifier_correspondences_total", "Input correspondences evaluated by the probabilistic verifier.")
+	db.mLSHSkipped = reg.Counter("esh_lsh_pairs_skipped_total", "Strand pairs skipped by the sketch prefilter before any verifier work.")
+	db.mDeadDirs = reg.Counter("esh_lsh_dead_directions_total", "Single verifier calls avoided because one direction of a live pair is provably zero (typed inputs cannot inject).")
+	db.hLSHCands = reg.Histogram("esh_lsh_candidate_set_size",
+		"LSH candidate-set size per query strand (prefilter on).",
+		[]float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000})
+	db.hSketchBuild = reg.Histogram("esh_sketch_build_seconds",
+		"Wall time spent computing MinHash sketches and LSH buckets (per target at index time, per rebuild at load time).", nil)
+	reg.GaugeFunc("esh_lsh_prefilter_enabled", "1 when the LSH prefilter gates the VCP pair loop.", func() float64 {
+		if db.prefilterOn() {
+			return 1
+		}
+		return 0
+	})
 	reg.GaugeFunc("esh_vcp_cache_pairs", "Strand-pair results currently cached.", func() float64 {
 		db.mu.Lock()
 		defer db.mu.Unlock()
@@ -200,6 +284,93 @@ func (db *DB) SetWorkers(n int) {
 // Options returns the engine options the database was built with.
 func (db *DB) Options() Options { return db.opts }
 
+// prefilterOn reports whether the LSH prefilter gates the pair loop.
+func (db *DB) prefilterOn() bool { return db.opts.Prefilter == PrefilterLSH }
+
+// SketchConfig returns the banding of the DB's sketch index.
+func (db *DB) SketchConfig() sketch.Config { return db.sketchCfg }
+
+// Signatures returns the per-unique-strand MinHash signatures in index
+// order (do not modify). Used by the snapshot writer.
+func (db *DB) Signatures() []sketch.Signature {
+	sigs := make([]sketch.Signature, len(db.sums))
+	for i := range db.sums {
+		sigs[i] = db.sums[i].Sig
+	}
+	return sigs
+}
+
+// ConfigurePrefilter sets the prefilter mode and, optionally, a new
+// sketch geometry (bands/rows <= 0 keep the current values) or
+// heuristic-tier threshold (minCont < 0 keeps the current value; 0
+// disables the tier). Changing the geometry recomputes every signature
+// and rebuilds the LSH index. Like SetWorkers it exists for serve-time
+// overrides of snapshot-baked options and must not be called
+// concurrently with Query.
+func (db *DB) ConfigurePrefilter(mode string, bands, rows int, minCont float64) error {
+	m, err := NormalizePrefilter(mode)
+	if err != nil {
+		return err
+	}
+	db.opts.Prefilter = m
+	cfg := db.sketchCfg
+	if bands > 0 {
+		cfg.Bands = bands
+	}
+	if rows > 0 {
+		cfg.Rows = rows
+	}
+	if minCont >= 0 {
+		cfg.MinContainment = minCont
+	}
+	cfg = cfg.Normalized()
+	if cfg == db.sketchCfg {
+		return nil
+	}
+	db.opts.LSHBands, db.opts.LSHRows = cfg.Bands, cfg.Rows
+	db.opts.LSHMinContainment = cfg.MinContainment
+	db.sketchCfg = cfg
+	db.rebuildSketches(db.Signatures())
+	return nil
+}
+
+// rebuildSketches rebuilds the summary table and LSH index over every
+// unique strand. When sigs is non-nil and geometrically compatible the
+// persisted signatures are adopted as-is (the snapshot-restore path);
+// otherwise signatures are re-MinHashed. The rest of each summary
+// (feature-set size, typed input counts) is always recomputed — those
+// walks are cheap next to MinHashing, so they are not persisted.
+func (db *DB) rebuildSketches(sigs []sketch.Signature) {
+	start := time.Now()
+	if sigs != nil && len(sigs) != len(db.uniq) {
+		sigs = nil
+	}
+	sums := make([]sketch.Summary, len(db.uniq))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, db.opts.Workers)
+	for i, p := range db.uniq {
+		wg.Add(1)
+		go func(i int, s *strand.Strand) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			var sig sketch.Signature
+			if sigs != nil {
+				sig = sigs[i] // AdoptSignature re-MinHashes on length mismatch
+			}
+			sums[i] = sketch.AdoptSignature(s, sig, db.sketchCfg)
+		}(i, p.S)
+	}
+	wg.Wait()
+	idx := sketch.NewIndex(db.sketchCfg)
+	for _, sum := range sums {
+		idx.Add(sum)
+	}
+	db.sums = sums
+	db.sketchIdx = idx
+	db.hSketchBuild.Observe(time.Since(start).Seconds())
+}
+
 // DBStats is a point-in-time snapshot of database and cache occupancy,
 // safe to collect concurrently with Query.
 type DBStats struct {
@@ -222,6 +393,18 @@ type DBStats struct {
 	VCPPairsPruned          uint64
 	VerifierCalls           uint64
 	VerifierCorrespondences uint64
+	// Prefilter is the active mode (PrefilterOff or PrefilterLSH);
+	// LSHBands/LSHRows the sketch geometry; LSHMinContainment the
+	// heuristic-tier threshold (0 = sound tier only); LSHPairsSkipped
+	// the pairs the prefilter removed before any verifier work;
+	// LSHDeadDirections the single verifier directions skipped on
+	// surviving pairs because the typed inputs cannot inject.
+	Prefilter         string
+	LSHBands          int
+	LSHRows           int
+	LSHMinContainment float64
+	LSHPairsSkipped   uint64
+	LSHDeadDirections uint64
 	// Queries is the number of Query calls answered; StageSeconds holds
 	// the cumulative wall-clock seconds each pipeline stage has consumed
 	// across them.
@@ -252,6 +435,12 @@ func (db *DB) Stats() DBStats {
 		VCPPairsPruned:          db.mPairsPruned.Value(),
 		VerifierCalls:           db.mVerifierCalls.Value(),
 		VerifierCorrespondences: db.mGamma.Value(),
+		Prefilter:               db.opts.Prefilter,
+		LSHBands:                db.sketchCfg.Bands,
+		LSHRows:                 db.sketchCfg.Rows,
+		LSHMinContainment:       db.sketchCfg.MinContainment,
+		LSHPairsSkipped:         db.mLSHSkipped.Value(),
+		LSHDeadDirections:       db.mDeadDirs.Value(),
 		Queries:                 db.mQueries.Value(),
 		StageSeconds:            make(map[string]float64, len(queryStages)),
 	}
@@ -339,6 +528,11 @@ func (db *DB) AddTarget(p *asm.Proc) error {
 			db.uniq = append(db.uniq, prep)
 			db.counts = append(db.counts, 0)
 			db.byKey[key] = idx
+			skStart := time.Now()
+			sum := sketch.Summarize(s, db.sketchCfg)
+			db.sums = append(db.sums, sum)
+			db.sketchIdx.Add(sum)
+			db.hSketchBuild.Observe(time.Since(skStart).Seconds())
 		}
 		db.counts[idx]++
 		db.total++
@@ -535,13 +729,17 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 // locally and flushes once, so the pair loop never touches an atomic or
 // a span lock.
 type rowStats struct {
-	pairs     int // unique target strands examined
-	pruned    int // rejected by the size-ratio window
-	identical int // short-circuited as structurally identical
-	hits      int // cache hits (pair results reused)
-	misses    int // cache misses (pair results computed)
-	calls     int // vcp.Compute invocations (two per miss)
-	gamma     int // input correspondences evaluated inside them
+	pairs      int  // unique target strands examined
+	lshSkipped int  // skipped by the LSH prefilter
+	lshCands   int  // LSH candidate-set size (valid when lshOn)
+	lshOn      bool // prefilter consulted for this row
+	pruned     int  // rejected by the size-ratio window
+	identical  int  // short-circuited as structurally identical
+	hits       int  // cache hits (pair results reused)
+	misses     int  // cache misses (pair results computed)
+	calls      int  // vcp.Compute invocations (up to two per miss)
+	deadDirs   int  // per-direction calls avoided as provably zero
+	gamma      int  // input correspondences evaluated inside them
 }
 
 // flush adds the row's counts to the DB counters and, when sp is part of
@@ -553,10 +751,20 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	db.mCacheMisses.Add(uint64(rs.misses))
 	db.mVerifierCalls.Add(uint64(rs.calls))
 	db.mGamma.Add(uint64(rs.gamma))
+	if rs.lshOn {
+		db.mLSHSkipped.Add(uint64(rs.lshSkipped))
+		db.mDeadDirs.Add(uint64(rs.deadDirs))
+		db.hLSHCands.Observe(float64(rs.lshCands))
+	}
 	if sp == nil {
 		return
 	}
 	sp.AddAttr("pairs", float64(rs.pairs))
+	if rs.lshOn {
+		sp.AddAttr("lsh_skipped", float64(rs.lshSkipped))
+		sp.AddAttr("lsh_candidates", float64(rs.lshCands))
+		sp.AddAttr("dead_directions", float64(rs.deadDirs))
+	}
 	sp.AddAttr("pairs_pruned", float64(rs.pruned))
 	sp.AddAttr("pairs_identical", float64(rs.identical))
 	sp.AddAttr("cache_hits", float64(rs.hits))
@@ -588,11 +796,31 @@ func (db *DB) vcpRow(q *vcp.Prepared, sp *telemetry.Span) (fwd, rev []float64) {
 	rev = make([]float64, len(db.uniq))
 	fresh := map[string][2]float64{}
 	rs := rowStats{pairs: len(db.uniq)}
+
+	// Prefilter: summarize the query strand and mark the candidate
+	// target strands; everything unmarked is skipped below before the
+	// size window runs (pairs that are injectability-dead in both
+	// directions, plus — with the heuristic tier enabled — pairs the
+	// LSH/containment tests consider dissimilar). The identical-key
+	// short circuit stays ahead of the prefilter so an exact
+	// structural match can never be lost to sketch noise.
+	var cand []bool
+	var qSum sketch.Summary
+	if db.prefilterOn() {
+		rs.lshOn = true
+		cand = make([]bool, len(db.uniq))
+		qSum = sketch.Summarize(q.S, db.sketchCfg)
+		rs.lshCands = db.sketchIdx.Candidates(qSum, cand)
+	}
 	for j, u := range db.uniq {
 		uKey := u.Key()
 		if qKey == uKey {
 			fwd[j], rev[j] = 1.0, 1.0 // identical strands match exactly
 			rs.identical++
+			continue
+		}
+		if cand != nil && !cand[j] {
+			rs.lshSkipped++
 			continue
 		}
 		// The size window is symmetric, so it gates both directions.
@@ -602,12 +830,31 @@ func (db *DB) vcpRow(q *vcp.Prepared, sp *telemetry.Span) (fwd, rev []float64) {
 		}
 		v, hit := cached[uKey]
 		if !hit {
-			fv, fst := vcp.ComputeWithStats(q, u, db.opts.VCP)
-			rv, rst := vcp.ComputeWithStats(u, q, db.opts.VCP)
-			v = [2]float64{fv, rv}
+			// With the prefilter on, a candidate pair can still be
+			// injectability-dead in ONE direction: that direction's
+			// VCP is exactly 0 and its verifier call is skipped.
+			fwdLive, revLive := true, true
+			if cand != nil {
+				uSum := db.sums[j]
+				fwdLive, revLive = qSum.Injects(uSum), uSum.Injects(qSum)
+			}
+			if fwdLive {
+				fv, fst := vcp.ComputeWithStats(q, u, db.opts.VCP)
+				v[0] = fv
+				rs.calls++
+				rs.gamma += fst.Correspondences
+			} else {
+				rs.deadDirs++
+			}
+			if revLive {
+				rv, rst := vcp.ComputeWithStats(u, q, db.opts.VCP)
+				v[1] = rv
+				rs.calls++
+				rs.gamma += rst.Correspondences
+			} else {
+				rs.deadDirs++
+			}
 			rs.misses++
-			rs.calls += 2
-			rs.gamma += fst.Correspondences + rst.Correspondences
 			cached[uKey] = v
 			fresh[uKey] = v
 		} else {

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/asm"
+	"repro/internal/sketch"
 	"repro/internal/strand"
 	"repro/internal/vcp"
 )
@@ -24,10 +25,13 @@ type Export struct {
 	Targets []ExportTarget
 }
 
-// ExportStrand is one unique strand and its corpus multiplicity.
+// ExportStrand is one unique strand, its corpus multiplicity, and its
+// MinHash signature (may be nil on import — e.g. a version-1 snapshot —
+// in which case it is recomputed).
 type ExportStrand struct {
 	S     *strand.Strand
 	Count int
+	Sig   sketch.Signature
 }
 
 // ExportTarget mirrors Target with the strand index list exported.
@@ -45,7 +49,7 @@ func (db *DB) Export() *Export {
 	ex := &Export{Opts: db.opts}
 	ex.Strands = make([]ExportStrand, len(db.uniq))
 	for i, p := range db.uniq {
-		ex.Strands[i] = ExportStrand{S: p.S, Count: db.counts[i]}
+		ex.Strands[i] = ExportStrand{S: p.S, Count: db.counts[i], Sig: db.sums[i].Sig}
 	}
 	ex.Targets = make([]ExportTarget, len(db.targets))
 	for i, t := range db.targets {
@@ -98,6 +102,14 @@ func FromExport(ex *Export) (*DB, error) {
 		db.counts[i] = es.Count
 		db.total += es.Count
 	}
+
+	// Adopt persisted sketch signatures when they match the configured
+	// geometry; recompute otherwise (deterministic, so equivalent).
+	sigs := make([]sketch.Signature, len(ex.Strands))
+	for i, es := range ex.Strands {
+		sigs[i] = es.Sig
+	}
+	db.rebuildSketches(sigs)
 
 	for ti, et := range ex.Targets {
 		t := &Target{

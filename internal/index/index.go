@@ -32,14 +32,20 @@ import (
 	"repro/internal/asm"
 	"repro/internal/core"
 	"repro/internal/ivl"
+	"repro/internal/sketch"
 	"repro/internal/strand"
 	"repro/internal/telemetry"
 )
 
 // Magic identifies snapshot files; Version is the current format.
+// Version 2 added the sketch section (per-strand MinHash signatures for
+// the LSH prefilter) and the prefilter/lshbands/lshrows option keys;
+// version-1 snapshots still load, with signatures recomputed from the
+// strands.
 const (
-	Magic   = "eshidx"
-	Version = 1
+	Magic      = "eshidx"
+	Version    = 2
+	MinVersion = 1
 )
 
 // Snapshot I/O metrics live in the process-wide default registry (the
@@ -174,8 +180,8 @@ func LoadExport(r io.Reader) (*core.Export, error) {
 	if magic != Magic {
 		return nil, fmt.Errorf("index: not a snapshot (magic %q)", magic)
 	}
-	if version != Version {
-		return nil, fmt.Errorf("index: unsupported format version %d (have %d)", version, Version)
+	if version < MinVersion || version > Version {
+		return nil, fmt.Errorf("index: unsupported format version %d (have %d..%d)", version, MinVersion, Version)
 	}
 	body, err := io.ReadAll(br)
 	if err != nil {
@@ -189,7 +195,7 @@ func LoadExport(r io.Reader) (*core.Export, error) {
 		return nil, fmt.Errorf("index: checksum mismatch: snapshot is corrupted")
 	}
 	mSnapshotBytes.Set(float64(len(body)))
-	return decodeBody(body)
+	return decodeBody(body, version)
 }
 
 // ---- body encoding ----
@@ -216,9 +222,10 @@ func codeType(c int) (ivl.Type, error) {
 func encodeBody(ex *core.Export) []byte {
 	var b bytes.Buffer
 	o := ex.Opts
-	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d\n",
+	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s\n",
 		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
-		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences)
+		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences,
+		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment))
 
 	fmt.Fprintf(&b, "strands %d\n", len(ex.Strands))
 	for _, es := range ex.Strands {
@@ -245,6 +252,27 @@ func encodeBody(ex *core.Export) []byte {
 		fmt.Fprintf(&b, "x %d", len(t.StrandIdx))
 		for _, idx := range t.StrandIdx {
 			fmt.Fprintf(&b, " %d", idx)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Sketch section (format version 2): per-strand MinHash signatures
+	// so a load can rebuild the LSH prefilter without recomputing
+	// features. Written empty (count 0) when any signature is missing
+	// or inconsistent; the loader recomputes in that case.
+	cfg := sketch.Config{Bands: ex.Opts.LSHBands, Rows: ex.Opts.LSHRows}.Normalized()
+	n := len(ex.Strands)
+	for _, es := range ex.Strands {
+		if len(es.Sig) != cfg.Len() {
+			n = 0
+			break
+		}
+	}
+	fmt.Fprintf(&b, "sketch %d %d %d\n", n, cfg.Bands, cfg.Rows)
+	for i := 0; i < n; i++ {
+		b.WriteString("g")
+		for _, v := range ex.Strands[i].Sig {
+			fmt.Fprintf(&b, " %d", v)
 		}
 		b.WriteByte('\n')
 	}
@@ -342,7 +370,7 @@ func (d *decoder) record(tag string, minFields int) ([]string, error) {
 	return toks[1:], nil
 }
 
-func decodeBody(body []byte) (*core.Export, error) {
+func decodeBody(body []byte, version int) (*core.Export, error) {
 	lines := strings.Split(string(body), "\n")
 	if n := len(lines); n > 0 && lines[n-1] == "" {
 		lines = lines[:n-1]
@@ -359,10 +387,55 @@ func decodeBody(body []byte) (*core.Export, error) {
 	if err := d.decodeTargets(ex); err != nil {
 		return nil, err
 	}
+	if version >= 2 {
+		if err := d.decodeSketch(ex); err != nil {
+			return nil, err
+		}
+	}
 	if d.pos != len(d.lines) {
-		return nil, d.errf("trailing data after targets section")
+		return nil, d.errf("trailing data after final section")
 	}
 	return ex, nil
+}
+
+// decodeSketch reads the version-2 sketch section. A zero strand count
+// means signatures were not persisted; core.FromExport recomputes them.
+func (d *decoder) decodeSketch(ex *core.Export) error {
+	toks, err := d.record("sketch", 3)
+	if err != nil {
+		return err
+	}
+	nums, err := d.ints(toks[:3])
+	if err != nil {
+		return err
+	}
+	n, bands, rows := nums[0], nums[1], nums[2]
+	if n != 0 && n != len(ex.Strands) {
+		return d.errf("sketch section has %d signatures for %d strands", n, len(ex.Strands))
+	}
+	if bands <= 0 || rows <= 0 {
+		return d.errf("bad sketch geometry %dx%d", bands, rows)
+	}
+	want := bands * rows
+	for i := 0; i < n; i++ {
+		gtoks, err := d.record("g", want)
+		if err != nil {
+			return err
+		}
+		if len(gtoks) != want {
+			return d.errf("signature %d has %d values, want %d", i, len(gtoks), want)
+		}
+		sig := make(sketch.Signature, want)
+		for k, t := range gtoks {
+			v, err := strconv.ParseUint(t, 10, 32)
+			if err != nil {
+				return d.errf("bad signature value %q", t)
+			}
+			sig[k] = uint32(v)
+		}
+		ex.Strands[i].Sig = sig
+	}
+	return nil
 }
 
 func (d *decoder) decodeOptions(ex *core.Export) error {
@@ -409,6 +482,14 @@ func (d *decoder) decodeOptions(ex *core.Export) error {
 			ex.Opts.VCP.SizeRatio = atof()
 		case "vcpmaxcorr":
 			ex.Opts.VCP.MaxCorrespondences = atoi()
+		case "prefilter":
+			ex.Opts.Prefilter = val
+		case "lshbands":
+			ex.Opts.LSHBands = atoi()
+		case "lshrows":
+			ex.Opts.LSHRows = atoi()
+		case "lshmincont":
+			ex.Opts.LSHMinContainment = atof()
 		default:
 			// Unknown keys are ignored so minor option additions do not
 			// invalidate old readers within a format version.

@@ -1,0 +1,49 @@
+package ivl
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParseExpr asserts that the expression grammar is a fixed point
+// under parse→print→reparse: for any input that parses at all, printing
+// it and parsing the result must succeed and print identically. This is
+// the invariant the snapshot index relies on to reload persisted
+// strands (see internal/index), so a violation here is a data-loss bug.
+// It also shakes out panics: the parser must reject arbitrary input
+// (including deeply nested expressions) with an error, never a crash.
+func FuzzParseExpr(f *testing.F) {
+	seeds := []string{
+		"(x + 0x2a)",
+		"((a - b) * (a >>s 0x3))",
+		"ite((a <u b), a, b)",
+		"load64(m, (p + 0x8))",
+		"store32(m1, p, trunc32(v))",
+		"sext8(trunc8(x))",
+		"call/2(x, y)",
+		"callmem/3(m, x, y)",
+		"not(neg(!(flag)))",
+		"0x0",
+		"0b101",
+		"load999(m, p)",
+		"((x == y) & (x != 0x0))",
+		strings.Repeat("(", 600) + "x" + strings.Repeat(")", 600),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		e, err := ParseExpr(src)
+		if err != nil {
+			return // rejected without panicking: fine
+		}
+		printed := e.String()
+		e2, err := ParseExpr(printed)
+		if err != nil {
+			t.Fatalf("reparse of %q (from %q) failed: %v", printed, src, err)
+		}
+		if again := e2.String(); again != printed {
+			t.Fatalf("print is not a parse fixed point:\n input: %q\n first: %q\nsecond: %q", src, printed, again)
+		}
+	})
+}

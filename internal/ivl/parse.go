@@ -46,9 +46,16 @@ var binOpByName = func() map[string]BinOp {
 	return m
 }()
 
+// maxParseDepth bounds expression nesting so hostile input (e.g. a
+// megabyte of open parens in a corrupted snapshot) fails with an error
+// instead of exhausting the goroutine stack. Real lifted strands are
+// nowhere near this deep.
+const maxParseDepth = 512
+
 type exprParser struct {
-	src string
-	pos int
+	src   string
+	pos   int
+	depth int
 }
 
 func (p *exprParser) ws() {
@@ -108,6 +115,11 @@ func (p *exprParser) args() ([]Expr, error) {
 }
 
 func (p *exprParser) expr() (Expr, error) {
+	p.depth++
+	defer func() { p.depth-- }()
+	if p.depth > maxParseDepth {
+		return nil, p.errf("expression nested deeper than %d", maxParseDepth)
+	}
 	p.ws()
 	if p.pos >= len(p.src) {
 		return nil, p.errf("unexpected end of input")

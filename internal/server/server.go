@@ -416,6 +416,19 @@ type StatsResponse struct {
 		Misses    uint64  `json:"misses"`
 		HitRate   float64 `json:"hit_rate"`
 	} `json:"vcp_cache"`
+	// Prefilter reports the LSH sketch prefilter: active mode, sketch
+	// geometry, the heuristic-tier containment threshold (0 = sound
+	// tier only), and how much work it removed before the verifier —
+	// whole pairs skipped plus single dead directions of surviving
+	// pairs (cumulative across queries).
+	Prefilter struct {
+		Mode           string  `json:"mode"`
+		LSHBands       int     `json:"lsh_bands"`
+		LSHRows        int     `json:"lsh_rows"`
+		MinContainment float64 `json:"min_containment"`
+		PairsSkipped   uint64  `json:"pairs_skipped"`
+		DeadDirections uint64  `json:"dead_directions"`
+	} `json:"prefilter"`
 	// Engine aggregates pipeline work across all queries: verifier
 	// effort, pruning effectiveness, and cumulative per-stage wall time.
 	Engine struct {
@@ -452,6 +465,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.VCPCache.Hits = dbs.VCPCacheHits
 	resp.VCPCache.Misses = dbs.VCPCacheMisses
 	resp.VCPCache.HitRate = dbs.VCPCacheHitRate()
+	resp.Prefilter.Mode = dbs.Prefilter
+	resp.Prefilter.LSHBands = dbs.LSHBands
+	resp.Prefilter.LSHRows = dbs.LSHRows
+	resp.Prefilter.MinContainment = dbs.LSHMinContainment
+	resp.Prefilter.PairsSkipped = dbs.LSHPairsSkipped
+	resp.Prefilter.DeadDirections = dbs.LSHDeadDirections
 	resp.Engine.Queries = dbs.Queries
 	resp.Engine.PairsPruned = dbs.VCPPairsPruned
 	resp.Engine.VerifierCalls = dbs.VerifierCalls
