@@ -16,6 +16,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/lift"
 	"repro/internal/minic"
+	"repro/internal/smt"
 	"repro/internal/strand"
 	"repro/internal/vcp"
 )
@@ -225,6 +226,57 @@ func BenchmarkVCP(b *testing.B) {
 			}
 		}
 	}
+}
+
+// BenchmarkFingerprints measures one γ-loop evaluation of a compiled
+// strand — the innermost verifier operation — under the scalar
+// reference interpreter and the batched SoA kernel. The batch
+// sub-benchmark holds a pooled kernel across iterations the way
+// vcp.ComputeWithStats holds one across a γ enumeration, so its
+// allocs/op is the γ-loop allocation count (the kernel contract is 0).
+func BenchmarkFingerprints(b *testing.B) {
+	p := microProc(b, "gcc-4.9")
+	g, _ := cfg.Build(p)
+	lp, _ := lift.LiftProc(g)
+	var best *strand.Strand
+	for _, s := range strand.FromProc(lp) {
+		if best == nil || s.NumVars() > best.NumVars() {
+			best = s
+		}
+	}
+	if best == nil {
+		b.Fatal("no strands")
+	}
+	prog, err := smt.CompileStrand(best.Stmts, best.Inputs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if !prog.BatchOK() {
+		b.Fatal("bench strand rejected by the kernel's static typing")
+	}
+	slots := make([]int, len(best.Inputs))
+	for i := range slots {
+		slots[i] = i
+	}
+	k := smt.DefaultSamples
+	b.Run("kernel=scalar", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			prog.Fingerprints(slots, k)
+		}
+	})
+	b.Run("kernel=batch", func(b *testing.B) {
+		kern := prog.AcquireKernel(k)
+		defer prog.ReleaseKernel(kern)
+		kern.Fingerprints(slots) // evaluate the γ-invariant prefix once, as Compute does
+		pre, tot := prog.InstrCounts()
+		b.ReportMetric(float64(pre)/float64(tot), "prefix-frac")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			kern.Fingerprints(slots)
+		}
+	})
 }
 
 // BenchmarkQuery measures one full query against a small database (the

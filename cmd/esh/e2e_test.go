@@ -87,4 +87,12 @@ func TestCLIGoldenQuery(t *testing.T) {
 	if off != got {
 		t.Errorf("-prefilter=off output differs from the default lsh run:\n--- off ---\n%s--- lsh ---\n%s", off, got)
 	}
+
+	// The same query through the scalar reference kernel: the batched
+	// SoA kernel's fingerprints are byte-identical by contract, so the
+	// printed ranking must be too.
+	scalar := run("-load", snap, "-query", queryPath, "-top", "10", "-kernel", "scalar")
+	if scalar != got {
+		t.Errorf("-kernel=scalar output differs from the default batch run:\n--- scalar ---\n%s--- batch ---\n%s", scalar, got)
+	}
 }

@@ -46,9 +46,14 @@ func main() {
 	lshBands := flag.Int("lsh-bands", 0, "LSH bands of the sketch prefilter (0 = default)")
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "enable the heuristic prefilter tier at this estimated-containment threshold (0 = sound tier only; rankings can change when set)")
+	kernel := flag.String("kernel", "", "evaluation kernel for the verifier γ loop: batch or scalar (empty = batch; rankings are identical)")
 	flag.Parse()
 
 	prefMode, err := core.NormalizePrefilter(*prefilter)
+	if err != nil {
+		fail("%v", err)
+	}
+	kernMode, err := core.NormalizeKernel(*kernel)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -78,9 +83,12 @@ func main() {
 		if err := loaded.ConfigurePrefilter(prefMode, *lshBands, *lshRows, *lshMinCont); err != nil {
 			fail("%v", err)
 		}
+		if err := loaded.ConfigureKernel(kernMode); err != nil {
+			fail("%v", err)
+		}
 		db = loaded
 	} else {
-		db = core.NewDB(core.Options{
+		opts := core.Options{
 			Workers:           *workers,
 			PathLen:           *pathLen,
 			SigmoidK:          *sigmoidK,
@@ -88,7 +96,9 @@ func main() {
 			LSHBands:          *lshBands,
 			LSHRows:           *lshRows,
 			LSHMinContainment: *lshMinCont,
-		})
+		}
+		opts.VCP.Kernel = kernMode
+		db = core.NewDB(opts)
 	}
 	var query *asm.Proc
 

@@ -38,9 +38,14 @@ func main() {
 	lshBands := flag.Int("lsh-bands", 0, "with -save: LSH bands of the sketch prefilter (0 = default)")
 	lshRows := flag.Int("lsh-rows", 0, "with -save: LSH rows per band (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "with -save: heuristic prefilter tier threshold baked into the snapshot (0 = sound tier only)")
+	kernel := flag.String("kernel", "", "with -save: evaluation kernel baked into the snapshot: batch or scalar (empty = batch; serve-time flags can override)")
 	flag.Parse()
 
 	prefMode, err := core.NormalizePrefilter(*prefilter)
+	if err != nil {
+		fail("%v", err)
+	}
+	kernMode, err := core.NormalizeKernel(*kernel)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -101,14 +106,16 @@ func main() {
 
 	if *save != "" {
 		start := time.Now()
-		db := core.NewDB(core.Options{
+		opts := core.Options{
 			PathLen:           *pathLen,
 			SigmoidK:          *sigmoidK,
 			Prefilter:         prefMode,
 			LSHBands:          *lshBands,
 			LSHRows:           *lshRows,
 			LSHMinContainment: *lshMinCont,
-		})
+		}
+		opts.VCP.Kernel = kernMode
+		db := core.NewDB(opts)
 		for _, p := range procs {
 			if err := db.AddTarget(p); err != nil {
 				fail("index %s: %v", p.Name, err)

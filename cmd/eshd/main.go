@@ -49,7 +49,7 @@ func main() {
 	addr := flag.String("addr", ":8710", "listen address")
 	timeout := flag.Duration("timeout", 60*time.Second, "per-query timeout")
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent queries (0 = 2×GOMAXPROCS)")
-	workers := flag.Int("workers", 0, "per-query strand parallelism (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "per-query pair-loop parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
@@ -57,6 +57,7 @@ func main() {
 	lshBands := flag.Int("lsh-bands", 0, "LSH bands of the sketch prefilter (0 = snapshot's geometry)")
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = snapshot's geometry)")
 	lshMinCont := flag.Float64("lsh-min-containment", -1, "heuristic prefilter tier threshold (0 = sound tier only, -1 = snapshot's setting; rankings can change when > 0)")
+	kernel := flag.String("kernel", "", "evaluation kernel for the verifier γ loop: batch or scalar (empty = snapshot's setting; rankings are identical)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -87,6 +88,13 @@ func main() {
 	if err := db.ConfigurePrefilter(mode, *lshBands, *lshRows, *lshMinCont); err != nil {
 		fail("%v", err)
 	}
+	kernMode := *kernel
+	if kernMode == "" {
+		kernMode = db.Options().VCP.Kernel // keep the snapshot's setting
+	}
+	if err := db.ConfigureKernel(kernMode); err != nil {
+		fail("%v", err)
+	}
 	st := db.Stats()
 	attrs := []any{
 		"path", *indexPath,
@@ -96,6 +104,7 @@ func main() {
 		"prefilter", st.Prefilter,
 		"lsh_bands", st.LSHBands,
 		"lsh_rows", st.LSHRows,
+		"kernel", st.Kernel,
 		"load_ms", loadSpan.Duration().Milliseconds(),
 	}
 	// The index.load child span carries the decode/prepare split.

@@ -11,6 +11,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asm"
@@ -51,6 +52,20 @@ func NormalizePrefilter(mode string) (string, error) {
 		return PrefilterLSH, nil
 	}
 	return "", fmt.Errorf("core: unknown prefilter mode %q (off, lsh)", mode)
+}
+
+// NormalizeKernel maps a user-facing evaluation-kernel mode string to a
+// canonical value, rejecting unknown modes. Both kernels produce
+// byte-identical fingerprints (the differential suite enforces it), so
+// the mode only affects speed, never rankings.
+func NormalizeKernel(mode string) (string, error) {
+	switch mode {
+	case "", vcp.KernelBatch:
+		return vcp.KernelBatch, nil
+	case vcp.KernelScalar:
+		return vcp.KernelScalar, nil
+	}
+	return "", fmt.Errorf("core: unknown kernel mode %q (batch, scalar)", mode)
 }
 
 // Options configures the engine.
@@ -153,6 +168,9 @@ type DB struct {
 	mQueries       *telemetry.Counter
 	mLSHSkipped    *telemetry.Counter
 	mDeadDirs      *telemetry.Counter
+	mKernelNanos   *telemetry.Counter
+	mPrefixInstrs  *telemetry.Counter
+	mKernelInstrs  *telemetry.Counter
 	hLSHCands      *telemetry.Histogram
 	hSketchBuild   *telemetry.Histogram
 }
@@ -170,6 +188,10 @@ func NewDB(opts Options) *DB {
 	opts.Prefilter, _ = NormalizePrefilter(opts.Prefilter) // unknown modes read as off
 	if opts.Prefilter == "" {
 		opts.Prefilter = PrefilterOff
+	}
+	opts.VCP.Kernel, _ = NormalizeKernel(opts.VCP.Kernel) // unknown modes read as batch
+	if opts.VCP.Kernel == "" {
+		opts.VCP.Kernel = vcp.KernelBatch
 	}
 	cfg := sketch.Config{
 		Bands:          opts.LSHBands,
@@ -209,6 +231,9 @@ func (db *DB) initMetrics() {
 	db.mGamma = reg.Counter("esh_verifier_correspondences_total", "Input correspondences evaluated by the probabilistic verifier.")
 	db.mLSHSkipped = reg.Counter("esh_lsh_pairs_skipped_total", "Strand pairs skipped by the sketch prefilter before any verifier work.")
 	db.mDeadDirs = reg.Counter("esh_lsh_dead_directions_total", "Single verifier calls avoided because one direction of a live pair is provably zero (typed inputs cannot inject).")
+	db.mKernelNanos = reg.Counter("esh_vcp_kernel_nanos_total", "Wall nanoseconds the γ loops spent inside the evaluation kernel.")
+	db.mPrefixInstrs = reg.Counter("esh_kernel_prefix_instrs_total", "γ-invariant prefix instructions across prepared strands (hoisted out of the γ loop by the batched kernel).")
+	db.mKernelInstrs = reg.Counter("esh_kernel_instrs_total", "Total compiled instructions across prepared strands.")
 	db.hLSHCands = reg.Histogram("esh_lsh_candidate_set_size",
 		"LSH candidate-set size per query strand (prefilter on).",
 		[]float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000})
@@ -334,6 +359,20 @@ func (db *DB) ConfigurePrefilter(mode string, bands, rows int, minCont float64) 
 	return nil
 }
 
+// ConfigureKernel sets the evaluation kernel mode (batch or scalar) for
+// subsequent queries. Fingerprints are identical under both kernels, so
+// the switch needs no index rebuild and never changes rankings; like
+// SetWorkers it exists for serve-time overrides of snapshot-baked
+// options and must not be called concurrently with Query.
+func (db *DB) ConfigureKernel(mode string) error {
+	m, err := NormalizeKernel(mode)
+	if err != nil {
+		return err
+	}
+	db.opts.VCP.Kernel = m
+	return nil
+}
+
 // rebuildSketches rebuilds the summary table and LSH index over every
 // unique strand. When sigs is non-nil and geometrically compatible the
 // persisted signatures are adopted as-is (the snapshot-restore path);
@@ -405,6 +444,15 @@ type DBStats struct {
 	LSHMinContainment float64
 	LSHPairsSkipped   uint64
 	LSHDeadDirections uint64
+	// Kernel is the active evaluation-kernel mode (batch or scalar);
+	// KernelNanos the cumulative wall time γ loops spent inside it;
+	// KernelPrefixInstrs / KernelInstrs the γ-invariant and total
+	// compiled instruction counts across prepared strands (their ratio
+	// is the fraction of evaluation work hoisted out of the γ loop).
+	Kernel             string
+	KernelNanos        uint64
+	KernelPrefixInstrs uint64
+	KernelInstrs       uint64
 	// Queries is the number of Query calls answered; StageSeconds holds
 	// the cumulative wall-clock seconds each pipeline stage has consumed
 	// across them.
@@ -441,6 +489,10 @@ func (db *DB) Stats() DBStats {
 		LSHMinContainment:       db.sketchCfg.MinContainment,
 		LSHPairsSkipped:         db.mLSHSkipped.Value(),
 		LSHDeadDirections:       db.mDeadDirs.Value(),
+		Kernel:                  db.opts.VCP.Kernel,
+		KernelNanos:             db.mKernelNanos.Value(),
+		KernelPrefixInstrs:      db.mPrefixInstrs.Value(),
+		KernelInstrs:            db.mKernelInstrs.Value(),
 		Queries:                 db.mQueries.Value(),
 		StageSeconds:            make(map[string]float64, len(queryStages)),
 	}
@@ -524,6 +576,9 @@ func (db *DB) AddTarget(p *asm.Proc) error {
 			if prep.Err() != nil {
 				return fmt.Errorf("core: prepare strand of %s: %w", p.Name, prep.Err())
 			}
+			pre, tot := prep.InstrCounts()
+			db.mPrefixInstrs.Add(uint64(pre))
+			db.mKernelInstrs.Add(uint64(tot))
 			idx = len(db.uniq)
 			db.uniq = append(db.uniq, prep)
 			db.counts = append(db.counts, 0)
@@ -638,6 +693,9 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 			spPrep.End()
 			return nil, fmt.Errorf("core: prepare query strand: %w", prep.Err())
 		}
+		pre, tot := prep.InstrCounts()
+		db.mPrefixInstrs.Add(uint64(pre))
+		db.mKernelInstrs.Add(uint64(tot))
 		qIdx[key] = len(qs)
 		qs = append(qs, &qstrand{prep: prep, weight: 1})
 	}
@@ -645,27 +703,19 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 	db.observeStage("prepare", spPrep.End())
 
 	// Stage 3: vcp — for each unique query strand, compute the VCP row
-	// against every unique target strand, in both directions (parallel
-	// over query strands). The forward direction VCP(sq, st) drives
-	// S-LOG and Esh; the reverse direction VCP(st, sq) drives the
-	// paper's S-VCP definition (§6.2), which sums over target strands.
-	// Workers accumulate their counts locally and flush once per row
-	// into the shared stage span and the DB counters.
+	// against every unique target strand, in both directions. The
+	// forward direction VCP(sq, st) drives S-LOG and Esh; the reverse
+	// direction VCP(st, sq) drives the paper's S-VCP definition (§6.2),
+	// which sums over target strands. The rows are cut into pair-level
+	// chunks and drained by a bounded worker pool (see vcpRows), so a
+	// query of few large strands still saturates every worker and the
+	// goroutine count is bounded by Workers rather than the strand count.
 	_, spVCP := telemetry.StartSpan(ctx, "vcp")
-	rows := make([][]float64, len(qs))
-	revRows := make([][]float64, len(qs))
-	var wg sync.WaitGroup
-	sem := make(chan struct{}, db.opts.Workers)
+	preps := make([]*vcp.Prepared, len(qs))
 	for i, q := range qs {
-		wg.Add(1)
-		go func(i int, q *qstrand) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			rows[i], revRows[i] = db.vcpRow(q.prep, spVCP)
-		}(i, q)
+		preps[i] = q.prep
 	}
-	wg.Wait()
+	rows, revRows := db.vcpRows(preps, spVCP)
 	db.observeStage("vcp", spVCP.End())
 
 	// Stage 4: score — H0 evidence, per-target maxima, GES per method.
@@ -725,21 +775,37 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 	return rep, nil
 }
 
-// rowStats is the per-row telemetry accumulator: vcpRow counts its work
-// locally and flushes once, so the pair loop never touches an atomic or
-// a span lock.
+// rowStats is the per-row telemetry accumulator: each chunk counts its
+// work locally and merges under the row lock; the completed row flushes
+// once, so the pair loop never touches an atomic or a span lock.
 type rowStats struct {
-	pairs      int  // unique target strands examined
-	lshSkipped int  // skipped by the LSH prefilter
-	lshCands   int  // LSH candidate-set size (valid when lshOn)
-	lshOn      bool // prefilter consulted for this row
-	pruned     int  // rejected by the size-ratio window
-	identical  int  // short-circuited as structurally identical
-	hits       int  // cache hits (pair results reused)
-	misses     int  // cache misses (pair results computed)
-	calls      int  // vcp.Compute invocations (up to two per miss)
-	deadDirs   int  // per-direction calls avoided as provably zero
-	gamma      int  // input correspondences evaluated inside them
+	pairs       int   // unique target strands examined
+	lshSkipped  int   // skipped by the LSH prefilter
+	lshCands    int   // LSH candidate-set size (valid when lshOn)
+	lshOn       bool  // prefilter consulted for this row
+	pruned      int   // rejected by the size-ratio window
+	identical   int   // short-circuited as structurally identical
+	hits        int   // cache hits (pair results reused)
+	misses      int   // cache misses (pair results computed)
+	calls       int   // vcp.Compute invocations (up to two per miss)
+	deadDirs    int   // per-direction calls avoided as provably zero
+	gamma       int   // input correspondences evaluated inside them
+	kernelNanos int64 // wall time inside the evaluation kernel
+}
+
+// merge folds a chunk's local counts into the row accumulator. The
+// row-wide fields (pairs, lshOn, lshCands) are set at init time and left
+// alone here.
+func (rs *rowStats) merge(d rowStats) {
+	rs.lshSkipped += d.lshSkipped
+	rs.pruned += d.pruned
+	rs.identical += d.identical
+	rs.hits += d.hits
+	rs.misses += d.misses
+	rs.calls += d.calls
+	rs.deadDirs += d.deadDirs
+	rs.gamma += d.gamma
+	rs.kernelNanos += d.kernelNanos
 }
 
 // flush adds the row's counts to the DB counters and, when sp is part of
@@ -751,6 +817,7 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	db.mCacheMisses.Add(uint64(rs.misses))
 	db.mVerifierCalls.Add(uint64(rs.calls))
 	db.mGamma.Add(uint64(rs.gamma))
+	db.mKernelNanos.Add(uint64(rs.kernelNanos))
 	if rs.lshOn {
 		db.mLSHSkipped.Add(uint64(rs.lshSkipped))
 		db.mDeadDirs.Add(uint64(rs.deadDirs))
@@ -771,78 +838,179 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	sp.AddAttr("cache_misses", float64(rs.misses))
 	sp.AddAttr("verifier_calls", float64(rs.calls))
 	sp.AddAttr("correspondences", float64(rs.gamma))
+	sp.AddAttr("kernel_nanos", float64(rs.kernelNanos))
 }
 
-// vcpRow computes VCP(q, u) and VCP(u, q) for every unique target strand
-// u, applying the §5.5 size window and the cross-query memo cache. The
-// cache is read once and written back once, so concurrent query strands
-// do not fight over the lock in the inner loop. Work counts flow into sp
-// (the shared vcp stage span) and the DB counters.
-func (db *DB) vcpRow(q *vcp.Prepared, sp *telemetry.Span) (fwd, rev []float64) {
-	qKey := q.Key()
+// maxPairChunk caps the number of target strands one work-queue item
+// covers, so the per-chunk bookkeeping (row lock, once-init check)
+// stays noise next to the verifier calls inside. Below the cap the
+// chunk size adapts to the workload — see pairChunk.
+const maxPairChunk = 64
+
+// pairChunk picks the work-queue chunk size for a query of nq strands
+// against n targets: small enough that even a single-strand query
+// against a small index cuts into several chunks per worker (so the
+// machine saturates on the pair population, not the strand count),
+// capped at maxPairChunk for large corpora.
+func pairChunk(nq, n, workers int) int {
+	chunk := (nq*n + 4*workers - 1) / (4 * workers)
+	if chunk < 1 {
+		chunk = 1
+	}
+	return min(chunk, maxPairChunk)
+}
+
+// vcpRowState carries one query strand's row through the pair-level
+// work queue. The once-init populates the row-wide inputs (cache
+// snapshot, prefilter candidate set, size ratio) on whichever worker
+// touches the row first; chunks then run lock-free over disjoint target
+// ranges, merging their telemetry and fresh cache entries under the row
+// lock; the worker that finishes the last chunk flushes the stats and
+// writes the fresh entries back to the shared cache.
+type vcpRowState struct {
+	q        *vcp.Prepared
+	fwd, rev []float64
+
+	init   sync.Once
+	cached map[string][2]float64 // shared-cache snapshot, read-only after init
+	cand   []bool                // prefilter candidates (nil when off)
+	qSum   sketch.Summary
+	ratio  float64
+
+	mu      sync.Mutex
+	fresh   map[string][2]float64 // pairs computed by this row's chunks
+	rs      rowStats
+	pending atomic.Int32 // chunks not yet finished
+}
+
+// vcpRows computes VCP(q, u) and VCP(u, q) for every (query strand q,
+// unique target strand u) pair, applying the §5.5 size window and the
+// cross-query memo cache. All rows are cut into pairChunkSize chunks up
+// front and drained through one shared queue by min(Workers, chunks)
+// goroutines, so parallelism comes from the pair population rather than
+// the strand count: a query with fewer strands than workers no longer
+// leaves cores idle, and a query with thousands of strands no longer
+// spawns a goroutine per strand. Work counts flow into sp (the shared
+// vcp stage span) and the DB counters once per row.
+func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span) (rows, revRows [][]float64) {
+	n := len(db.uniq)
+	rows = make([][]float64, len(qs))
+	revRows = make([][]float64, len(qs))
+	states := make([]*vcpRowState, len(qs))
+	size := pairChunk(len(qs), n, db.opts.Workers)
+	type chunk struct{ row, lo, hi int }
+	var chunks []chunk
+	for i, q := range qs {
+		st := &vcpRowState{
+			q:     q,
+			fwd:   make([]float64, n),
+			rev:   make([]float64, n),
+			fresh: map[string][2]float64{},
+		}
+		st.rs.pairs = n
+		st.pending.Store(int32((n + size - 1) / size))
+		states[i] = st
+		rows[i], revRows[i] = st.fwd, st.rev
+		for lo := 0; lo < n; lo += size {
+			chunks = append(chunks, chunk{row: i, lo: lo, hi: min(lo+size, n)})
+		}
+	}
+	if len(chunks) == 0 {
+		return rows, revRows
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < min(db.opts.Workers, len(chunks)); w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				c := int(next.Add(1)) - 1
+				if c >= len(chunks) {
+					return
+				}
+				db.vcpChunk(states[chunks[c].row], chunks[c].lo, chunks[c].hi, sp)
+			}
+		}()
+	}
+	wg.Wait()
+	return rows, revRows
+}
+
+// initRow populates a row's shared inputs: the memo-cache snapshot and
+// — with the prefilter on — the candidate target set (everything
+// unmarked is skipped in vcpChunk before the size window runs: pairs
+// that are injectability-dead in both directions, plus — with the
+// heuristic tier enabled — pairs the LSH/containment tests consider
+// dissimilar).
+func (db *DB) initRow(st *vcpRowState) {
+	qKey := st.q.Key()
 	db.mu.Lock()
-	cached := map[string][2]float64{}
+	st.cached = make(map[string][2]float64, len(db.vcpCache[qKey]))
 	for k, v := range db.vcpCache[qKey] {
-		cached[k] = v
+		st.cached[k] = v
 	}
 	db.mu.Unlock()
 
-	ratio := db.opts.VCP.SizeRatio
-	if ratio <= 0 {
-		ratio = vcp.Default().SizeRatio
+	st.ratio = db.opts.VCP.SizeRatio
+	if st.ratio <= 0 {
+		st.ratio = vcp.Default().SizeRatio
 	}
-
-	fwd = make([]float64, len(db.uniq))
-	rev = make([]float64, len(db.uniq))
-	fresh := map[string][2]float64{}
-	rs := rowStats{pairs: len(db.uniq)}
-
-	// Prefilter: summarize the query strand and mark the candidate
-	// target strands; everything unmarked is skipped below before the
-	// size window runs (pairs that are injectability-dead in both
-	// directions, plus — with the heuristic tier enabled — pairs the
-	// LSH/containment tests consider dissimilar). The identical-key
-	// short circuit stays ahead of the prefilter so an exact
-	// structural match can never be lost to sketch noise.
-	var cand []bool
-	var qSum sketch.Summary
 	if db.prefilterOn() {
-		rs.lshOn = true
-		cand = make([]bool, len(db.uniq))
-		qSum = sketch.Summarize(q.S, db.sketchCfg)
-		rs.lshCands = db.sketchIdx.Candidates(qSum, cand)
+		st.rs.lshOn = true
+		st.cand = make([]bool, len(db.uniq))
+		st.qSum = sketch.Summarize(st.q.S, db.sketchCfg)
+		st.rs.lshCands = db.sketchIdx.Candidates(st.qSum, st.cand)
 	}
-	for j, u := range db.uniq {
+}
+
+// vcpChunk processes the target strands [lo, hi) of one row: the pair
+// loop body (identical-key short circuit, prefilter, size window, memo
+// cache, verifier calls in both live directions) over a local stats
+// accumulator and fresh-entry map, merged into the row under its lock.
+// The identical-key short circuit stays ahead of the prefilter so an
+// exact structural match can never be lost to sketch noise. The chunk
+// that completes the row triggers finishRow.
+func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
+	st.init.Do(func() { db.initRow(st) })
+
+	q := st.q
+	qKey := q.Key()
+	var rs rowStats
+	var fresh map[string][2]float64
+	for j := lo; j < hi; j++ {
+		u := db.uniq[j]
 		uKey := u.Key()
 		if qKey == uKey {
-			fwd[j], rev[j] = 1.0, 1.0 // identical strands match exactly
+			st.fwd[j], st.rev[j] = 1.0, 1.0 // identical strands match exactly
 			rs.identical++
 			continue
 		}
-		if cand != nil && !cand[j] {
+		if st.cand != nil && !st.cand[j] {
 			rs.lshSkipped++
 			continue
 		}
 		// The size window is symmetric, so it gates both directions.
-		if !vcp.SizeCompatible(q.S, u.S, ratio) {
+		if !vcp.SizeCompatible(q.S, u.S, st.ratio) {
 			rs.pruned++
 			continue
 		}
-		v, hit := cached[uKey]
+		v, hit := st.cached[uKey]
 		if !hit {
 			// With the prefilter on, a candidate pair can still be
 			// injectability-dead in ONE direction: that direction's
 			// VCP is exactly 0 and its verifier call is skipped.
 			fwdLive, revLive := true, true
-			if cand != nil {
+			if st.cand != nil {
 				uSum := db.sums[j]
-				fwdLive, revLive = qSum.Injects(uSum), uSum.Injects(qSum)
+				fwdLive, revLive = st.qSum.Injects(uSum), uSum.Injects(st.qSum)
 			}
 			if fwdLive {
 				fv, fst := vcp.ComputeWithStats(q, u, db.opts.VCP)
 				v[0] = fv
 				rs.calls++
 				rs.gamma += fst.Correspondences
+				rs.kernelNanos += fst.KernelNanos
 			} else {
 				rs.deadDirs++
 			}
@@ -851,37 +1019,59 @@ func (db *DB) vcpRow(q *vcp.Prepared, sp *telemetry.Span) (fwd, rev []float64) {
 				v[1] = rv
 				rs.calls++
 				rs.gamma += rst.Correspondences
+				rs.kernelNanos += rst.KernelNanos
 			} else {
 				rs.deadDirs++
 			}
 			rs.misses++
-			cached[uKey] = v
+			if fresh == nil {
+				fresh = map[string][2]float64{}
+			}
 			fresh[uKey] = v
 		} else {
 			rs.hits++
 		}
-		fwd[j], rev[j] = v[0], v[1]
+		st.fwd[j], st.rev[j] = v[0], v[1]
 	}
-	db.flushRowStats(rs, sp)
 
-	if len(fresh) > 0 {
-		db.mu.Lock()
-		shared := db.vcpCache[qKey]
-		if shared == nil {
-			shared = map[string][2]float64{}
-			db.vcpCache[qKey] = shared
-			db.cacheOrder = append(db.cacheOrder, qKey)
-		}
-		for k, v := range fresh {
-			if _, dup := shared[k]; !dup {
-				db.cachePairs++
-			}
-			shared[k] = v
-		}
-		db.evictLocked(qKey)
-		db.mu.Unlock()
+	st.mu.Lock()
+	st.rs.merge(rs)
+	for k, v := range fresh {
+		st.fresh[k] = v
 	}
-	return fwd, rev
+	st.mu.Unlock()
+
+	if st.pending.Add(-1) == 0 {
+		db.finishRow(st, sp)
+	}
+}
+
+// finishRow runs once per row, after its last chunk: flush the merged
+// telemetry and write the freshly computed pairs back to the shared
+// memo cache. The cache is read once at init and written back once
+// here, so concurrent chunks never fight over the cache lock inside
+// the pair loop.
+func (db *DB) finishRow(st *vcpRowState, sp *telemetry.Span) {
+	db.flushRowStats(st.rs, sp)
+	if len(st.fresh) == 0 {
+		return
+	}
+	qKey := st.q.Key()
+	db.mu.Lock()
+	shared := db.vcpCache[qKey]
+	if shared == nil {
+		shared = map[string][2]float64{}
+		db.vcpCache[qKey] = shared
+		db.cacheOrder = append(db.cacheOrder, qKey)
+	}
+	for k, v := range st.fresh {
+		if _, dup := shared[k]; !dup {
+			db.cachePairs++
+		}
+		shared[k] = v
+	}
+	db.evictLocked(qKey)
+	db.mu.Unlock()
 }
 
 // evictLocked drops whole query-strand rows, oldest first, until the

@@ -91,6 +91,9 @@ func FromExport(ex *Export) (*DB, error) {
 		if err := prep.Err(); err != nil {
 			return nil, fmt.Errorf("core: import strand %d: %w", i, err)
 		}
+		pre, tot := prep.InstrCounts()
+		db.mPrefixInstrs.Add(uint64(pre))
+		db.mKernelInstrs.Add(uint64(tot))
 		if es.Count < 1 {
 			return nil, fmt.Errorf("core: import strand %d: multiplicity %d", i, es.Count)
 		}

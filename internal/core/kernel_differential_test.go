@@ -1,0 +1,114 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+	"repro/internal/vcp"
+)
+
+// The batched SoA kernel is an optimisation, not a new verifier: under
+// -kernel=batch every fingerprint — and therefore every VCP, every GES
+// score and every ranking — must be byte-identical to -kernel=scalar.
+// This harness builds the same corpus into a scalar DB and a batch DB,
+// runs vulnerability queries through both, and compares rankings AND
+// raw scores; it also pins that the batch engine actually engaged (γ
+// time was attributed to the kernel and a nonzero instruction prefix
+// was hoisted) and that flipping the kernel at runtime with
+// ConfigureKernel keeps the answers fixed.
+func TestKernelDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential kernel run is slow")
+	}
+	procs := buildDiffCorpus(t)
+
+	scalarOpts := Options{}
+	scalarOpts.VCP.Kernel = vcp.KernelScalar
+	dbScalar := NewDB(scalarOpts)
+	dbBatch := NewDB(Options{}) // batch is the default
+	if got := dbBatch.Stats().Kernel; got != vcp.KernelBatch {
+		t.Fatalf("default kernel = %q, want %q", got, vcp.KernelBatch)
+	}
+	fillDB(t, dbScalar, procs)
+	fillDB(t, dbBatch, procs)
+
+	qtc, ok := compile.ByName("clang-3.5")
+	if !ok {
+		t.Fatal("query toolchain missing")
+	}
+	vulns := corpus.Vulns()
+	if len(vulns) > 3 {
+		vulns = vulns[:3]
+	}
+	for _, v := range vulns {
+		q, err := corpus.CompileVuln(v, qtc, false)
+		if err != nil {
+			t.Fatalf("compile query %s: %v", v.Alias, err)
+		}
+		repScalar, err := dbScalar.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (scalar): %v", v.Alias, err)
+		}
+		repBatch, err := dbBatch.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (batch): %v", v.Alias, err)
+		}
+		for _, m := range []stats.Method{stats.Esh, stats.SLOG, stats.SVCP} {
+			if s, b := rankingNames(repScalar, m), rankingNames(repBatch, m); s != b {
+				t.Errorf("query %s: %v ranking diverges between kernels", v.Alias, m)
+			}
+		}
+		// Rankings could coincide while scores drift; the fingerprints
+		// are supposed to be byte-identical, so the scores must be too.
+		var drift []string
+		for i := range repScalar.Results {
+			s, b := repScalar.Results[i], repBatch.Results[i]
+			if s.Target.Name != b.Target.Name || s.GES != b.GES || s.SLOG != b.SLOG || s.SVCP != b.SVCP {
+				drift = append(drift, fmt.Sprintf(
+					"  %-52s scalar GES=%.9f batch GES=%.9f", s.Target.Name, s.GES, b.GES))
+			}
+		}
+		if len(drift) > 0 {
+			t.Errorf("query %s: %d targets with non-identical scores:\n%s",
+				v.Alias, len(drift), strings.Join(drift[:min(5, len(drift))], "\n"))
+		}
+
+		// Runtime flip on the scalar DB: same answers through the batch
+		// kernel against the same prepared index (the γ counts must stay
+		// identical too, or the caches diverge between modes).
+		if err := dbScalar.ConfigureKernel(vcp.KernelBatch); err != nil {
+			t.Fatal(err)
+		}
+		repFlip, err := dbScalar.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (flipped): %v", v.Alias, err)
+		}
+		if rankingNames(repFlip, stats.Esh) != rankingNames(repScalar, stats.Esh) {
+			t.Errorf("query %s: ranking changed after ConfigureKernel(batch)", v.Alias)
+		}
+		if err := dbScalar.ConfigureKernel(vcp.KernelScalar); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	ss, bs := dbScalar.Stats(), dbBatch.Stats()
+	if ss.VerifierCorrespondences != bs.VerifierCorrespondences {
+		t.Errorf("γ counts diverge: scalar=%d batch=%d",
+			ss.VerifierCorrespondences, bs.VerifierCorrespondences)
+	}
+	if bs.KernelNanos == 0 || ss.KernelNanos == 0 {
+		t.Error("kernel time telemetry not recorded")
+	}
+	if bs.KernelInstrs == 0 || bs.KernelPrefixInstrs == 0 {
+		t.Errorf("hoisting telemetry empty: prefix=%d total=%d",
+			bs.KernelPrefixInstrs, bs.KernelInstrs)
+	}
+	t.Logf("kernel γ time: scalar=%.1fms batch=%.1fms; hoisted %d/%d instrs (%.1f%%)",
+		float64(ss.KernelNanos)/1e6, float64(bs.KernelNanos)/1e6,
+		bs.KernelPrefixInstrs, bs.KernelInstrs,
+		100*float64(bs.KernelPrefixInstrs)/float64(bs.KernelInstrs))
+}

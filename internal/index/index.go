@@ -222,10 +222,10 @@ func codeType(c int) (ivl.Type, error) {
 func encodeBody(ex *core.Export) []byte {
 	var b bytes.Buffer
 	o := ex.Opts
-	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s\n",
+	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s\n",
 		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
 		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences,
-		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment))
+		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel)
 
 	fmt.Fprintf(&b, "strands %d\n", len(ex.Strands))
 	for _, es := range ex.Strands {
@@ -490,6 +490,8 @@ func (d *decoder) decodeOptions(ex *core.Export) error {
 			ex.Opts.LSHRows = atoi()
 		case "lshmincont":
 			ex.Opts.LSHMinContainment = atof()
+		case "kernel":
+			ex.Opts.VCP.Kernel = val
 		default:
 			// Unknown keys are ignored so minor option additions do not
 			// invalidate old readers within a format version.

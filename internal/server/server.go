@@ -430,12 +430,17 @@ type StatsResponse struct {
 		DeadDirections uint64  `json:"dead_directions"`
 	} `json:"prefilter"`
 	// Engine aggregates pipeline work across all queries: verifier
-	// effort, pruning effectiveness, and cumulative per-stage wall time.
+	// effort, pruning effectiveness, evaluation-kernel mode and time,
+	// γ-invariant hoisting coverage, and cumulative per-stage wall time.
 	Engine struct {
 		Queries                 uint64             `json:"queries"`
 		PairsPruned             uint64             `json:"pairs_pruned"`
 		VerifierCalls           uint64             `json:"verifier_calls"`
 		VerifierCorrespondences uint64             `json:"verifier_correspondences"`
+		Kernel                  string             `json:"kernel"`
+		KernelSeconds           float64            `json:"kernel_seconds"`
+		KernelPrefixInstrs      uint64             `json:"kernel_prefix_instrs"`
+		KernelInstrs            uint64             `json:"kernel_instrs"`
 		StageSeconds            map[string]float64 `json:"stage_seconds"`
 	} `json:"engine"`
 	Queries struct {
@@ -475,6 +480,10 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.PairsPruned = dbs.VCPPairsPruned
 	resp.Engine.VerifierCalls = dbs.VerifierCalls
 	resp.Engine.VerifierCorrespondences = dbs.VerifierCorrespondences
+	resp.Engine.Kernel = dbs.Kernel
+	resp.Engine.KernelSeconds = float64(dbs.KernelNanos) / 1e9
+	resp.Engine.KernelPrefixInstrs = dbs.KernelPrefixInstrs
+	resp.Engine.KernelInstrs = dbs.KernelInstrs
 	resp.Engine.StageSeconds = dbs.StageSeconds
 
 	resp.Queries.Completed = s.outcomes["completed"].Value()

@@ -2,6 +2,7 @@ package smt
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/ivl"
 )
@@ -10,6 +11,14 @@ import (
 // register file. Compilation happens once per strand; fingerprints under
 // different input-slot assignments (the γ correspondences of Algorithm 2)
 // re-run only the flat code, which is the hot loop of the whole system.
+//
+// Compilation also performs the static analyses the batched kernel
+// (kernel.go) relies on: a type per register (memory-typedness is static
+// in well-formed IVL), and a reordering of the code into a γ-invariant
+// prefix — instructions whose transitive operands touch no input slot,
+// so their values cannot depend on the slot assignment — followed by the
+// γ-dependent suffix. The prefix is evaluated once per kernel; only the
+// suffix re-runs per correspondence.
 type Program struct {
 	Inputs []ivl.Var // in slot-assignment order
 	code   []cinstr
@@ -17,6 +26,21 @@ type Program struct {
 	// defRegs lists, for each original SSA assignment in order, the
 	// register holding its value and whether it is memory-typed.
 	defRegs []defInfo
+	// memReg is the static type per register (true = memory). Valid for
+	// all registers when batchOK; the scalar path never consults it.
+	memReg []bool
+	// prefixLen splits code: code[:prefixLen] is the γ-invariant prefix.
+	prefixLen int
+	// hasMem reports whether any register is memory-typed.
+	hasMem bool
+	// batchOK reports whether the static typing above fully describes
+	// the program. Ill-typed programs (e.g. an ite mixing memory and
+	// integer branches, or integer operators applied to memories) keep
+	// the dynamic scalar semantics and fall back to Fingerprints.
+	batchOK bool
+	// kpool recycles kernels (lane buffers + memory arena) across
+	// fingerprint calls so the γ loop is allocation-free.
+	kpool sync.Pool
 }
 
 type defInfo struct {
@@ -187,7 +211,124 @@ func CompileStrand(stmts []ivl.Stmt, inputs []ivl.Var) (*Program, error) {
 		regOf[s.Dst.Name] = r
 		p.defRegs = append(p.defRegs, defInfo{reg: r, isMem: s.Dst.Type == ivl.Mem, name: s.Dst.Name})
 	}
+	p.analyze()
 	return p, nil
+}
+
+// srcs appends the operand registers the instruction actually reads.
+// Unused operand fields hold zero, which would alias register 0 (the
+// first input), so they must never be consulted.
+func (in *cinstr) srcs(buf []int) []int {
+	switch in.op {
+	case cConst:
+	case cBin:
+		buf = append(buf, in.a, in.b)
+	case cUn, cTrunc, cSext:
+		buf = append(buf, in.a)
+	case cIte:
+		buf = append(buf, in.c, in.a, in.b)
+	case cLoad:
+		buf = append(buf, in.a, in.b)
+	case cStore:
+		buf = append(buf, in.a, in.b, in.c)
+	case cCall:
+		buf = append(buf, in.args...)
+	}
+	return buf
+}
+
+// analyze computes the static register types and the γ-invariant prefix
+// split the batched kernel needs. Code is in SSA order (every operand is
+// defined before use), so one forward pass suffices for both.
+func (p *Program) analyze() {
+	memReg := make([]bool, p.nregs)
+	for i, in := range p.Inputs {
+		memReg[i] = in.Type == ivl.Mem
+	}
+	ok := true
+	for i := range p.code {
+		in := &p.code[i]
+		switch in.op {
+		case cConst, cBin:
+			// Integer result. Memory operands of cBin are legal (the
+			// scalar path compares them); the result is still integer.
+		case cUn, cTrunc, cSext:
+			if memReg[in.a] {
+				ok = false // scalar reads .Bits (0) of a memory value
+			}
+		case cIte:
+			if memReg[in.c] || memReg[in.a] != memReg[in.b] {
+				ok = false
+			}
+			memReg[in.dst] = memReg[in.a]
+		case cLoad:
+			if !memReg[in.a] || memReg[in.b] {
+				ok = false
+			}
+		case cStore:
+			if !memReg[in.a] || memReg[in.b] || memReg[in.c] {
+				ok = false
+			}
+			memReg[in.dst] = true
+		case cCall:
+			memReg[in.dst] = in.memC
+		}
+	}
+	for _, di := range p.defRegs {
+		if di.isMem != memReg[di.reg] {
+			ok = false // declared type disagrees with the computed one
+		}
+	}
+	p.memReg = memReg
+	p.batchOK = ok
+	for _, m := range memReg {
+		if m {
+			p.hasMem = true
+			break
+		}
+	}
+
+	// γ-invariant prefix: an instruction is hoistable when no transitive
+	// operand reaches an input register, because input registers are the
+	// only values that change with the slot assignment (and, per
+	// SlotBits/SlotMemSeed, with the sample index). Reordering is sound:
+	// every register is written exactly once and operands precede their
+	// uses, and an instruction depending only on invariant instructions
+	// is itself invariant, so the partition respects all data deps.
+	dep := make([]bool, p.nregs)
+	for i := range p.Inputs {
+		dep[i] = true
+	}
+	prefix := make([]cinstr, 0, len(p.code))
+	var suffix []cinstr
+	var sbuf [8]int
+	for _, in := range p.code {
+		d := false
+		for _, s := range in.srcs(sbuf[:0]) {
+			if dep[s] {
+				d = true
+				break
+			}
+		}
+		dep[in.dst] = d
+		if d {
+			suffix = append(suffix, in)
+		} else {
+			prefix = append(prefix, in)
+		}
+	}
+	p.prefixLen = len(prefix)
+	p.code = append(prefix, suffix...)
+}
+
+// BatchOK reports whether the batched SoA kernel supports this program.
+// The rare ill-typed programs it rejects keep the scalar path.
+func (p *Program) BatchOK() bool { return p.batchOK }
+
+// InstrCounts returns how many instructions were hoisted into the
+// γ-invariant prefix and the total instruction count, for telemetry.
+func (p *Program) InstrCounts() (prefix, total int) {
+	return p.prefixLen, len(p.code)
 }
 
 func hashString(s string) uint64 {
@@ -203,6 +344,12 @@ func hashString(s string) uint64 {
 // slot slotOf[i], and returns one value-vector fingerprint per original
 // SSA definition, in definition order. Memory fingerprints live in a
 // separate hash domain from integers.
+//
+// This is the scalar reference path: one interpreter pass per sample
+// over boxed ivl.Value registers. The batched SoA kernel (kernel.go) is
+// the production path; this implementation is kept as the differential
+// oracle behind -kernel=scalar and as the fallback for the rare
+// programs the kernel's static typing rejects.
 func (p *Program) Fingerprints(slotOf []int, k int) []uint64 {
 	fps := make([]uint64, len(p.defRegs))
 	regs := make([]ivl.Value, p.nregs)
@@ -215,9 +362,9 @@ func (p *Program) Fingerprints(slotOf []int, k int) []uint64 {
 			v := regs[di.reg]
 			h := v.Hash()
 			if v.M != nil {
-				h = mix64(h ^ 0xDEAD_BEEF_CAFE_F00D)
+				h = mix64(h ^ memHashTag)
 			}
-			fps[d] = mix64(fps[d]*0x100_0000_01b3 ^ h)
+			fps[d] = mix64(fps[d]*fpPrime ^ h)
 		}
 	}
 	return fps

@@ -1,0 +1,478 @@
+package smt
+
+// The batched structure-of-arrays evaluation kernel: the hot loop of the
+// whole system, rewritten so that each instruction dispatches once and
+// runs a tight loop over all k sample values, instead of k full
+// interpreter passes over boxed ivl.Value structs.
+//
+// Layout: every virtual register r owns a lane vector of k values.
+// Integer registers live in one flat []uint64 (ints[r*k+s]); memory
+// registers hold indices into a per-kernel arena of immutable store
+// nodes (a pointer-free re-implementation of ivl.MemVal with identical
+// hash and load semantics, so fingerprints stay byte-identical to the
+// scalar path). Memory-typedness is static at compile time (Program.
+// memReg), so the per-instruction lane loops carry no type tests.
+//
+// Kernels are pooled per Program and reused across γ correspondences:
+// the γ-invariant prefix (Program.prefixLen) is evaluated once per
+// kernel lifetime — its lanes depend on neither the slot assignment nor
+// the sample index — and each Run resets the arena to the prefix
+// watermark, refills the input lanes, and re-executes only the suffix.
+// After warm-up the whole γ loop performs zero heap allocations.
+
+import "repro/internal/ivl"
+
+// memNode is one node of the kernel's arena-backed memory: either a
+// background root (parent < 0) or a store overlay. Semantics and hash
+// construction mirror ivl.MemVal exactly.
+type memNode struct {
+	hash   uint64
+	seed   uint64
+	addr   uint64
+	val    uint64
+	parent int32
+	w      uint8
+}
+
+// memHashTag separates the memory hash domain from integers when
+// fingerprinting; it must match the constant used by the scalar paths
+// (Program.Fingerprints, VectorHashes).
+const memHashTag = 0xDEAD_BEEF_CAFE_F00D
+
+// fpPrime is the fingerprint chaining multiplier shared with the scalar
+// paths.
+const fpPrime = 0x100_0000_01b3
+
+// Kernel is a reusable SoA evaluation state for one Program at a fixed
+// sample count. It is not safe for concurrent use; acquire one per
+// goroutine via Program.AcquireKernel.
+type Kernel struct {
+	p *Program
+	k int
+	// ints holds the integer lanes, k per register.
+	ints []uint64
+	// mems holds the memory lanes as arena indices (allocated only when
+	// the program touches memory).
+	mems []int32
+	// arena is the memory store-node arena; prefixArena is its length
+	// after prefix evaluation, restored at the start of every Run.
+	arena       []memNode
+	prefixArena int
+	prefixDone  bool
+	// fps is the fingerprint scratch slice returned by Fingerprints.
+	fps []uint64
+	// argHash is scratch for cCall argument hashing.
+	argHash []uint64
+	// lastSlot remembers the slot each integer input was last bound to.
+	// Input registers are never written by exec (every assignment
+	// allocates a fresh register), so an integer lane whose slot is
+	// unchanged between Runs is still valid and need not be refilled.
+	// Memory lanes hold arena indices invalidated by the per-Run arena
+	// reset, so they always rebind (their entries stay -1).
+	lastSlot []int
+}
+
+// AcquireKernel returns a pooled kernel for the program, sized for k
+// samples. Callers must ReleaseKernel it when done; the kernel keeps its
+// evaluated γ-invariant prefix across acquire/release cycles.
+func (p *Program) AcquireKernel(k int) *Kernel {
+	kn, _ := p.kpool.Get().(*Kernel)
+	if kn == nil {
+		kn = &Kernel{p: p}
+	}
+	kn.ensure(k)
+	return kn
+}
+
+// ReleaseKernel returns a kernel to the program's pool.
+func (p *Program) ReleaseKernel(kn *Kernel) { p.kpool.Put(kn) }
+
+// ensure sizes the lane buffers for k samples, preserving them (and the
+// prefix evaluation) when the kernel was last used with the same k.
+func (kn *Kernel) ensure(k int) {
+	if kn.k == k {
+		return
+	}
+	kn.k = k
+	kn.prefixDone = false
+	n := kn.p.nregs * k
+	if cap(kn.ints) < n {
+		kn.ints = make([]uint64, n)
+	}
+	kn.ints = kn.ints[:n]
+	if kn.p.hasMem {
+		if cap(kn.mems) < n {
+			kn.mems = make([]int32, n)
+		}
+		kn.mems = kn.mems[:n]
+	}
+	if cap(kn.fps) < len(kn.p.defRegs) {
+		kn.fps = make([]uint64, len(kn.p.defRegs))
+	}
+	kn.fps = kn.fps[:len(kn.p.defRegs)]
+	if cap(kn.lastSlot) < len(kn.p.Inputs) {
+		kn.lastSlot = make([]int, len(kn.p.Inputs))
+	}
+	kn.lastSlot = kn.lastSlot[:len(kn.p.Inputs)]
+	for i := range kn.lastSlot {
+		kn.lastSlot[i] = -1
+	}
+}
+
+// Run evaluates the program over all k samples with input i bound to
+// slot slotOf[i]. The γ-invariant prefix is evaluated at most once per
+// kernel; Run re-executes only the suffix.
+func (kn *Kernel) Run(slotOf []int) {
+	if !kn.prefixDone {
+		kn.arena = kn.arena[:0]
+		kn.exec(0, kn.p.prefixLen)
+		kn.prefixArena = len(kn.arena)
+		kn.prefixDone = true
+	}
+	kn.arena = kn.arena[:kn.prefixArena]
+	k := kn.k
+	for i, in := range kn.p.Inputs {
+		slot := slotOf[i]
+		if in.Type == ivl.Mem {
+			lane := kn.mems[i*k : i*k+k]
+			for s := range lane {
+				lane[s] = kn.newRoot(SlotMemSeed(s, slot))
+			}
+		} else if kn.lastSlot[i] != slot {
+			kn.lastSlot[i] = slot
+			lane := kn.ints[i*k : i*k+k]
+			for s := range lane {
+				lane[s] = SlotBits(s, slot)
+			}
+		}
+	}
+	kn.exec(kn.p.prefixLen, len(kn.p.code))
+}
+
+// Fingerprints runs the program under the slot assignment and returns
+// one value-vector fingerprint per original SSA definition, in
+// definition order — byte-identical to Program.Fingerprints. The
+// returned slice is the kernel's scratch buffer: it is overwritten by
+// the next call and must not be retained past ReleaseKernel.
+func (kn *Kernel) Fingerprints(slotOf []int) []uint64 {
+	kn.Run(slotOf)
+	k := kn.k
+	for d, di := range kn.p.defRegs {
+		base := di.reg * k
+		var acc uint64
+		if di.isMem {
+			for s := 0; s < k; s++ {
+				h := mix64(kn.arena[kn.mems[base+s]].hash ^ memHashTag)
+				acc = mix64(acc*fpPrime ^ h)
+			}
+		} else {
+			for s := 0; s < k; s++ {
+				acc = mix64(acc*fpPrime ^ kn.ints[base+s])
+			}
+		}
+		kn.fps[d] = acc
+	}
+	return kn.fps
+}
+
+// DefBits returns the integer lane vector of the d-th SSA definition
+// after a Run. Valid only for integer-typed definitions; the slice
+// aliases kernel state and is overwritten by the next Run.
+func (kn *Kernel) DefBits(d int) []uint64 {
+	r := kn.p.defRegs[d].reg
+	return kn.ints[r*kn.k : r*kn.k+kn.k]
+}
+
+// newRoot appends a background memory root and returns its index.
+func (kn *Kernel) newRoot(seed uint64) int32 {
+	idx := int32(len(kn.arena))
+	kn.arena = append(kn.arena, memNode{seed: seed, hash: mix64(seed), parent: -1})
+	return idx
+}
+
+// store appends a store overlay; semantics and hash match MemVal.Store.
+func (kn *Kernel) store(parent int32, addr uint64, w uint, val uint64) int32 {
+	if w < 8 {
+		val &= (uint64(1) << (8 * w)) - 1
+	}
+	p := &kn.arena[parent]
+	idx := int32(len(kn.arena))
+	kn.arena = append(kn.arena, memNode{
+		seed:   p.seed,
+		addr:   addr,
+		val:    val,
+		w:      uint8(w),
+		parent: parent,
+		hash:   mix64(p.hash ^ mix64(addr)*3 ^ mix64(val) ^ uint64(w)),
+	})
+	return idx
+}
+
+// byteAt reads one byte: newest covering store wins, the deterministic
+// background otherwise. Mirrors MemVal.byteAt.
+func (kn *Kernel) byteAt(idx int32, addr uint64) byte {
+	arena := kn.arena
+	for n := idx; arena[n].parent >= 0; n = arena[n].parent {
+		nd := &arena[n]
+		if addr >= nd.addr && addr < nd.addr+uint64(nd.w) {
+			return byte(nd.val >> (8 * (addr - nd.addr)))
+		}
+	}
+	return byte(mix64(arena[idx].seed ^ mix64(addr)))
+}
+
+// load reads w bytes little-endian. Mirrors MemVal.Load.
+func (kn *Kernel) load(idx int32, addr uint64, w uint) uint64 {
+	var v uint64
+	for i := uint(0); i < w; i++ {
+		v |= uint64(kn.byteAt(idx, addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// exec runs code[lo:hi] over all lanes: one dispatch per instruction,
+// one tight loop per lane vector.
+func (kn *Kernel) exec(lo, hi int) {
+	k := kn.k
+	code := kn.p.code
+	memReg := kn.p.memReg
+	for idx := lo; idx < hi; idx++ {
+		in := &code[idx]
+		d := in.dst * k
+		switch in.op {
+		case cConst:
+			lane := kn.ints[d : d+k]
+			v := in.val
+			for s := range lane {
+				lane[s] = v
+			}
+		case cBin:
+			if memReg[in.a] || memReg[in.b] {
+				kn.execBinMem(in, d)
+				continue
+			}
+			evalBinLanes(in.bin, kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k], kn.ints[in.b*k:in.b*k+k])
+		case cUn:
+			dst, x := kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k]
+			switch in.un {
+			case ivl.Not:
+				for s := range dst {
+					dst[s] = ^x[s]
+				}
+			case ivl.Neg:
+				for s := range dst {
+					dst[s] = -x[s]
+				}
+			default: // BoolNot
+				for s := range dst {
+					dst[s] = boolBit(x[s] == 0)
+				}
+			}
+		case cIte:
+			c := kn.ints[in.c*k : in.c*k+k]
+			if memReg[in.dst] {
+				dst := kn.mems[d : d+k]
+				a, b := kn.mems[in.a*k:in.a*k+k], kn.mems[in.b*k:in.b*k+k]
+				for s := range dst {
+					if c[s] != 0 {
+						dst[s] = a[s]
+					} else {
+						dst[s] = b[s]
+					}
+				}
+			} else {
+				dst := kn.ints[d : d+k]
+				a, b := kn.ints[in.a*k:in.a*k+k], kn.ints[in.b*k:in.b*k+k]
+				for s := range dst {
+					if c[s] != 0 {
+						dst[s] = a[s]
+					} else {
+						dst[s] = b[s]
+					}
+				}
+			}
+		case cTrunc:
+			dst, x := kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k]
+			if in.bits >= 64 {
+				copy(dst, x)
+			} else {
+				mask := (uint64(1) << in.bits) - 1
+				for s := range dst {
+					dst[s] = x[s] & mask
+				}
+			}
+		case cSext:
+			dst, x := kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k]
+			sh := 64 - in.bits
+			for s := range dst {
+				dst[s] = uint64(int64(x[s]<<sh) >> sh)
+			}
+		case cLoad:
+			dst := kn.ints[d : d+k]
+			m, a := kn.mems[in.a*k:in.a*k+k], kn.ints[in.b*k:in.b*k+k]
+			w := in.w
+			for s := range dst {
+				dst[s] = kn.load(m[s], a[s], w)
+			}
+		case cStore:
+			dst := kn.mems[d : d+k]
+			m := kn.mems[in.a*k : in.a*k+k]
+			a, v := kn.ints[in.b*k:in.b*k+k], kn.ints[in.c*k:in.c*k+k]
+			w := in.w
+			for s := range dst {
+				dst[s] = kn.store(m[s], a[s], w, v[s])
+			}
+		case cCall:
+			if cap(kn.argHash) < k {
+				kn.argHash = make([]uint64, k)
+			}
+			h := kn.argHash[:k]
+			sym := in.sym
+			for s := range h {
+				h[s] = sym
+			}
+			for _, ar := range in.args {
+				if memReg[ar] {
+					lane := kn.mems[ar*k : ar*k+k]
+					for s := range h {
+						h[s] = mix64(h[s] ^ kn.arena[lane[s]].hash)
+					}
+				} else {
+					lane := kn.ints[ar*k : ar*k+k]
+					for s := range h {
+						h[s] = mix64(h[s] ^ lane[s])
+					}
+				}
+			}
+			if in.memC {
+				dst := kn.mems[d : d+k]
+				for s := range dst {
+					dst[s] = kn.newRoot(h[s])
+				}
+			} else {
+				copy(kn.ints[d:d+k], h)
+			}
+		}
+	}
+}
+
+// execBinMem handles the rare cBin whose operands include a memory
+// value: only (in)equality is meaningful; everything else yields 0, as
+// in the scalar path.
+func (kn *Kernel) execBinMem(in *cinstr, d int) {
+	k := kn.k
+	dst := kn.ints[d : d+k]
+	memA, memB := kn.p.memReg[in.a], kn.p.memReg[in.b]
+	if in.bin != ivl.Eq && in.bin != ivl.Ne {
+		for s := range dst {
+			dst[s] = 0
+		}
+		return
+	}
+	if memA != memB {
+		// Mixed memory/integer comparison: never equal.
+		v := boolBit(in.bin == ivl.Ne)
+		for s := range dst {
+			dst[s] = v
+		}
+		return
+	}
+	a, b := kn.mems[in.a*k:in.a*k+k], kn.mems[in.b*k:in.b*k+k]
+	for s := range dst {
+		eq := kn.arena[a[s]].hash == kn.arena[b[s]].hash
+		if in.bin == ivl.Ne {
+			eq = !eq
+		}
+		dst[s] = boolBit(eq)
+	}
+}
+
+// evalBinLanes applies one binary operator across whole lanes: the
+// operator dispatch happens once, the loop body is branch-free for the
+// common operators. Semantics match ivl.EvalBin element-wise.
+func evalBinLanes(op ivl.BinOp, dst, x, y []uint64) {
+	switch op {
+	case ivl.Add:
+		for s := range dst {
+			dst[s] = x[s] + y[s]
+		}
+	case ivl.Sub:
+		for s := range dst {
+			dst[s] = x[s] - y[s]
+		}
+	case ivl.Mul:
+		for s := range dst {
+			dst[s] = x[s] * y[s]
+		}
+	case ivl.And:
+		for s := range dst {
+			dst[s] = x[s] & y[s]
+		}
+	case ivl.Or:
+		for s := range dst {
+			dst[s] = x[s] | y[s]
+		}
+	case ivl.Xor:
+		for s := range dst {
+			dst[s] = x[s] ^ y[s]
+		}
+	case ivl.Shl:
+		for s := range dst {
+			dst[s] = x[s] << (y[s] & 63)
+		}
+	case ivl.LShr:
+		for s := range dst {
+			dst[s] = x[s] >> (y[s] & 63)
+		}
+	case ivl.AShr:
+		for s := range dst {
+			dst[s] = uint64(int64(x[s]) >> (y[s] & 63))
+		}
+	case ivl.Eq:
+		for s := range dst {
+			dst[s] = boolBit(x[s] == y[s])
+		}
+	case ivl.Ne:
+		for s := range dst {
+			dst[s] = boolBit(x[s] != y[s])
+		}
+	case ivl.SLt:
+		for s := range dst {
+			dst[s] = boolBit(int64(x[s]) < int64(y[s]))
+		}
+	case ivl.SLe:
+		for s := range dst {
+			dst[s] = boolBit(int64(x[s]) <= int64(y[s]))
+		}
+	case ivl.SGt:
+		for s := range dst {
+			dst[s] = boolBit(int64(x[s]) > int64(y[s]))
+		}
+	case ivl.SGe:
+		for s := range dst {
+			dst[s] = boolBit(int64(x[s]) >= int64(y[s]))
+		}
+	case ivl.ULt:
+		for s := range dst {
+			dst[s] = boolBit(x[s] < y[s])
+		}
+	case ivl.ULe:
+		for s := range dst {
+			dst[s] = boolBit(x[s] <= y[s])
+		}
+	case ivl.UGt:
+		for s := range dst {
+			dst[s] = boolBit(x[s] > y[s])
+		}
+	case ivl.UGe:
+		for s := range dst {
+			dst[s] = boolBit(x[s] >= y[s])
+		}
+	default:
+		// SDiv/SRem carry per-element totalization branches; they are
+		// rare enough that the shared scalar helper is fine.
+		for s := range dst {
+			dst[s] = ivl.EvalBin(op, x[s], y[s])
+		}
+	}
+}

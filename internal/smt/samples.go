@@ -39,19 +39,31 @@ const DefaultSamples = allSameSpecials + rotatedSpecials + randomSamples
 // equality assumptions of the verifier query are realized.
 func SlotValue(sample, slot int, typ ivl.Type) ivl.Value {
 	if typ == ivl.Mem {
-		// Memory backgrounds: one deterministic seed per (sample, slot).
-		return ivl.MemValue(ivl.NewMem(mix64(sampleSeed ^ uint64(sample)*0x9E37_79B9 ^ uint64(slot)<<32)))
+		return ivl.MemValue(ivl.NewMem(SlotMemSeed(sample, slot)))
 	}
+	return ivl.IntValue(SlotBits(sample, slot))
+}
+
+// SlotBits is the integer half of SlotValue: the bv64 input value for the
+// given sample and slot. The batched kernel fills input lanes from it
+// directly, without boxing into ivl.Value.
+func SlotBits(sample, slot int) uint64 {
 	switch {
 	case sample < allSameSpecials:
 		// Every slot takes the same special value.
-		return ivl.IntValue(specials[sample%len(specials)])
+		return specials[sample%len(specials)]
 	case sample < allSameSpecials+rotatedSpecials:
 		j := sample - allSameSpecials
-		return ivl.IntValue(specials[(j*5+slot*7+1)%len(specials)])
+		return specials[(j*5+slot*7+1)%len(specials)]
 	default:
-		return ivl.IntValue(mix64(sampleSeed ^ mix64(uint64(sample)) ^ mix64(uint64(slot)*0xABCD)))
+		return mix64(sampleSeed ^ mix64(uint64(sample)) ^ mix64(uint64(slot)*0xABCD))
 	}
+}
+
+// SlotMemSeed is the memory half of SlotValue: the deterministic
+// background seed per (sample, slot).
+func SlotMemSeed(sample, slot int) uint64 {
+	return mix64(sampleSeed ^ uint64(sample)*0x9E37_79B9 ^ uint64(slot)<<32)
 }
 
 func mix64(x uint64) uint64 {

@@ -114,8 +114,9 @@ func TestVCPProperties(t *testing.T) {
 				t.Fatalf("pair (%d,%d): Compute %v != ComputeWithStats %v", i, j, v2, v)
 			}
 
-			// Determinism: bit-identical on repetition.
-			if v2, st2 := ComputeWithStats(q, u, cfg); v2 != v || st2 != st {
+			// Determinism: bit-identical on repetition. KernelNanos is
+			// wall time and is excluded from the comparison.
+			if v2, st2 := ComputeWithStats(q, u, cfg); v2 != v || st2.Correspondences != st.Correspondences {
 				t.Fatalf("pair (%d,%d): not deterministic: (%v,%+v) then (%v,%+v)",
 					i, j, v, st, v2, st2)
 			}

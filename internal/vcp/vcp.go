@@ -13,9 +13,23 @@
 package vcp
 
 import (
+	"time"
+
 	"repro/internal/ivl"
 	"repro/internal/smt"
 	"repro/internal/strand"
+)
+
+// Evaluation kernel modes: how the γ loop evaluates compiled strands.
+const (
+	// KernelBatch is the batched structure-of-arrays kernel (smt.Kernel):
+	// one instruction dispatch per lane vector, γ-invariant prefix
+	// hoisting, pooled allocation-free buffers. The default.
+	KernelBatch = "batch"
+	// KernelScalar is the scalar reference interpreter
+	// (smt.Program.Fingerprints): one full pass per sample. Kept as the
+	// differential oracle and escape hatch.
+	KernelScalar = "scalar"
 )
 
 // Config tunes the VCP computation. The zero value selects the paper's
@@ -31,6 +45,10 @@ type Config struct {
 	SizeRatio float64
 	// MaxCorrespondences caps the γ enumeration per strand pair.
 	MaxCorrespondences int
+	// Kernel selects the evaluation kernel: KernelBatch ("" or "batch")
+	// or KernelScalar. Both produce byte-identical fingerprints; the
+	// choice never affects rankings.
+	Kernel string
 }
 
 // Default returns the configuration used in the paper's experiments.
@@ -58,6 +76,9 @@ func (c Config) normalized() Config {
 	if c.MaxCorrespondences <= 0 {
 		c.MaxCorrespondences = d.MaxCorrespondences
 	}
+	if c.Kernel == "" {
+		c.Kernel = KernelBatch
+	}
 	return c
 }
 
@@ -82,15 +103,22 @@ type Prepared struct {
 	err error
 }
 
-// roleSignatures computes a context hash per strand input.
+// roleSignatures computes a context hash per strand input. The input
+// set is materialized once up front: the expression walk consults it per
+// variable reference, and a linear scan there made the walk
+// O(refs × inputs) on store-heavy strands.
 func roleSignatures(s *strand.Strand) []uint64 {
+	inputSet := make(map[string]bool, len(s.Inputs))
+	for _, in := range s.Inputs {
+		inputSet[in.Name] = true
+	}
 	sig := make(map[string]uint64, len(s.Inputs))
 	for _, st := range s.Stmts {
 		var walk func(e ivl.Expr, parentOp string, pos int)
 		walk = func(e ivl.Expr, parentOp string, pos int) {
 			switch t := e.(type) {
 			case ivl.VarExpr:
-				if isInput(s, t.V.Name) {
+				if inputSet[t.V.Name] {
 					// Order-independent accumulation: sum of mixed
 					// context hashes.
 					h := hash64(parentOp)*31 + uint64(pos) + 1
@@ -139,15 +167,6 @@ func roleSignatures(s *strand.Strand) []uint64 {
 	return out
 }
 
-func isInput(s *strand.Strand, name string) bool {
-	for _, in := range s.Inputs {
-		if in.Name == name {
-			return true
-		}
-	}
-	return false
-}
-
 func hash64(s string) uint64 {
 	h := uint64(14695981039346656037)
 	for i := 0; i < len(s); i++ {
@@ -172,13 +191,30 @@ func Prepare(s *strand.Strand, cfg Config) *Prepared {
 	for i := range identity {
 		identity[i] = i
 	}
-	fps := prog.Fingerprints(identity, cfg.Samples)
-	p.fpSet = make(map[uint64]bool, len(fps))
-	for _, h := range fps {
-		p.fpSet[h] = true
+	var fps []uint64
+	if useBatch(prog, cfg) {
+		kern := prog.AcquireKernel(cfg.Samples)
+		fps = kern.Fingerprints(identity)
+		p.fpSet = make(map[uint64]bool, len(fps))
+		for _, h := range fps {
+			p.fpSet[h] = true
+		}
+		prog.ReleaseKernel(kern)
+	} else {
+		fps = prog.Fingerprints(identity, cfg.Samples)
+		p.fpSet = make(map[uint64]bool, len(fps))
+		for _, h := range fps {
+			p.fpSet[h] = true
+		}
 	}
 	p.sigs = roleSignatures(s)
 	return p
+}
+
+// useBatch reports whether the batched SoA kernel serves this program
+// under the configuration.
+func useBatch(prog *smt.Program, cfg Config) bool {
+	return cfg.Kernel != KernelScalar && prog.BatchOK()
 }
 
 // Key returns the canonical structural key of the underlying strand.
@@ -186,6 +222,16 @@ func (p *Prepared) Key() string { return p.key }
 
 // Err returns any evaluation error captured at preparation time.
 func (p *Prepared) Err() error { return p.err }
+
+// InstrCounts returns the compiled program's γ-invariant prefix length
+// and total instruction count (0, 0 when preparation failed), for the
+// engine's hoisting telemetry.
+func (p *Prepared) InstrCounts() (prefix, total int) {
+	if p.prog == nil {
+		return 0, 0
+	}
+	return p.prog.InstrCounts()
+}
 
 // SizeCompatible applies the §5.5 size-ratio window.
 func SizeCompatible(q, t *strand.Strand, ratio float64) bool {
@@ -199,9 +245,12 @@ func SizeCompatible(q, t *strand.Strand, ratio float64) bool {
 // Stats reports the work one Compute call performed, for telemetry:
 // Correspondences is the number of input correspondences γ whose
 // evaluation vectors were computed and matched (each one is a
-// probabilistic-verifier invocation).
+// probabilistic-verifier invocation); KernelNanos is the wall time the
+// γ loop spent inside the evaluation kernel (both kernels are timed, so
+// the scalar/batch speedup is directly observable).
 type Stats struct {
 	Correspondences int
+	KernelNanos     int64
 }
 
 // Compute returns VCP(q, t): the maximal fraction of q's variables with
@@ -254,6 +303,17 @@ func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 		candidates[i] = append(same, other...)
 	}
 
+	// The γ loop: each complete assignment re-evaluates only the
+	// compiled suffix through the pooled batched kernel (kern != nil),
+	// allocation-free after warm-up; -kernel=scalar and programs the
+	// kernel's static typing rejects take the reference interpreter.
+	var kern *smt.Kernel
+	if useBatch(q.prog, cfg) {
+		kern = q.prog.AcquireKernel(cfg.Samples)
+		defer q.prog.ReleaseKernel(kern)
+	}
+	start := time.Now()
+
 	var rec func(i int)
 	rec = func(i int) {
 		if best >= 1.0 || tried >= cfg.MaxCorrespondences {
@@ -261,7 +321,12 @@ func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 		}
 		if i == len(qIn) {
 			tried++
-			fps := q.prog.Fingerprints(assignment, cfg.Samples)
+			var fps []uint64
+			if kern != nil {
+				fps = kern.Fingerprints(assignment)
+			} else {
+				fps = q.prog.Fingerprints(assignment, cfg.Samples)
+			}
 			matched := 0
 			for _, h := range fps {
 				if t.fpSet[h] {
@@ -284,5 +349,5 @@ func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 		}
 	}
 	rec(0)
-	return best, Stats{Correspondences: tried}
+	return best, Stats{Correspondences: tried, KernelNanos: time.Since(start).Nanoseconds()}
 }

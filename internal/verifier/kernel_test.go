@@ -1,0 +1,125 @@
+package verifier
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/ivl"
+)
+
+// Differential guard for the Engine-2 port: the batched-kernel sampling
+// path must agree with the scalar tree-walking path on every assertion,
+// over randomly generated joint programs (including memory traffic and
+// equivalence-breaking rewrites), and the kernel path must actually
+// engage for the program shapes Algorithm 2 builds.
+
+// splitJoint decomposes a query the way Solve does: union-find over the
+// assumption-equated inputs, slots in input order, assigns and asserts
+// in program order.
+func splitJoint(t *testing.T, q Query) (slots []int, assigns, asserts []ivl.Stmt) {
+	t.Helper()
+	parent := map[string]string{}
+	var find func(string) string
+	find = func(x string) string {
+		p, ok := parent[x]
+		if !ok || p == x {
+			return x
+		}
+		r := find(p)
+		parent[x] = r
+		return r
+	}
+	for _, s := range q.Stmts {
+		switch s.Kind {
+		case ivl.SAssume:
+			eq := s.Rhs.(ivl.BinExpr)
+			x := eq.X.(ivl.VarExpr).V.Name
+			y := eq.Y.(ivl.VarExpr).V.Name
+			parent[find(x)] = find(y)
+		case ivl.SAssign:
+			assigns = append(assigns, s)
+		case ivl.SAssert:
+			asserts = append(asserts, s)
+		}
+	}
+	slot := map[string]int{}
+	slots = make([]int, len(q.Inputs))
+	for i, v := range q.Inputs {
+		r := find(v.Name)
+		if _, ok := slot[r]; !ok {
+			slot[r] = len(slot)
+		}
+		slots[i] = slot[r]
+	}
+	return slots, assigns, asserts
+}
+
+func TestSampleKernelMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	kernelRuns := 0
+	for trial := 0; trial < 300; trial++ {
+		q, _ := randomJoint(rng, trial%2 == 1)
+		// Every few trials, add memory traffic so the arena-backed mem
+		// lanes are exercised through the verifier surface too.
+		if trial%3 == 0 {
+			m := ivl.Var{Name: "m_in", Type: ivl.Mem}
+			q.Inputs = append(q.Inputs, m)
+			q.Stmts = append(q.Stmts,
+				ivl.Assign(ivl.Var{Name: "q_l", Type: ivl.Int},
+					ivl.LoadExpr{Mem: ivl.V(m), Addr: ivl.IntVar("q_v"), W: 8}),
+				ivl.Assign(ivl.Var{Name: "t_l", Type: ivl.Int},
+					ivl.LoadExpr{Mem: ivl.V(m), Addr: ivl.IntVar("t_v"), W: 8}),
+				ivl.Assert(ivl.Bin(ivl.Eq, ivl.IntVar("q_l"), ivl.IntVar("t_l"))),
+			)
+		}
+		slots, assigns, asserts := splitJoint(t, q)
+		want, err := sampleScalar(q.Inputs, slots, assigns, asserts, 0x20)
+		if err != nil {
+			t.Fatalf("trial %d: scalar engine: %v", trial, err)
+		}
+		got, ok := sampleKernel(q.Inputs, slots, assigns, asserts, 0x20)
+		if !ok {
+			t.Fatalf("trial %d: kernel rejected a joint program Algorithm 2 builds", trial)
+		}
+		kernelRuns++
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("trial %d assert %d: kernel %v, scalar %v", trial, i, got[i], want[i])
+			}
+		}
+	}
+	if kernelRuns == 0 {
+		t.Fatal("kernel path never engaged")
+	}
+}
+
+// TestSolveKernelFallback pins the fallback contract: a query the
+// kernel's static typing rejects (a mem-typed assert condition) still
+// solves through the scalar path rather than failing.
+func TestSolveKernelFallback(t *testing.T) {
+	m := ivl.Var{Name: "m", Type: ivl.Mem}
+	q := Query{
+		Inputs: []ivl.Var{m},
+		Stmts: []ivl.Stmt{
+			ivl.Assert(ivl.Bin(ivl.Eq, ivl.V(m), ivl.V(m))),
+		},
+	}
+	slots, assigns, asserts := splitJoint(t, q)
+	if _, ok := sampleKernel(q.Inputs, slots, assigns, asserts, 8); ok {
+		// Eq over mems is int-typed and kernel-servable; that is fine —
+		// the fallback contract is only about rejection, verified below
+		// with a bare mem condition.
+		t.Log("mem equality served by kernel")
+	}
+	bare := Query{
+		Inputs: []ivl.Var{m},
+		Stmts:  []ivl.Stmt{ivl.Assert(ivl.V(m))},
+	}
+	res, err := Solve(bare, 8)
+	if err != nil {
+		t.Fatalf("Solve fell over on a kernel-rejected query: %v", err)
+	}
+	if len(res.Holds) != 1 {
+		t.Fatalf("want 1 assert verdict, got %d", len(res.Holds))
+	}
+}

@@ -20,6 +20,7 @@ package verifier
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/ivl"
 	"repro/internal/smt"
@@ -161,30 +162,16 @@ func Solve(q Query, samples int) (Result, error) {
 		return res, nil
 	}
 
-	holdsAll := make([]bool, len(asserts))
-	for i := range holdsAll {
-		holdsAll[i] = true
+	slots := make([]int, len(q.Inputs))
+	for i, v := range q.Inputs {
+		slots[i] = slot[find(v.Name)]
 	}
-	for k := 0; k < samples; k++ {
-		env := ivl.Env{}
-		for _, v := range q.Inputs {
-			env[v.Name] = smt.SlotValue(k, slot[find(v.Name)], v.Type)
-		}
-		for _, s := range assigns {
-			val, err := ivl.Eval(s.Rhs, env)
-			if err != nil {
-				return Result{}, err
-			}
-			env[s.Dst.Name] = val
-		}
-		for i, a := range asserts {
-			v, err := ivl.Eval(a.Rhs, env)
-			if err != nil {
-				return Result{}, err
-			}
-			if v.Bits == 0 {
-				holdsAll[i] = false
-			}
+	holdsAll, ok := sampleKernel(q.Inputs, slots, assigns, asserts, samples)
+	if !ok {
+		var err error
+		holdsAll, err = sampleScalar(q.Inputs, slots, assigns, asserts, samples)
+		if err != nil {
+			return Result{}, err
 		}
 	}
 	for i := range asserts {
@@ -193,6 +180,79 @@ func Solve(q Query, samples int) (Result, error) {
 		}
 	}
 	return res, nil
+}
+
+// assertDefName names the synthetic SSA definition holding assert i's
+// condition in the kernel path. The NUL byte keeps it disjoint from any
+// variable a lifted strand can contain.
+func assertDefName(i int) string { return "\x00assert" + strconv.Itoa(i) }
+
+// sampleKernel evaluates the assertion conditions over the sample
+// battery through the compiled batched kernel: the assignments plus one
+// synthetic definition per assert compile to one Program, one Run binds
+// every input to its assumption-class slot, and assert i holds iff its
+// definition's lane vector is nonzero in every sample. Returns ok=false
+// — caller falls back to the scalar tree-walker — when the program does
+// not compile or the kernel's static typing rejects it, so ill-typed
+// queries keep their scalar error behavior.
+func sampleKernel(inputs []ivl.Var, slots []int, assigns, asserts []ivl.Stmt, samples int) ([]bool, bool) {
+	stmts := make([]ivl.Stmt, 0, len(assigns)+len(asserts))
+	stmts = append(stmts, assigns...)
+	for i, a := range asserts {
+		stmts = append(stmts, ivl.Assign(ivl.Var{Name: assertDefName(i), Type: ivl.Int}, a.Rhs))
+	}
+	prog, err := smt.CompileStrand(stmts, inputs)
+	if err != nil || !prog.BatchOK() {
+		return nil, false
+	}
+	kern := prog.AcquireKernel(samples)
+	defer prog.ReleaseKernel(kern)
+	kern.Run(slots)
+	holds := make([]bool, len(asserts))
+	base := len(assigns)
+	for i := range asserts {
+		holds[i] = true
+		for _, bits := range kern.DefBits(base + i) {
+			if bits == 0 {
+				holds[i] = false
+				break
+			}
+		}
+	}
+	return holds, true
+}
+
+// sampleScalar is the reference sampling engine: one tree-walking
+// evaluation pass per sample. Kept as the fallback for programs the
+// kernel cannot serve and as the differential oracle for sampleKernel.
+func sampleScalar(inputs []ivl.Var, slots []int, assigns, asserts []ivl.Stmt, samples int) ([]bool, error) {
+	holdsAll := make([]bool, len(asserts))
+	for i := range holdsAll {
+		holdsAll[i] = true
+	}
+	for k := 0; k < samples; k++ {
+		env := ivl.Env{}
+		for i, v := range inputs {
+			env[v.Name] = smt.SlotValue(k, slots[i], v.Type)
+		}
+		for _, s := range assigns {
+			val, err := ivl.Eval(s.Rhs, env)
+			if err != nil {
+				return nil, err
+			}
+			env[s.Dst.Name] = val
+		}
+		for i, a := range asserts {
+			v, err := ivl.Eval(a.Rhs, env)
+			if err != nil {
+				return nil, err
+			}
+			if v.Bits == 0 {
+				holdsAll[i] = false
+			}
+		}
+	}
+	return holdsAll, nil
 }
 
 // substitute replaces variables by their symbolic definitions. ok is
