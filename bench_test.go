@@ -6,6 +6,12 @@
 package main
 
 import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"log/slog"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 
 	"repro/internal/asm"
@@ -14,8 +20,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/experiments"
+	"repro/internal/gateway"
 	"repro/internal/lift"
 	"repro/internal/minic"
+	"repro/internal/server"
+	"repro/internal/shard"
 	"repro/internal/smt"
 	"repro/internal/strand"
 	"repro/internal/vcp"
@@ -313,6 +322,88 @@ func BenchmarkQuery(b *testing.B) {
 			b.ReportMetric(float64(db.Stats().VerifierCalls)/float64(b.N), "verifier-calls/op")
 		})
 	}
+}
+
+// BenchmarkGatewayQuery measures the scatter-gather cluster tier
+// against the same corpus served whole: one query through a single
+// in-process eshd server (the HTTP floor) vs through an eshgw gateway
+// fanning out to two in-process shard servers and merging. The delta
+// is the cluster tax — two HTTP legs, JSON partials, and the exact
+// merge — paid for halving per-node corpus size.
+func BenchmarkGatewayQuery(b *testing.B) {
+	prog := minic.MustParse(microSrc)
+	q := microProc(b, "clang-3.5")
+	db := core.NewDB(core.Options{})
+	for _, tc := range compile.Toolchains() {
+		p, err := compile.Compile(prog, "bench_fn", tc, compile.O2())
+		if err != nil {
+			b.Fatal(err)
+		}
+		p.Name = "bench_fn@" + tc.Name()
+		if err := db.AddTarget(p); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ex := db.Export()
+	quiet := slog.New(slog.NewTextHandler(io.Discard, nil))
+	scfg := server.Config{Logger: quiet}
+
+	single, err := core.FromExport(ex)
+	if err != nil {
+		b.Fatal(err)
+	}
+	singleSrv := httptest.NewServer(server.New(single, scfg).Handler())
+	defer singleSrv.Close()
+
+	man, shardExs, err := shard.Split(ex, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var urls [][]string
+	for s, se := range shardExs {
+		sdb, err := core.FromExport(se)
+		if err != nil {
+			b.Fatalf("shard %d: %v", s, err)
+		}
+		ts := httptest.NewServer(server.New(sdb, scfg).Handler())
+		defer ts.Close()
+		urls = append(urls, []string{ts.URL})
+	}
+	gw, err := gateway.New(gateway.Config{Manifest: man, Shards: urls, Logger: quiet})
+	if err != nil {
+		b.Fatal(err)
+	}
+	gwSrv := httptest.NewServer(gw.Handler())
+	defer gwSrv.Close()
+
+	body, err := json.Marshal(server.QueryRequest{Asm: q.String(), Top: 10})
+	if err != nil {
+		b.Fatal(err)
+	}
+	post := func(b *testing.B, url string) {
+		b.Helper()
+		resp, err := http.Post(url+"/v1/query", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			msg, _ := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			b.Fatalf("query = %d: %s", resp.StatusCode, msg)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	b.Run("node=single", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(b, singleSrv.URL)
+		}
+	})
+	b.Run("fanout=2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			post(b, gwSrv.URL)
+		}
+	})
 }
 
 // BenchmarkEmulator measures the machine emulator on the compiled loop.

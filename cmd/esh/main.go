@@ -77,6 +77,10 @@ func main() {
 			fail("%v", err)
 		}
 		loaded.SetWorkers(*workers)
+		if si := loaded.Shard(); si.Sharded() {
+			fmt.Fprintf(os.Stderr, "esh: warning: %s is shard %d of %d (generation %s); scores use shard-local statistics — query the fleet through eshgw for corpus-exact scores\n",
+				*loadPath, si.ID, si.Count, si.Generation)
+		}
 		if *pathLen != 0 || *sigmoidK != 0 {
 			fmt.Fprintln(os.Stderr, "esh: -pathlen and -sigmoid-k are fixed at index time; the snapshot's values apply under -load")
 		}

@@ -9,6 +9,7 @@
 //	eshcorpus -describe
 //	eshcorpus -out corpusdir [-scale full] [-patched]
 //	eshcorpus -save corpus.eshidx [-scale full] [-patched] [-pathlen 0] [-sigmoid-k 0]
+//	eshcorpus -save corpus.eshidx -save-shards 2   # + corpus.eshidx.manifest{,.0,.1}
 package main
 
 import (
@@ -23,6 +24,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/index"
+	"repro/internal/shard"
 )
 
 func main() {
@@ -39,6 +41,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "with -save: LSH rows per band (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "with -save: heuristic prefilter tier threshold baked into the snapshot (0 = sound tier only)")
 	kernel := flag.String("kernel", "", "with -save: evaluation kernel baked into the snapshot: batch or scalar (empty = batch; serve-time flags can override)")
+	saveShards := flag.Int("save-shards", 0, "with -save: also split the index into this many shard snapshots plus a manifest at <save>.manifest (serve each shard with eshd, coordinate with eshgw)")
 	flag.Parse()
 
 	prefMode, err := core.NormalizePrefilter(*prefilter)
@@ -126,6 +129,21 @@ func main() {
 		}
 		fmt.Printf("indexed %d procedures (%d unique strands) in %s; snapshot saved to %s\n",
 			db.NumTargets(), db.NumUniqueStrands(), time.Since(start).Round(time.Millisecond), *save)
+		if *saveShards > 0 {
+			manifest := *save + ".manifest"
+			man, err := shard.SaveShards(manifest, db.Export(), *saveShards)
+			if err != nil {
+				fail("%v", err)
+			}
+			fmt.Printf("split into %d shards (generation %s); manifest saved to %s\n",
+				len(man.Shards), man.Generation, manifest)
+			for id, se := range man.Shards {
+				fmt.Printf("  shard %d: %4d targets, %6d unique strands  %s\n",
+					id, len(se.Targets), len(se.Strands), se.File)
+			}
+		}
+	} else if *saveShards > 0 {
+		fail("-save-shards requires -save")
 	}
 	if *out == "" {
 		return

@@ -11,12 +11,14 @@
 //
 // Endpoints:
 //
-//	POST /v1/query    {"asm": "...", "method": "esh|slog|svcp", "top": 20}
-//	                  append ?trace=1 for a per-stage timing breakdown
-//	GET  /v1/targets  indexed procedures with provenance
-//	GET  /v1/stats    index size, cache occupancy, query counters, latency
-//	GET  /metrics     Prometheus text-format exposition
-//	GET  /healthz     liveness
+//	POST /v1/query          {"asm": "...", "method": "esh|slog|svcp", "top": 20}
+//	                        append ?trace=1 for a per-stage timing breakdown
+//	POST /v1/query/partial  shard-local partial scores, for an eshgw coordinator
+//	GET  /v1/targets        indexed procedures with provenance
+//	GET  /v1/stats          index size, snapshot identity, query counters, latency
+//	GET  /metrics           Prometheus text-format exposition
+//	GET  /healthz           liveness
+//	GET  /readyz            readiness (503 while draining)
 //
 // With -pprof-addr, net/http/pprof profiling endpoints are served on a
 // separate (normally loopback-only) listener, so profiles are never
@@ -51,6 +53,7 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent queries (0 = 2×GOMAXPROCS)")
 	workers := flag.Int("workers", 0, "per-query pair-loop parallelism (0 = GOMAXPROCS)")
 	drain := flag.Duration("drain", 30*time.Second, "graceful shutdown drain window")
+	notice := flag.Duration("ready-notice", 0, "hold /readyz at 503 this long before closing the listener, so pollers route away first")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
 	prefilter := flag.String("prefilter", "", "candidate prefilter for the VCP pair loop: off or lsh (empty = snapshot's setting)")
@@ -75,7 +78,7 @@ func main() {
 	}
 
 	lctx, loadSpan := telemetry.StartSpan(context.Background(), "startup")
-	db, err := index.LoadFileCtx(lctx, *indexPath)
+	db, info, err := index.LoadFileInfoCtx(lctx, *indexPath)
 	loadSpan.End()
 	if err != nil {
 		fail("%v", err)
@@ -105,7 +108,12 @@ func main() {
 		"lsh_bands", st.LSHBands,
 		"lsh_rows", st.LSHRows,
 		"kernel", st.Kernel,
+		"snapshot_version", info.Version,
+		"checksum", info.Checksum,
 		"load_ms", loadSpan.Duration().Milliseconds(),
+	}
+	if si := db.Shard(); si.Sharded() {
+		attrs = append(attrs, "shard", si.ID, "shard_count", si.Count, "generation", si.Generation)
 	}
 	// The index.load child span carries the decode/prepare split.
 	if snap := loadSpan.Snapshot(); len(snap.Children) == 1 {
@@ -134,6 +142,7 @@ func main() {
 		QueryTimeout: *timeout,
 		MaxInFlight:  *maxInflight,
 		Logger:       logger,
+		Snapshot:     info,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,
@@ -154,8 +163,14 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	// Drain: stop accepting, let in-flight queries finish.
-	logger.Info("shutting down", "drain", (*drain).String())
+	// Drain: flip /readyz to 503 first so the gateway and load
+	// balancers route around this replica, give their probes a moment
+	// to notice, then stop accepting and let in-flight queries finish.
+	srv.SetReady(false)
+	logger.Info("shutting down", "drain", (*drain).String(), "ready_notice", (*notice).String())
+	if *notice > 0 {
+		time.Sleep(*notice)
+	}
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), *drain)
 	defer cancel()
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestReconfigureDuringQueries drives ConfigureKernel and
+// ConfigurePrefilter concurrently with in-flight queries. Queries
+// snapshot the configuration once at entry (snapshotConfig), so under
+// -race this proves a live reconfiguration can neither tear a query's
+// view nor race its reads; each query must still succeed and rank the
+// similar target first.
+func TestReconfigureDuringQueries(t *testing.T) {
+	db := buildDB(t)
+	q := parse(t, gccStyle)
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		modes := []string{"scalar", "batch"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.ConfigureKernel(modes[i%len(modes)]); err != nil {
+				t.Errorf("ConfigureKernel: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		modes := []string{"lsh", "off"}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := db.ConfigurePrefilter(modes[i%len(modes)], 0, 0, -1); err != nil {
+				t.Errorf("ConfigurePrefilter: %v", err)
+				return
+			}
+		}
+	}()
+
+	const queriers, perQuerier = 4, 8
+	var qwg sync.WaitGroup
+	for w := 0; w < queriers; w++ {
+		qwg.Add(1)
+		go func() {
+			defer qwg.Done()
+			for i := 0; i < perQuerier; i++ {
+				rep, err := db.Query(q)
+				if err != nil {
+					t.Errorf("query: %v", err)
+					return
+				}
+				if len(rep.Results) != 2 || rep.Results[0].Target.Name != "checksum_icc" {
+					t.Errorf("query under reconfiguration ranked %q first", rep.Results[0].Target.Name)
+					return
+				}
+			}
+		}()
+	}
+	qwg.Wait()
+	close(stop)
+	wg.Wait()
+}

@@ -120,13 +120,44 @@ type Target struct {
 	NumBlocks  int
 	NumStrands int // strands surviving the minimum-size filter
 	strandIdx  []int
+	// strandMult[k] is how many times strandIdx[k] occurs in this
+	// target (strandIdx is deduplicated). Σ strandMult == NumStrands,
+	// and summing per-target multiplicities over all targets
+	// reconstructs the corpus-wide counts — which is what makes a
+	// corpus exactly decomposable into shards.
+	strandMult []int
 }
+
+// ShardInfo identifies a snapshot's position within a sharded corpus: a
+// corpus split by eshcorpus -save-shards produces Count snapshots, each
+// carrying its shard ID and the manifest generation it belongs to, so a
+// gateway can refuse to scatter a query across mismatched fleets. The
+// zero value means "unsharded" (Count == 0).
+type ShardInfo struct {
+	ID         int
+	Count      int
+	Generation string
+}
+
+// Sharded reports whether the info describes a shard of a split corpus.
+func (si ShardInfo) Sharded() bool { return si.Count > 0 }
 
 // DB is an indexed target database. Create with NewDB, populate with
 // AddTarget, then issue Query calls (Query is safe for concurrent use;
-// AddTarget is not).
+// AddTarget is not). The serve-time reconfiguration calls
+// (ConfigurePrefilter, ConfigureKernel, SetWorkers) are safe to run
+// concurrently with Query: each query snapshots the configuration once
+// at entry and runs to completion under that view.
 type DB struct {
-	opts Options
+	// cfgMu guards opts and the sketch state (sketchCfg, sums,
+	// sketchIdx) against serve-time reconfiguration racing in-flight
+	// queries. Queries take one RLock at entry to snapshot the
+	// configuration; writers (ConfigurePrefilter, ConfigureKernel,
+	// SetWorkers) take the write lock. AddTarget mutates without the
+	// lock — it is documented as not concurrency-safe.
+	cfgMu sync.RWMutex
+	opts  Options
+	shard ShardInfo
 
 	uniq    []*vcp.Prepared // unique strands across all targets
 	counts  []int           // corpus multiplicity per unique strand
@@ -297,27 +328,64 @@ func (db *DB) TotalStrands() int { return db.total }
 func (db *DB) Targets() []*Target { return db.targets }
 
 // SetWorkers overrides query parallelism (n <= 0 selects GOMAXPROCS).
-// It exists so a snapshot indexed on one machine can serve on another;
-// it must not be called concurrently with Query.
+// It exists so a snapshot indexed on one machine can serve on another.
 func (db *DB) SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	db.cfgMu.Lock()
 	db.opts.Workers = n
+	db.cfgMu.Unlock()
 }
 
 // Options returns the engine options the database was built with.
-func (db *DB) Options() Options { return db.opts }
+func (db *DB) Options() Options {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.opts
+}
+
+// Shard returns the snapshot's shard identity (zero when the corpus is
+// unsharded).
+func (db *DB) Shard() ShardInfo { return db.shard }
 
 // prefilterOn reports whether the LSH prefilter gates the pair loop.
-func (db *DB) prefilterOn() bool { return db.opts.Prefilter == PrefilterLSH }
+func (db *DB) prefilterOn() bool {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.opts.Prefilter == PrefilterLSH
+}
 
 // SketchConfig returns the banding of the DB's sketch index.
-func (db *DB) SketchConfig() sketch.Config { return db.sketchCfg }
+func (db *DB) SketchConfig() sketch.Config {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.sketchCfg
+}
+
+// queryConfig is the per-query view of the reconfigurable state: one
+// consistent snapshot taken at query entry, so serve-time overrides
+// never race an in-flight pair loop.
+type queryConfig struct {
+	opts      Options
+	sketchCfg sketch.Config
+	sums      []sketch.Summary
+	sketchIdx *sketch.Index
+}
+
+func (qc *queryConfig) prefilterOn() bool { return qc.opts.Prefilter == PrefilterLSH }
+
+func (db *DB) snapshotConfig() queryConfig {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return queryConfig{opts: db.opts, sketchCfg: db.sketchCfg, sums: db.sums, sketchIdx: db.sketchIdx}
+}
 
 // Signatures returns the per-unique-strand MinHash signatures in index
 // order (do not modify). Used by the snapshot writer.
 func (db *DB) Signatures() []sketch.Signature {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
 	sigs := make([]sketch.Signature, len(db.sums))
 	for i := range db.sums {
 		sigs[i] = db.sums[i].Sig
@@ -330,13 +398,16 @@ func (db *DB) Signatures() []sketch.Signature {
 // heuristic-tier threshold (minCont < 0 keeps the current value; 0
 // disables the tier). Changing the geometry recomputes every signature
 // and rebuilds the LSH index. Like SetWorkers it exists for serve-time
-// overrides of snapshot-baked options and must not be called
-// concurrently with Query.
+// overrides of snapshot-baked options; it is safe to call concurrently
+// with Query (in-flight queries finish under the configuration they
+// started with).
 func (db *DB) ConfigurePrefilter(mode string, bands, rows int, minCont float64) error {
 	m, err := NormalizePrefilter(mode)
 	if err != nil {
 		return err
 	}
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
 	db.opts.Prefilter = m
 	cfg := db.sketchCfg
 	if bands > 0 {
@@ -355,7 +426,11 @@ func (db *DB) ConfigurePrefilter(mode string, bands, rows int, minCont float64) 
 	db.opts.LSHBands, db.opts.LSHRows = cfg.Bands, cfg.Rows
 	db.opts.LSHMinContainment = cfg.MinContainment
 	db.sketchCfg = cfg
-	db.rebuildSketches(db.Signatures())
+	sigs := make([]sketch.Signature, len(db.sums))
+	for i := range db.sums {
+		sigs[i] = db.sums[i].Sig
+	}
+	db.rebuildSketches(sigs)
 	return nil
 }
 
@@ -363,13 +438,15 @@ func (db *DB) ConfigurePrefilter(mode string, bands, rows int, minCont float64) 
 // subsequent queries. Fingerprints are identical under both kernels, so
 // the switch needs no index rebuild and never changes rankings; like
 // SetWorkers it exists for serve-time overrides of snapshot-baked
-// options and must not be called concurrently with Query.
+// options and is safe to call concurrently with Query.
 func (db *DB) ConfigureKernel(mode string) error {
 	m, err := NormalizeKernel(mode)
 	if err != nil {
 		return err
 	}
+	db.cfgMu.Lock()
 	db.opts.VCP.Kernel = m
+	db.cfgMu.Unlock()
 	return nil
 }
 
@@ -472,6 +549,11 @@ func (s DBStats) VCPCacheHitRate() float64 {
 // totals are only written by AddTarget (not concurrency-safe anyway);
 // the cache counters are read under the cache lock.
 func (db *DB) Stats() DBStats {
+	db.cfgMu.RLock()
+	prefilter := db.opts.Prefilter
+	kernel := db.opts.VCP.Kernel
+	skCfg := db.sketchCfg
+	db.cfgMu.RUnlock()
 	s := DBStats{
 		Targets:                 len(db.targets),
 		UniqueStrands:           len(db.uniq),
@@ -483,13 +565,13 @@ func (db *DB) Stats() DBStats {
 		VCPPairsPruned:          db.mPairsPruned.Value(),
 		VerifierCalls:           db.mVerifierCalls.Value(),
 		VerifierCorrespondences: db.mGamma.Value(),
-		Prefilter:               db.opts.Prefilter,
-		LSHBands:                db.sketchCfg.Bands,
-		LSHRows:                 db.sketchCfg.Rows,
-		LSHMinContainment:       db.sketchCfg.MinContainment,
+		Prefilter:               prefilter,
+		LSHBands:                skCfg.Bands,
+		LSHRows:                 skCfg.Rows,
+		LSHMinContainment:       skCfg.MinContainment,
 		LSHPairsSkipped:         db.mLSHSkipped.Value(),
 		LSHDeadDirections:       db.mDeadDirs.Value(),
-		Kernel:                  db.opts.VCP.Kernel,
+		Kernel:                  kernel,
 		KernelNanos:             db.mKernelNanos.Value(),
 		KernelPrefixInstrs:      db.mPrefixInstrs.Value(),
 		KernelInstrs:            db.mKernelInstrs.Value(),
@@ -516,8 +598,9 @@ func (db *DB) cacheCap() int {
 
 // decompose runs the front half of the pipeline on one procedure and
 // returns its strands that survive the minimum-size filter, plus the
-// block count.
-func (db *DB) decompose(p *asm.Proc) ([]*strand.Strand, int, error) {
+// block count. Options are passed explicitly so the query path can run
+// against its entry-time configuration snapshot.
+func decompose(p *asm.Proc, opts Options) ([]*strand.Strand, int, error) {
 	g, err := cfg.Build(p)
 	if err != nil {
 		return nil, 0, err
@@ -527,13 +610,13 @@ func (db *DB) decompose(p *asm.Proc) ([]*strand.Strand, int, error) {
 		return nil, 0, err
 	}
 	all := strand.FromProc(lp)
-	if db.opts.PathLen >= 2 {
-		limit := db.opts.PathMaxBlocks
+	if opts.PathLen >= 2 {
+		limit := opts.PathMaxBlocks
 		if limit <= 0 {
 			limit = 12
 		}
 		if len(g.Blocks) <= limit {
-			paths, err := lift.LiftPaths(g, db.opts.PathLen)
+			paths, err := lift.LiftPaths(g, opts.PathLen)
 			if err != nil {
 				return nil, 0, err
 			}
@@ -542,7 +625,7 @@ func (db *DB) decompose(p *asm.Proc) ([]*strand.Strand, int, error) {
 			}
 		}
 	}
-	minVars := db.opts.VCP.MinVars
+	minVars := opts.VCP.MinVars
 	if minVars <= 0 {
 		minVars = vcp.Default().MinVars
 	}
@@ -557,7 +640,7 @@ func (db *DB) decompose(p *asm.Proc) ([]*strand.Strand, int, error) {
 
 // AddTarget indexes one target procedure.
 func (db *DB) AddTarget(p *asm.Proc) error {
-	kept, nBlocks, err := db.decompose(p)
+	kept, nBlocks, err := decompose(p, db.opts)
 	if err != nil {
 		return fmt.Errorf("core: index %s: %w", p.Name, err)
 	}
@@ -567,7 +650,7 @@ func (db *DB) AddTarget(p *asm.Proc) error {
 		NumBlocks:  nBlocks,
 		NumStrands: len(kept),
 	}
-	seen := map[int]bool{}
+	pos := map[int]int{} // unique-strand index -> position in t.strandIdx
 	for _, s := range kept {
 		key := s.CanonicalKey()
 		idx, ok := db.byKey[key]
@@ -591,9 +674,12 @@ func (db *DB) AddTarget(p *asm.Proc) error {
 		}
 		db.counts[idx]++
 		db.total++
-		if !seen[idx] {
-			seen[idx] = true
+		if k, dup := pos[idx]; dup {
+			t.strandMult[k]++
+		} else {
+			pos[idx] = len(t.strandIdx)
 			t.strandIdx = append(t.strandIdx, idx)
+			t.strandMult = append(t.strandMult, 1)
 		}
 	}
 	db.targets = append(db.targets, t)
@@ -654,27 +740,52 @@ func (db *DB) Query(p *asm.Proc) (*Report, error) {
 // invocations — so callers can report a per-query stage breakdown.
 // Stage durations also feed the DB's stage histograms regardless of
 // whether ctx carries a span.
+//
+// QueryCtx is PartialQueryCtx finalized against the database's own
+// corpus counts; running the identical code path for the sharded and
+// unsharded cases is what makes a gateway merge provably score-identical
+// to a single node.
 func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
+	qp, err := db.PartialQueryCtx(ctx, p)
+	if err != nil {
+		return nil, err
+	}
+	return qp.Finalize(db.counts), nil
+}
+
+// PartialQueryCtx runs the query pipeline up to (but excluding) the
+// corpus-wide H0 estimate: decompose, prepare, the VCP pair loop, and
+// the order-insensitive per-target reductions (best forward VCP per
+// query strand, S-VCP). The returned QueryPartial carries everything a
+// coordinator needs to merge this shard's view with others' and produce
+// scores bit-identical to a single node holding the union corpus — see
+// QueryPartial.Finalize for the exactness argument.
+func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, error) {
 	db.mQueries.Inc()
+	qc := db.snapshotConfig()
 
 	// Stage 1: decompose — disassembly → CFG → lift → strands.
 	_, spDec := telemetry.StartSpan(ctx, "decompose")
-	kept, nBlocks, err := db.decompose(p)
+	kept, nBlocks, err := decompose(p, qc.opts)
 	db.observeStage("decompose", spDec.End())
 	if err != nil {
 		return nil, fmt.Errorf("core: query %s: %w", p.Name, err)
 	}
 	spDec.SetAttr("blocks", float64(nBlocks))
 	spDec.SetAttr("strands", float64(len(kept)))
-	rep := &Report{
+	qp := &QueryPartial{
 		QueryName:  p.Name,
 		Source:     p.Source,
 		NumBlocks:  nBlocks,
 		NumStrands: len(kept),
+		SigmoidK:   qc.opts.SigmoidK,
 	}
 
 	// Stage 2: prepare — deduplicate query strands (multiplicity becomes
-	// LES weight) and build their verifier preparations.
+	// LES weight) and build their verifier preparations. The dedup order
+	// is first-seen, which is deterministic in the query text — every
+	// shard handed the same query builds the same row order, so a
+	// coordinator can merge rows by index.
 	_, spPrep := telemetry.StartSpan(ctx, "prepare")
 	type qstrand struct {
 		prep   *vcp.Prepared
@@ -688,7 +799,7 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 			qs[i].weight++
 			continue
 		}
-		prep := vcp.Prepare(s, db.opts.VCP)
+		prep := vcp.Prepare(s, qc.opts.VCP)
 		if prep.Err() != nil {
 			spPrep.End()
 			return nil, fmt.Errorf("core: prepare query strand: %w", prep.Err())
@@ -715,10 +826,21 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 	for i, q := range qs {
 		preps[i] = q.prep
 	}
-	rows, revRows := db.vcpRows(preps, spVCP)
+	rows, revRows := db.vcpRows(preps, spVCP, &qc)
 	db.observeStage("vcp", spVCP.End())
 
-	// Stage 4: score — H0 evidence, per-target maxima, GES per method.
+	qp.Weights = make([]float64, len(qs))
+	for i, q := range qs {
+		qp.Weights[i] = q.weight
+	}
+	qp.Rows = rows
+
+	// Stage 4: score — the shard-local reductions. Both are exact under
+	// sharding: per-target best-VCP is a max over the target's own
+	// strands, and S-VCP sums maxRev over the target's own strands (a
+	// strand shared between two targets contributes to each target's sum
+	// on whichever shard holds that target, from rows computed against
+	// the full query — so per-shard values equal single-node values).
 	_, spScore := telemetry.StartSpan(ctx, "score")
 
 	// maxRev[j]: the best any query strand contains target strand j.
@@ -731,21 +853,9 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 		}
 	}
 
-	// H0 estimate per query strand (corpus mean, weighted by
-	// multiplicity), §3.3.2.
-	evidence := make([]stats.StrandEvidence, len(qs))
-	for i, q := range qs {
-		h0 := stats.H0Accumulator{K: db.opts.SigmoidK}
-		for j, v := range rows[i] {
-			h0.Add(v, db.counts[j])
-		}
-		evidence[i] = h0.Evidence(q.weight)
-	}
-
-	// Per-target best VCP per query strand, then GES per method.
-	rep.Results = make([]TargetScore, len(db.targets))
-	maxVCPs := make([]float64, len(qs))
+	qp.Targets = make([]PartialScore, len(db.targets))
 	for ti, t := range db.targets {
+		maxVCPs := make([]float64, len(qs))
 		for i := range qs {
 			best := 0.0
 			row := rows[i]
@@ -760,19 +870,11 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 		for _, j := range t.strandIdx {
 			svcp += maxRev[j]
 		}
-		rep.Results[ti] = TargetScore{
-			Target: t,
-			SVCP:   svcp,
-			SLOG:   stats.GES(stats.SLOG, maxVCPs, evidence),
-			GES:    stats.GES(stats.Esh, maxVCPs, evidence),
-		}
+		qp.Targets[ti] = PartialScore{Target: t, SVCP: svcp, MaxVCP: maxVCPs}
 	}
-	sort.SliceStable(rep.Results, func(i, j int) bool {
-		return rep.Results[i].GES > rep.Results[j].GES
-	})
 	spScore.SetAttr("targets", float64(len(db.targets)))
 	db.observeStage("score", spScore.End())
-	return rep, nil
+	return qp, nil
 }
 
 // rowStats is the per-row telemetry accumulator: each chunk counts its
@@ -869,6 +971,7 @@ func pairChunk(nq, n, workers int) int {
 // writes the fresh entries back to the shared cache.
 type vcpRowState struct {
 	q        *vcp.Prepared
+	qc       *queryConfig // the query's entry-time configuration snapshot
 	fwd, rev []float64
 
 	init   sync.Once
@@ -892,17 +995,18 @@ type vcpRowState struct {
 // leaves cores idle, and a query with thousands of strands no longer
 // spawns a goroutine per strand. Work counts flow into sp (the shared
 // vcp stage span) and the DB counters once per row.
-func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span) (rows, revRows [][]float64) {
+func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span, qc *queryConfig) (rows, revRows [][]float64) {
 	n := len(db.uniq)
 	rows = make([][]float64, len(qs))
 	revRows = make([][]float64, len(qs))
 	states := make([]*vcpRowState, len(qs))
-	size := pairChunk(len(qs), n, db.opts.Workers)
+	size := pairChunk(len(qs), n, qc.opts.Workers)
 	type chunk struct{ row, lo, hi int }
 	var chunks []chunk
 	for i, q := range qs {
 		st := &vcpRowState{
 			q:     q,
+			qc:    qc,
 			fwd:   make([]float64, n),
 			rev:   make([]float64, n),
 			fresh: map[string][2]float64{},
@@ -920,7 +1024,7 @@ func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span) (rows, revRows [][
 	}
 	var next atomic.Int64
 	var wg sync.WaitGroup
-	for w := 0; w < min(db.opts.Workers, len(chunks)); w++ {
+	for w := 0; w < min(qc.opts.Workers, len(chunks)); w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
@@ -952,15 +1056,15 @@ func (db *DB) initRow(st *vcpRowState) {
 	}
 	db.mu.Unlock()
 
-	st.ratio = db.opts.VCP.SizeRatio
+	st.ratio = st.qc.opts.VCP.SizeRatio
 	if st.ratio <= 0 {
 		st.ratio = vcp.Default().SizeRatio
 	}
-	if db.prefilterOn() {
+	if st.qc.prefilterOn() {
 		st.rs.lshOn = true
 		st.cand = make([]bool, len(db.uniq))
-		st.qSum = sketch.Summarize(st.q.S, db.sketchCfg)
-		st.rs.lshCands = db.sketchIdx.Candidates(st.qSum, st.cand)
+		st.qSum = sketch.Summarize(st.q.S, st.qc.sketchCfg)
+		st.rs.lshCands = st.qc.sketchIdx.Candidates(st.qSum, st.cand)
 	}
 }
 
@@ -1002,11 +1106,11 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 			// VCP is exactly 0 and its verifier call is skipped.
 			fwdLive, revLive := true, true
 			if st.cand != nil {
-				uSum := db.sums[j]
+				uSum := st.qc.sums[j]
 				fwdLive, revLive = st.qSum.Injects(uSum), uSum.Injects(st.qSum)
 			}
 			if fwdLive {
-				fv, fst := vcp.ComputeWithStats(q, u, db.opts.VCP)
+				fv, fst := vcp.ComputeWithStats(q, u, st.qc.opts.VCP)
 				v[0] = fv
 				rs.calls++
 				rs.gamma += fst.Correspondences
@@ -1015,7 +1119,7 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 				rs.deadDirs++
 			}
 			if revLive {
-				rv, rst := vcp.ComputeWithStats(u, q, db.opts.VCP)
+				rv, rst := vcp.ComputeWithStats(u, q, st.qc.opts.VCP)
 				v[1] = rv
 				rs.calls++
 				rs.gamma += rst.Correspondences

@@ -135,7 +135,7 @@ func TestPrefilterDifferential(t *testing.T) {
 // unsound skip that perturbs scores, not just a recall leak.
 func auditDroppedPairs(t *testing.T, db *DB, q *asm.Proc, alias string) {
 	t.Helper()
-	kept, _, err := db.decompose(q)
+	kept, _, err := decompose(q, db.opts)
 	if err != nil {
 		t.Fatalf("decompose %s: %v", alias, err)
 	}

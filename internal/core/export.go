@@ -18,6 +18,10 @@ import (
 // part of the exported state.
 type Export struct {
 	Opts Options
+	// Shard identifies this snapshot's slice of a split corpus (zero
+	// value: unsharded). Counts and multiplicities below are local to
+	// the shard; the manifest carries the union view.
+	Shard ShardInfo
 	// Strands holds the unique strands in index order with their corpus
 	// multiplicity; index order is significant (targets reference
 	// strands by position, and reports must be reproducible).
@@ -41,16 +45,23 @@ type ExportTarget struct {
 	NumBlocks  int
 	NumStrands int
 	StrandIdx  []int
+	// StrandMult[k] is the target's multiplicity of StrandIdx[k]. Nil on
+	// import (a pre-v3 snapshot) defaults every multiplicity to 1 —
+	// which only skews a direct query's H0 weighting on that snapshot,
+	// never a gateway merge (the manifest carries the union counts).
+	StrandMult []int
 }
 
 // Export captures the database state for serialization. The returned
 // value aliases the DB's strands and targets; treat it as read-only.
 func (db *DB) Export() *Export {
-	ex := &Export{Opts: db.opts}
+	db.cfgMu.RLock()
+	ex := &Export{Opts: db.opts, Shard: db.shard}
 	ex.Strands = make([]ExportStrand, len(db.uniq))
 	for i, p := range db.uniq {
 		ex.Strands[i] = ExportStrand{S: p.S, Count: db.counts[i], Sig: db.sums[i].Sig}
 	}
+	db.cfgMu.RUnlock()
 	ex.Targets = make([]ExportTarget, len(db.targets))
 	for i, t := range db.targets {
 		ex.Targets[i] = ExportTarget{
@@ -59,6 +70,7 @@ func (db *DB) Export() *Export {
 			NumBlocks:  t.NumBlocks,
 			NumStrands: t.NumStrands,
 			StrandIdx:  t.strandIdx,
+			StrandMult: t.strandMult,
 		}
 	}
 	return ex
@@ -70,6 +82,10 @@ func (db *DB) Export() *Export {
 // runs in parallel under Opts.Workers.
 func FromExport(ex *Export) (*DB, error) {
 	db := NewDB(ex.Opts)
+	if ex.Shard.Sharded() && (ex.Shard.ID < 0 || ex.Shard.ID >= ex.Shard.Count) {
+		return nil, fmt.Errorf("core: import: shard id %d out of range [0,%d)", ex.Shard.ID, ex.Shard.Count)
+	}
+	db.shard = ex.Shard
 	db.uniq = make([]*vcp.Prepared, len(ex.Strands))
 	db.counts = make([]int, len(ex.Strands))
 
@@ -114,6 +130,17 @@ func FromExport(ex *Export) (*DB, error) {
 	}
 	db.rebuildSketches(sigs)
 
+	// Per-target multiplicities: all-or-nothing per snapshot (the v3
+	// writer always emits them). When present they must reproduce the
+	// per-strand counts exactly — the invariant a shard split relies on.
+	haveMults := len(ex.Targets) > 0
+	for _, et := range ex.Targets {
+		if et.StrandMult == nil {
+			haveMults = false
+			break
+		}
+	}
+	multSum := make([]int, len(db.uniq))
 	for ti, et := range ex.Targets {
 		t := &Target{
 			Name:       et.Name,
@@ -121,8 +148,12 @@ func FromExport(ex *Export) (*DB, error) {
 			NumBlocks:  et.NumBlocks,
 			NumStrands: et.NumStrands,
 		}
+		if et.StrandMult != nil && len(et.StrandMult) != len(et.StrandIdx) {
+			return nil, fmt.Errorf("core: import target %d (%s): %d multiplicities for %d strand indices",
+				ti, et.Name, len(et.StrandMult), len(et.StrandIdx))
+		}
 		seen := make(map[int]bool, len(et.StrandIdx))
-		for _, idx := range et.StrandIdx {
+		for k, idx := range et.StrandIdx {
 			if idx < 0 || idx >= len(db.uniq) {
 				return nil, fmt.Errorf("core: import target %d (%s): strand index %d out of range [0,%d)",
 					ti, et.Name, idx, len(db.uniq))
@@ -131,9 +162,25 @@ func FromExport(ex *Export) (*DB, error) {
 				return nil, fmt.Errorf("core: import target %d (%s): duplicate strand index %d", ti, et.Name, idx)
 			}
 			seen[idx] = true
+			m := 1
+			if et.StrandMult != nil {
+				m = et.StrandMult[k]
+				if m < 1 {
+					return nil, fmt.Errorf("core: import target %d (%s): multiplicity %d for strand %d", ti, et.Name, m, idx)
+				}
+			}
+			t.strandMult = append(t.strandMult, m)
+			multSum[idx] += m
 		}
 		t.strandIdx = append(t.strandIdx, et.StrandIdx...)
 		db.targets = append(db.targets, t)
+	}
+	if haveMults {
+		for j, want := range db.counts {
+			if multSum[j] != want {
+				return nil, fmt.Errorf("core: import: strand %d multiplicities sum to %d, count is %d", j, multSum[j], want)
+			}
+		}
 	}
 	return db, nil
 }

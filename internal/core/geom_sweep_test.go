@@ -27,7 +27,7 @@ func TestGeomSweep(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		kept, _, err := base.decompose(q)
+		kept, _, err := decompose(q, base.opts)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/stats"
+)
+
+// QueryPartial is one database's half-finished view of a query: the
+// output of every pipeline stage whose result is exact under sharding,
+// stopping just short of the one quantity that is not — the corpus-wide
+// H0 estimate. A shard returns its QueryPartial (serialized by the
+// server layer); a coordinator splices the shards' rows and reductions
+// back into the union corpus's strand order and calls Finalize with the
+// union counts, running the same float operations in the same order a
+// single node holding the whole corpus would.
+//
+// Exactness under sharding, piece by piece:
+//
+//   - Rows: VCP(query strand, target strand) is a per-pair computation;
+//     a shard computes exactly the columns for the strands it holds,
+//     bitwise equal to the same columns on a single node (kernel and
+//     prefilter decisions are per-pair deterministic).
+//   - PartialScore.MaxVCP: a max over the target's own strands — every
+//     input lives on the target's shard.
+//   - PartialScore.SVCP: a sum over the target's own strands of
+//     maxRev[j], where maxRev[j] is a max over *query* strands of
+//     VCP(target strand j, query strand) — and every shard runs the
+//     full query, so maxRev[j] is exact on the shard holding j.
+//   - H0 (the part deferred to Finalize): a corpus-weighted mean over
+//     ALL unique strands in index order. Floating-point addition is not
+//     associative, so per-shard partial sums would NOT merge
+//     bit-identically; instead the coordinator rebuilds the dense
+//     global rows and recomputes the mean in global order.
+type QueryPartial struct {
+	QueryName  string
+	Source     asm.Provenance
+	NumBlocks  int
+	NumStrands int // query strands surviving the size filter
+	// SigmoidK is the engine's Esh steepness override (0 = paper's
+	// k=10); a coordinator must refuse to merge partials computed under
+	// different k.
+	SigmoidK float64
+	// Weights[i] is the multiplicity of unique query strand i (its LES
+	// weight). Unique strands are in first-seen decomposition order,
+	// which depends only on the query text — all databases handed the
+	// same query agree on it, so rows merge by index.
+	Weights []float64
+	// Rows[i][j] = VCP(query strand i, target strand j), dense over
+	// this database's unique-strand index order.
+	Rows [][]float64
+	// Targets holds the exact per-target reductions, in index order.
+	Targets []PartialScore
+}
+
+// PartialScore is the shard-exact half of one target's score.
+type PartialScore struct {
+	Target *Target
+	// SVCP is the paper's S-VCP score (exact per shard, see above).
+	SVCP float64
+	// MaxVCP[i] is the best VCP(query strand i, t) over the target's
+	// strands — the Pr(s_q|t) input of the LES.
+	MaxVCP []float64
+}
+
+// Finalize turns the partial into a ranked Report by estimating H0 from
+// the rows under the given per-strand corpus multiplicities (counts[j]
+// weights Rows[i][j]; §3.3.2) and composing GES per method. It is a
+// pure function of (qp, counts): the single-node Query path and a
+// coordinator that reassembled global rows from shards call it with
+// bit-identical inputs and therefore produce bit-identical scores and
+// (stable-sorted) rankings.
+func (qp *QueryPartial) Finalize(counts []int) *Report {
+	evidence := make([]stats.StrandEvidence, len(qp.Weights))
+	for i, w := range qp.Weights {
+		h0 := stats.H0Accumulator{K: qp.SigmoidK}
+		for j, v := range qp.Rows[i] {
+			h0.Add(v, counts[j])
+		}
+		evidence[i] = h0.Evidence(w)
+	}
+	rep := &Report{
+		QueryName:  qp.QueryName,
+		Source:     qp.Source,
+		NumBlocks:  qp.NumBlocks,
+		NumStrands: qp.NumStrands,
+		Results:    make([]TargetScore, len(qp.Targets)),
+	}
+	for ti, ps := range qp.Targets {
+		rep.Results[ti] = TargetScore{
+			Target: ps.Target,
+			SVCP:   ps.SVCP,
+			SLOG:   stats.GES(stats.SLOG, ps.MaxVCP, evidence),
+			GES:    stats.GES(stats.Esh, ps.MaxVCP, evidence),
+		}
+	}
+	sort.SliceStable(rep.Results, func(i, j int) bool {
+		return rep.Results[i].GES > rep.Results[j].GES
+	})
+	return rep
+}

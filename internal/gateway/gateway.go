@@ -1,0 +1,485 @@
+// Package gateway implements the eshgw scatter-gather coordinator: it
+// owns a shard manifest, fans each query out to one replica of every
+// shard's /v1/query/partial, and merges the partials into scores
+// bit-identical to a single node holding the whole corpus (see
+// shard.Merge for the exactness argument).
+//
+// The fan-out is latency-engineered in the classic tail-at-scale
+// shape: each shard's request is hedged — if the first replica has not
+// answered within the hedge budget, a second request races it on
+// another replica and the first success wins — and failures are
+// retried with backoff against the remaining replicas. A background
+// prober polls every replica's /readyz so draining or dead replicas
+// are deprioritized before a query ever waits on them. When a shard
+// stays unreachable the gateway degrades instead of failing: it merges
+// what it has and flags the response partial with the missing shard
+// IDs.
+package gateway
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"log/slog"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// Config tunes the gateway. Zero values select the documented defaults.
+type Config struct {
+	// Manifest describes the fleet this gateway coordinates (required).
+	Manifest *shard.Manifest
+	// Shards[i] lists the base URLs ("http://host:port") of the
+	// replicas serving shard i. Every shard needs at least one replica;
+	// extra replicas enable hedging and retries (required).
+	Shards [][]string
+	// QueryTimeout bounds one fan-out end to end (default 60s). A shard
+	// that misses it is treated as down for this query.
+	QueryTimeout time.Duration
+	// HedgeAfter is the per-shard latency budget before a hedge request
+	// is launched on the next replica (default 300ms). Hedging needs a
+	// second replica; with one replica per shard it never triggers.
+	HedgeAfter time.Duration
+	// MaxRetries bounds extra attempts per shard after a failed request
+	// (default 2; hedges do not count as retries).
+	MaxRetries int
+	// RetryBackoff is the wait before retry k, scaled linearly: k×backoff
+	// (default 100ms).
+	RetryBackoff time.Duration
+	// ProbeInterval is the /readyz polling period (default 2s).
+	ProbeInterval time.Duration
+	// MaxInFlight bounds concurrently executing fan-outs; excess
+	// requests get 429 (default 16).
+	MaxInFlight int
+	// MaxBodyBytes bounds the request body (default 8 MiB).
+	MaxBodyBytes int64
+	// MaxTop caps the top parameter (default 1000).
+	MaxTop int
+	// Logger receives one structured line per request (default
+	// slog.Default).
+	Logger *slog.Logger
+	// Client issues the shard requests (default: http.Client with the
+	// query timeout).
+	Client *http.Client
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueryTimeout <= 0 {
+		c.QueryTimeout = 60 * time.Second
+	}
+	if c.HedgeAfter <= 0 {
+		c.HedgeAfter = 300 * time.Millisecond
+	}
+	if c.MaxRetries == 0 {
+		c.MaxRetries = 2
+	}
+	if c.RetryBackoff <= 0 {
+		c.RetryBackoff = 100 * time.Millisecond
+	}
+	if c.ProbeInterval <= 0 {
+		c.ProbeInterval = 2 * time.Second
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 16
+	}
+	if c.MaxBodyBytes <= 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
+	if c.MaxTop <= 0 {
+		c.MaxTop = 1000
+	}
+	if c.Logger == nil {
+		c.Logger = slog.Default()
+	}
+	if c.Client == nil {
+		c.Client = &http.Client{Timeout: c.QueryTimeout}
+	}
+	return c
+}
+
+// gwResults enumerate the label values of esh_gw_queries_total. A
+// degraded (partial) merge counts as "partial", not "completed".
+var gwResults = [...]string{"completed", "partial", "failure", "rejected", "bad_input"}
+
+// Gateway coordinates a fleet of eshd shards.
+type Gateway struct {
+	cfg Config
+	sem chan struct{}
+
+	// ready[i][j] is replica j of shard i's last observed /readyz state
+	// (true until the prober learns otherwise, so an unstarted prober
+	// degrades to "try them in configured order").
+	ready [][]atomic.Bool
+
+	probeStop chan struct{}
+	probeDone chan struct{}
+	probeOnce sync.Once
+
+	reg      *telemetry.Registry
+	outcomes map[string]*telemetry.Counter
+	hedges   *telemetry.Counter
+	retries  *telemetry.Counter
+	latency  *telemetry.Histogram
+	shardLat []*telemetry.Histogram // per shard
+	started  time.Time
+}
+
+// New validates the fleet shape and builds a Gateway.
+func New(cfg Config) (*Gateway, error) {
+	cfg = cfg.withDefaults()
+	if cfg.Manifest == nil {
+		return nil, errors.New("gateway: no manifest")
+	}
+	if len(cfg.Shards) != len(cfg.Manifest.Shards) {
+		return nil, fmt.Errorf("gateway: manifest has %d shards, %d replica sets configured", len(cfg.Manifest.Shards), len(cfg.Shards))
+	}
+	for i, reps := range cfg.Shards {
+		if len(reps) == 0 {
+			return nil, fmt.Errorf("gateway: shard %d has no replicas", i)
+		}
+		for j, u := range reps {
+			cfg.Shards[i][j] = strings.TrimRight(u, "/")
+		}
+	}
+	g := &Gateway{
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		probeStop: make(chan struct{}),
+		probeDone: make(chan struct{}),
+		reg:       telemetry.NewRegistry(),
+		started:   time.Now(),
+	}
+	g.ready = make([][]atomic.Bool, len(cfg.Shards))
+	for i, reps := range cfg.Shards {
+		g.ready[i] = make([]atomic.Bool, len(reps))
+		for j := range g.ready[i] {
+			g.ready[i][j].Store(true)
+		}
+	}
+	g.outcomes = make(map[string]*telemetry.Counter, len(gwResults))
+	for _, res := range gwResults {
+		g.outcomes[res] = g.reg.Counter("esh_gw_queries_total",
+			"Gateway queries by terminal outcome.", "result", res)
+	}
+	g.hedges = g.reg.Counter("esh_gw_hedges_total", "Hedge requests launched.")
+	g.retries = g.reg.Counter("esh_gw_retries_total", "Retry requests launched after a shard failure.")
+	g.latency = g.reg.Histogram("esh_gw_query_seconds",
+		"End-to-end latency of merged queries.", nil)
+	g.shardLat = make([]*telemetry.Histogram, len(cfg.Shards))
+	for i := range cfg.Shards {
+		g.shardLat[i] = g.reg.Histogram("esh_gw_shard_seconds",
+			"Per-shard fan-out latency (first winning attempt).", nil,
+			"shard", fmt.Sprint(i))
+	}
+	g.reg.GaugeFunc("esh_gw_healthy_replicas", "Replicas currently passing /readyz.",
+		func() float64 {
+			n := 0
+			for i := range g.ready {
+				for j := range g.ready[i] {
+					if g.ready[i][j].Load() {
+						n++
+					}
+				}
+			}
+			return float64(n)
+		})
+	g.reg.GaugeFunc("esh_gw_uptime_seconds", "Seconds since the gateway started.",
+		func() float64 { return time.Since(g.started).Seconds() })
+	return g, nil
+}
+
+// StartProber launches the background /readyz prober; StopProber (or
+// nothing, for tests) ends it.
+func (g *Gateway) StartProber() {
+	go func() {
+		defer close(g.probeDone)
+		t := time.NewTicker(g.cfg.ProbeInterval)
+		defer t.Stop()
+		g.probeAll()
+		for {
+			select {
+			case <-g.probeStop:
+				return
+			case <-t.C:
+				g.probeAll()
+			}
+		}
+	}()
+}
+
+// StopProber stops the prober and waits for it to exit. Safe to call
+// without StartProber only if StartProber is never called afterwards.
+func (g *Gateway) StopProber() {
+	g.probeOnce.Do(func() { close(g.probeStop) })
+	select {
+	case <-g.probeDone:
+	case <-time.After(5 * time.Second):
+	}
+}
+
+func (g *Gateway) probeAll() {
+	var wg sync.WaitGroup
+	for i, reps := range g.cfg.Shards {
+		for j, u := range reps {
+			wg.Add(1)
+			go func(i, j int, u string) {
+				defer wg.Done()
+				g.ready[i][j].Store(g.probe(u))
+			}(i, j, u)
+		}
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) probe(base string) bool {
+	ctx, cancel := context.WithTimeout(context.Background(), g.cfg.ProbeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/readyz", nil)
+	if err != nil {
+		return false
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return false
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode == http.StatusOK
+}
+
+// replicaOrder returns shard sid's replica indices, ready ones first,
+// preserving configured order within each class — the order attempts
+// (first try, hedges, retries) walk through.
+func (g *Gateway) replicaOrder(sid int) []int {
+	reps := g.cfg.Shards[sid]
+	order := make([]int, 0, len(reps))
+	for j := range reps {
+		if g.ready[sid][j].Load() {
+			order = append(order, j)
+		}
+	}
+	for j := range reps {
+		if !g.ready[sid][j].Load() {
+			order = append(order, j)
+		}
+	}
+	return order
+}
+
+// FleetError describes one replica failing fleet verification.
+type FleetError struct {
+	Shard   int
+	Replica string
+	Err     error
+}
+
+func (e *FleetError) Error() string {
+	return fmt.Sprintf("shard %d (%s): %v", e.Shard, e.Replica, e.Err)
+}
+
+// CheckFleet asks every replica for /v1/stats and verifies it against
+// the manifest: fleet generation, shard coordinates, and snapshot
+// checksum must match exactly (a mismatch means merged scores would be
+// silently wrong); kernel and prefilter mode mismatches are
+// score-neutral by the differential suites, so they come back as
+// warnings, not errors.
+func (g *Gateway) CheckFleet(ctx context.Context) (warnings []string, errs []error) {
+	man := g.cfg.Manifest
+	for i, reps := range g.cfg.Shards {
+		for _, u := range reps {
+			st, err := g.fetchStats(ctx, u)
+			if err != nil {
+				errs = append(errs, &FleetError{i, u, err})
+				continue
+			}
+			if st.Snapshot.Generation != man.Generation {
+				errs = append(errs, &FleetError{i, u, fmt.Errorf("generation %q, manifest is %q", st.Snapshot.Generation, man.Generation)})
+			}
+			if st.Snapshot.ShardID != i || st.Snapshot.ShardCount != len(man.Shards) {
+				errs = append(errs, &FleetError{i, u, fmt.Errorf("serves shard %d/%d, expected %d/%d", st.Snapshot.ShardID, st.Snapshot.ShardCount, i, len(man.Shards))})
+			}
+			if st.Snapshot.Checksum != "" && man.Shards[i].Checksum != "" && st.Snapshot.Checksum != man.Shards[i].Checksum {
+				errs = append(errs, &FleetError{i, u, fmt.Errorf("snapshot checksum %.12s…, manifest says %.12s…", st.Snapshot.Checksum, man.Shards[i].Checksum)})
+			}
+			if st.Engine.SigmoidK != man.SigmoidK {
+				errs = append(errs, &FleetError{i, u, fmt.Errorf("sigmoid k=%g, manifest says %g", st.Engine.SigmoidK, man.SigmoidK)})
+			}
+			if st.Engine.Kernel != man.Kernel {
+				warnings = append(warnings, fmt.Sprintf("shard %d (%s): kernel %q, manifest built with %q (score-neutral)", i, u, st.Engine.Kernel, man.Kernel))
+			}
+			if st.Prefilter.Mode != man.Prefilter {
+				warnings = append(warnings, fmt.Sprintf("shard %d (%s): prefilter %q, manifest built with %q (score-neutral)", i, u, st.Prefilter.Mode, man.Prefilter))
+			}
+		}
+	}
+	return warnings, errs
+}
+
+func (g *Gateway) fetchStats(ctx context.Context, base string) (*server.StatsResponse, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/v1/stats", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stats: HTTP %d", resp.StatusCode)
+	}
+	var st server.StatsResponse
+	if err := json.NewDecoder(io.LimitReader(resp.Body, 4<<20)).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decode stats: %w", err)
+	}
+	return &st, nil
+}
+
+// shardReply is one shard's fan-out outcome.
+type shardReply struct {
+	sid      int
+	partial  *shard.Partial
+	trace    *telemetry.SpanData
+	replica  string
+	attempts int
+	hedged   bool
+	err      error
+}
+
+// scatter fans the query out to every shard concurrently (each under
+// qctx, so one span child per shard hangs off the caller's trace) and
+// returns the per-shard outcomes in shard order.
+func (g *Gateway) scatter(qctx context.Context, body []byte, wantTrace bool) []shardReply {
+	replies := make([]shardReply, len(g.cfg.Shards))
+	var wg sync.WaitGroup
+	for sid := range g.cfg.Shards {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			_, ss := telemetry.StartSpan(qctx, fmt.Sprintf("shard_%d", sid))
+			start := time.Now()
+			replies[sid] = g.queryShard(qctx, sid, body, wantTrace)
+			ss.SetAttr("attempts", float64(replies[sid].attempts))
+			if replies[sid].hedged {
+				ss.SetAttr("hedged", 1)
+			}
+			if replies[sid].err == nil {
+				g.shardLat[sid].Observe(time.Since(start).Seconds())
+				ss.AttachRemote(replies[sid].trace)
+			} else {
+				ss.SetAttr("failed", 1)
+			}
+			ss.End()
+		}(sid)
+	}
+	wg.Wait()
+	return replies
+}
+
+// queryShard runs the hedged, retried attempt loop for one shard.
+// Attempts walk the replica order (ready first); the first success
+// wins. A hedge launches when the oldest outstanding attempt exceeds
+// the hedge budget and an untried replica exists; a retry launches
+// after a failure, with linear backoff, while the retry budget lasts.
+func (g *Gateway) queryShard(ctx context.Context, sid int, body []byte, wantTrace bool) shardReply {
+	order := g.replicaOrder(sid)
+	reps := g.cfg.Shards[sid]
+	maxAttempts := len(order) + g.cfg.MaxRetries
+
+	type attempt struct {
+		reply   *server.PartialResponse
+		replica string
+		err     error
+	}
+	results := make(chan attempt, maxAttempts)
+	launched, failed := 0, 0
+	hedged := false
+	launch := func() {
+		u := reps[order[launched%len(order)]]
+		launched++
+		go func() {
+			pr, err := g.postPartial(ctx, u, body, wantTrace)
+			results <- attempt{pr, u, err}
+		}()
+	}
+	launch()
+
+	hedge := time.NewTimer(g.cfg.HedgeAfter)
+	defer hedge.Stop()
+	var lastErr error
+	var backoff <-chan time.Time
+	for {
+		select {
+		case a := <-results:
+			if a.err == nil {
+				return shardReply{sid: sid, partial: a.reply.Partial, trace: a.reply.Trace,
+					replica: a.replica, attempts: launched, hedged: hedged}
+			}
+			lastErr = fmt.Errorf("%s: %w", a.replica, a.err)
+			failed++
+			if failed == launched && launched < maxAttempts {
+				// Every attempt so far failed; schedule a retry after
+				// backoff (hedges in flight keep their chance to win).
+				g.retries.Inc()
+				backoff = time.After(time.Duration(failed) * g.cfg.RetryBackoff)
+			} else if failed == launched {
+				return shardReply{sid: sid, attempts: launched, hedged: hedged, err: lastErr}
+			}
+		case <-backoff:
+			backoff = nil
+			launch()
+		case <-hedge.C:
+			if launched < len(order) && launched < maxAttempts && backoff == nil {
+				hedged = true
+				g.hedges.Inc()
+				launch()
+			}
+		case <-ctx.Done():
+			return shardReply{sid: sid, attempts: launched, hedged: hedged,
+				err: fmt.Errorf("shard %d: %w", sid, ctx.Err())}
+		}
+	}
+}
+
+// postPartial posts the query to one replica's /v1/query/partial.
+func (g *Gateway) postPartial(ctx context.Context, base string, body []byte, wantTrace bool) (*server.PartialResponse, error) {
+	url := base + "/v1/query/partial"
+	if wantTrace {
+		url += "?trace=1"
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(body))
+	if err != nil {
+		return nil, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	if rid := server.RequestID(ctx); rid != "" {
+		req.Header.Set("X-Request-ID", rid)
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return nil, fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(msg)))
+	}
+	var pr server.PartialResponse
+	if err := json.NewDecoder(resp.Body).Decode(&pr); err != nil {
+		return nil, fmt.Errorf("decode partial: %w", err)
+	}
+	if pr.Partial == nil {
+		return nil, errors.New("reply carries no partial")
+	}
+	return &pr, nil
+}

@@ -1,0 +1,284 @@
+package gateway
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/asm"
+	"repro/internal/server"
+	"repro/internal/shard"
+	"repro/internal/telemetry"
+)
+
+// QueryResponse is the gateway's POST /v1/query reply: the single-node
+// response shape (so clients and diff tools need no gateway-specific
+// handling) plus degradation flags. On a complete fleet Partial is
+// false and both extra fields are omitted, making the body
+// field-for-field comparable with a single node's.
+type QueryResponse struct {
+	server.QueryResponse
+	// Partial is true when at least one shard contributed nothing;
+	// results then cover only the reachable corpus.
+	Partial bool `json:"partial,omitempty"`
+	// MissingShards lists the shard IDs that contributed nothing.
+	MissingShards []int `json:"missing_shards,omitempty"`
+}
+
+// Handler returns the gateway's HTTP handler tree. The query surface
+// mirrors internal/server's: same request schema, same ranked response
+// rows, plus /readyz reporting whether every shard is reachable.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/query", g.handleQuery)
+	mux.HandleFunc("GET /v1/stats", g.handleStats)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", g.handleReady)
+	return g.logged(mux)
+}
+
+// logged mirrors the server's request-ID/logging middleware so gateway
+// and shard log lines correlate on the same token (the gateway forwards
+// its ID in X-Request-ID on every fan-out leg).
+func (g *Gateway) logged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rid := r.Header.Get("X-Request-ID")
+		if rid == "" || len(rid) > 128 {
+			rid = server.NewRequestID()
+		}
+		w.Header().Set("X-Request-ID", rid)
+		r = r.WithContext(server.WithRequestID(r.Context(), rid))
+		next.ServeHTTP(w, r)
+		g.cfg.Logger.Info("request",
+			"request_id", rid,
+			"method", r.Method,
+			"path", r.URL.Path,
+			"dur_ms", float64(time.Since(start).Microseconds())/1000,
+			"remote", r.RemoteAddr,
+		)
+	})
+}
+
+func (g *Gateway) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	for sid := range g.ready {
+		ok := false
+		for j := range g.ready[sid] {
+			if g.ready[sid][j].Load() {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "shard %d has no ready replica\n", sid)
+			return
+		}
+	}
+	fmt.Fprintln(w, "ready")
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func (g *Gateway) fail(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (g *Gateway) count(result string) { g.outcomes[result].Inc() }
+
+func (g *Gateway) handleQuery(w http.ResponseWriter, r *http.Request) {
+	var req server.QueryRequest
+	body := http.MaxBytesReader(w, r.Body, g.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		g.count("bad_input")
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			g.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", g.cfg.MaxBodyBytes)
+			return
+		}
+		g.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	m, err := server.MethodByName(req.Method)
+	if err != nil {
+		g.count("bad_input")
+		g.fail(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	top := req.Top
+	if top <= 0 {
+		top = 20
+	}
+	if top > g.cfg.MaxTop {
+		top = g.cfg.MaxTop
+	}
+	// Parse locally before burning fleet work: malformed asm fails here
+	// with a 400 instead of N× 400s from the shards.
+	procs, err := asm.Parse(req.Asm)
+	if err != nil {
+		g.count("bad_input")
+		g.fail(w, http.StatusBadRequest, "parse asm: %v", err)
+		return
+	}
+	if len(procs) == 0 {
+		g.count("bad_input")
+		g.fail(w, http.StatusBadRequest, "no procedure in request")
+		return
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
+	select {
+	case g.sem <- struct{}{}:
+		defer func() { <-g.sem }()
+	default:
+		g.count("rejected")
+		w.Header().Set("Retry-After", "1")
+		g.fail(w, http.StatusTooManyRequests, "too many in-flight queries (limit %d)", g.cfg.MaxInFlight)
+		return
+	}
+
+	// Forward a canonical body: the query procedure only, ignored
+	// method/top stripped.
+	fwd, err := json.Marshal(server.QueryRequest{Asm: req.Asm})
+	if err != nil {
+		g.fail(w, http.StatusInternalServerError, "encode fan-out body: %v", err)
+		return
+	}
+
+	start := time.Now()
+	ctx, cancel := context.WithTimeout(server.WithRequestID(context.Background(), server.RequestID(r.Context())), g.cfg.QueryTimeout)
+	defer cancel()
+	qctx, root := telemetry.StartSpan(ctx, "gateway_query")
+	replies := g.scatter(qctx, fwd, wantTrace)
+	root.End()
+
+	parts := make([]*shard.Partial, 0, len(replies))
+	for _, rep := range replies {
+		if rep.err != nil {
+			g.cfg.Logger.Warn("shard failed",
+				"request_id", server.RequestID(r.Context()),
+				"shard", rep.sid, "attempts", rep.attempts, "err", rep.err.Error())
+			continue
+		}
+		parts = append(parts, rep.partial)
+	}
+	report, missing, err := shard.Merge(g.cfg.Manifest, parts)
+	if err != nil {
+		g.count("failure")
+		status := http.StatusBadGateway
+		if len(parts) > 0 {
+			// Shards answered but inconsistently — a fleet bug, not a
+			// transient outage.
+			status = http.StatusInternalServerError
+		}
+		g.fail(w, status, "merge: %v", err)
+		return
+	}
+
+	if len(missing) > 0 {
+		g.count("partial")
+	} else {
+		g.count("completed")
+	}
+	g.latency.Observe(time.Since(start).Seconds())
+
+	resp := &QueryResponse{
+		QueryResponse: *server.BuildQueryResponse(report, m, top),
+		Partial:       len(missing) > 0,
+		MissingShards: missing,
+	}
+	resp.RequestID = server.RequestID(r.Context())
+	if wantTrace {
+		resp.Trace = root.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// StatsResponse is the gateway's GET /v1/stats reply.
+type StatsResponse struct {
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	Fleet         struct {
+		Generation string `json:"generation"`
+		Shards     int    `json:"shards"`
+		Targets    int    `json:"targets"`
+		Replicas   int    `json:"replicas"`
+		Ready      int    `json:"ready_replicas"`
+	} `json:"fleet"`
+	Queries struct {
+		Completed uint64 `json:"completed"`
+		Partial   uint64 `json:"partial"`
+		Failures  uint64 `json:"failures"`
+		Rejected  uint64 `json:"rejected"`
+		BadInput  uint64 `json:"bad_input"`
+		InFlight  int    `json:"in_flight"`
+		MaxIn     int    `json:"max_in_flight"`
+	} `json:"queries"`
+	Hedges  uint64 `json:"hedges"`
+	Retries uint64 `json:"retries"`
+	// ShardReady[i] lists per-replica readiness for shard i, in
+	// configured replica order.
+	ShardReady [][]bool `json:"shard_ready"`
+	// LatencyMS buckets end-to-end merged-query latency.
+	LatencyMS map[string]uint64 `json:"latency_ms"`
+}
+
+func (g *Gateway) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := &StatsResponse{UptimeSeconds: time.Since(g.started).Seconds()}
+	resp.Fleet.Generation = g.cfg.Manifest.Generation
+	resp.Fleet.Shards = len(g.cfg.Manifest.Shards)
+	resp.Fleet.Targets = g.cfg.Manifest.NumTargets
+	resp.ShardReady = make([][]bool, len(g.ready))
+	for i := range g.ready {
+		resp.ShardReady[i] = make([]bool, len(g.ready[i]))
+		for j := range g.ready[i] {
+			resp.Fleet.Replicas++
+			up := g.ready[i][j].Load()
+			resp.ShardReady[i][j] = up
+			if up {
+				resp.Fleet.Ready++
+			}
+		}
+	}
+	resp.Queries.Completed = g.outcomes["completed"].Value()
+	resp.Queries.Partial = g.outcomes["partial"].Value()
+	resp.Queries.Failures = g.outcomes["failure"].Value()
+	resp.Queries.Rejected = g.outcomes["rejected"].Value()
+	resp.Queries.BadInput = g.outcomes["bad_input"].Value()
+	resp.Queries.InFlight = len(g.sem)
+	resp.Queries.MaxIn = g.cfg.MaxInFlight
+	resp.Hedges = g.hedges.Value()
+	resp.Retries = g.retries.Value()
+
+	bounds, counts := g.latency.Snapshot()
+	resp.LatencyMS = make(map[string]uint64, len(counts))
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		if i < len(bounds) {
+			resp.LatencyMS[fmt.Sprintf("<=%gms", bounds[i]*1000)] = n
+		} else {
+			resp.LatencyMS[fmt.Sprintf(">%gms", bounds[len(bounds)-1]*1000)] = n
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = g.reg.WriteText(w)
+}

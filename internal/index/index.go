@@ -40,13 +40,26 @@ import (
 // Magic identifies snapshot files; Version is the current format.
 // Version 2 added the sketch section (per-strand MinHash signatures for
 // the LSH prefilter) and the prefilter/lshbands/lshrows option keys;
-// version-1 snapshots still load, with signatures recomputed from the
-// strands.
+// version 3 added the shard-identity record and the per-target strand
+// multiplicity section (what lets a corpus split into shards whose
+// local strand counts sum exactly to the union's). Older versions still
+// load: signatures are recomputed and multiplicities default to 1.
 const (
 	Magic      = "eshidx"
-	Version    = 2
+	Version    = 3
 	MinVersion = 1
 )
+
+// Info identifies one snapshot: the format version, body size, body
+// checksum, and the shard identity baked into it. The checksum is what
+// a gateway compares against its manifest to refuse serving a query
+// across a mixed-version shard fleet.
+type Info struct {
+	Version  int
+	BodyLen  int
+	Checksum string // hex sha256 of the body
+	Shard    core.ShardInfo
+}
 
 // Snapshot I/O metrics live in the process-wide default registry (the
 // package has no natural instance to hang them on) and are exposed by
@@ -69,46 +82,76 @@ func Save(w io.Writer, db *core.DB) error {
 // SaveCtx writes a snapshot of the database to w, recording an
 // "index.save" telemetry span under the one carried by ctx (if any).
 func SaveCtx(ctx context.Context, w io.Writer, db *core.DB) error {
+	_, err := SaveInfoCtx(ctx, w, db)
+	return err
+}
+
+// SaveInfoCtx is SaveCtx returning the written snapshot's identity
+// (checksum, size, shard) for manifest construction.
+func SaveInfoCtx(ctx context.Context, w io.Writer, db *core.DB) (Info, error) {
+	return saveExport(ctx, w, db.Export())
+}
+
+// SaveExportCtx writes a snapshot of already-exported state — the shard
+// splitter's path, which never materializes a prepared DB per shard.
+func SaveExportCtx(ctx context.Context, w io.Writer, ex *core.Export) (Info, error) {
+	return saveExport(ctx, w, ex)
+}
+
+func saveExport(ctx context.Context, w io.Writer, ex *core.Export) (Info, error) {
 	_, sp := telemetry.StartSpan(ctx, "index.save")
 	defer func() { mSaveSeconds.Observe(sp.End().Seconds()) }()
-	body := encodeBody(db.Export())
+	body := encodeBody(ex)
 	sp.SetAttr("bytes", float64(len(body)))
 	mSnapshotBytes.Set(float64(len(body)))
 	sum := sha256.Sum256(body)
-	if _, err := fmt.Fprintf(w, "%s %d %d %s\n", Magic, Version, len(body), hex.EncodeToString(sum[:])); err != nil {
-		return fmt.Errorf("index: write header: %w", err)
+	info := Info{Version: Version, BodyLen: len(body), Checksum: hex.EncodeToString(sum[:]), Shard: ex.Shard}
+	if _, err := fmt.Fprintf(w, "%s %d %d %s\n", Magic, Version, len(body), info.Checksum); err != nil {
+		return Info{}, fmt.Errorf("index: write header: %w", err)
 	}
 	if _, err := w.Write(body); err != nil {
-		return fmt.Errorf("index: write body: %w", err)
+		return Info{}, fmt.Errorf("index: write body: %w", err)
 	}
-	return nil
+	return info, nil
 }
 
 // SaveFile writes a snapshot atomically: to a temp file in the target
 // directory, then rename.
 func SaveFile(path string, db *core.DB) error {
+	_, err := saveFileExport(path, db.Export())
+	return err
+}
+
+// SaveExportFile is SaveFile over already-exported state, returning the
+// snapshot identity.
+func SaveExportFile(path string, ex *core.Export) (Info, error) {
+	return saveFileExport(path, ex)
+}
+
+func saveFileExport(path string, ex *core.Export) (Info, error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, ".eshidx-*")
 	if err != nil {
-		return fmt.Errorf("index: %w", err)
+		return Info{}, fmt.Errorf("index: %w", err)
 	}
 	defer os.Remove(tmp.Name())
 	bw := bufio.NewWriterSize(tmp, 1<<20)
-	if err := Save(bw, db); err != nil {
+	info, err := saveExport(context.Background(), bw, ex)
+	if err != nil {
 		tmp.Close()
-		return err
+		return Info{}, err
 	}
 	if err := bw.Flush(); err != nil {
 		tmp.Close()
-		return fmt.Errorf("index: flush %s: %w", path, err)
+		return Info{}, fmt.Errorf("index: flush %s: %w", path, err)
 	}
 	if err := tmp.Close(); err != nil {
-		return fmt.Errorf("index: close %s: %w", path, err)
+		return Info{}, fmt.Errorf("index: close %s: %w", path, err)
 	}
 	if err := os.Rename(tmp.Name(), path); err != nil {
-		return fmt.Errorf("index: %w", err)
+		return Info{}, fmt.Errorf("index: %w", err)
 	}
-	return nil
+	return info, nil
 }
 
 // Load reads a snapshot and rebuilds a queryable database, re-preparing
@@ -122,14 +165,21 @@ func Load(r io.Reader) (*core.DB, error) {
 // an "index.load" telemetry span (with decode and prepare child spans)
 // under the one carried by ctx, if any.
 func LoadCtx(ctx context.Context, r io.Reader) (*core.DB, error) {
+	db, _, err := LoadInfoCtx(ctx, r)
+	return db, err
+}
+
+// LoadInfoCtx is LoadCtx returning the snapshot's identity alongside
+// the rebuilt database.
+func LoadInfoCtx(ctx context.Context, r io.Reader) (*core.DB, Info, error) {
 	lctx, sp := telemetry.StartSpan(ctx, "index.load")
 	defer func() { mLoadSeconds.Observe(sp.End().Seconds()) }()
 
 	_, spDec := telemetry.StartSpan(lctx, "decode")
-	ex, err := LoadExport(r)
+	ex, info, err := LoadExportInfo(r)
 	spDec.End()
 	if err != nil {
-		return nil, err
+		return nil, Info{}, err
 	}
 	sp.SetAttr("strands", float64(len(ex.Strands)))
 	sp.SetAttr("targets", float64(len(ex.Targets)))
@@ -140,9 +190,9 @@ func LoadCtx(ctx context.Context, r io.Reader) (*core.DB, error) {
 	db, err := core.FromExport(ex)
 	spPrep.End()
 	if err != nil {
-		return nil, fmt.Errorf("index: %w", err)
+		return nil, Info{}, fmt.Errorf("index: %w", err)
 	}
-	return db, nil
+	return db, info, nil
 }
 
 // LoadFile loads a snapshot from path.
@@ -152,50 +202,67 @@ func LoadFile(path string) (*core.DB, error) {
 
 // LoadFileCtx loads a snapshot from path with LoadCtx tracing.
 func LoadFileCtx(ctx context.Context, path string) (*core.DB, error) {
+	db, _, err := LoadFileInfoCtx(ctx, path)
+	return db, err
+}
+
+// LoadFileInfoCtx loads a snapshot from path, returning its identity
+// (version, checksum, shard) for serving-side exposition.
+func LoadFileInfoCtx(ctx context.Context, path string) (*core.DB, Info, error) {
 	f, err := os.Open(path)
 	if err != nil {
-		return nil, fmt.Errorf("index: %w", err)
+		return nil, Info{}, fmt.Errorf("index: %w", err)
 	}
 	defer f.Close()
-	db, err := LoadCtx(ctx, bufio.NewReaderSize(f, 1<<20))
+	db, info, err := LoadInfoCtx(ctx, bufio.NewReaderSize(f, 1<<20))
 	if err != nil {
-		return nil, fmt.Errorf("index: load %s: %w", path, err)
+		return nil, Info{}, fmt.Errorf("index: load %s: %w", path, err)
 	}
-	return db, nil
+	return db, info, nil
 }
 
 // LoadExport reads and verifies a snapshot, returning the decoded state
 // without preparing strands.
 func LoadExport(r io.Reader) (*core.Export, error) {
+	ex, _, err := LoadExportInfo(r)
+	return ex, err
+}
+
+// LoadExportInfo is LoadExport returning the snapshot identity.
+func LoadExportInfo(r io.Reader) (*core.Export, Info, error) {
 	br := bufio.NewReader(r)
 	header, err := br.ReadString('\n')
 	if err != nil {
-		return nil, fmt.Errorf("index: read header: %w", err)
+		return nil, Info{}, fmt.Errorf("index: read header: %w", err)
 	}
 	var magic, sumHex string
 	var version, bodyLen int
 	if _, err := fmt.Sscanf(strings.TrimSuffix(header, "\n"), "%s %d %d %s", &magic, &version, &bodyLen, &sumHex); err != nil {
-		return nil, fmt.Errorf("index: malformed header %q", strings.TrimSpace(header))
+		return nil, Info{}, fmt.Errorf("index: malformed header %q", strings.TrimSpace(header))
 	}
 	if magic != Magic {
-		return nil, fmt.Errorf("index: not a snapshot (magic %q)", magic)
+		return nil, Info{}, fmt.Errorf("index: not a snapshot (magic %q)", magic)
 	}
 	if version < MinVersion || version > Version {
-		return nil, fmt.Errorf("index: unsupported format version %d (have %d..%d)", version, MinVersion, Version)
+		return nil, Info{}, fmt.Errorf("index: unsupported format version %d (have %d..%d)", version, MinVersion, Version)
 	}
 	body, err := io.ReadAll(br)
 	if err != nil {
-		return nil, fmt.Errorf("index: read body: %w", err)
+		return nil, Info{}, fmt.Errorf("index: read body: %w", err)
 	}
 	if len(body) != bodyLen {
-		return nil, fmt.Errorf("index: truncated snapshot: body is %d bytes, header says %d", len(body), bodyLen)
+		return nil, Info{}, fmt.Errorf("index: truncated snapshot: body is %d bytes, header says %d", len(body), bodyLen)
 	}
 	sum := sha256.Sum256(body)
 	if hex.EncodeToString(sum[:]) != sumHex {
-		return nil, fmt.Errorf("index: checksum mismatch: snapshot is corrupted")
+		return nil, Info{}, fmt.Errorf("index: checksum mismatch: snapshot is corrupted")
 	}
 	mSnapshotBytes.Set(float64(len(body)))
-	return decodeBody(body, version)
+	ex, err := decodeBody(body, version)
+	if err != nil {
+		return nil, Info{}, err
+	}
+	return ex, Info{Version: version, BodyLen: bodyLen, Checksum: sumHex, Shard: ex.Shard}, nil
 }
 
 // ---- body encoding ----
@@ -226,6 +293,10 @@ func encodeBody(ex *core.Export) []byte {
 		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
 		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences,
 		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel)
+
+	// Shard identity (format version 3). All zero/empty for an unsharded
+	// corpus.
+	fmt.Fprintf(&b, "shard %d %d %s\n", ex.Shard.ID, ex.Shard.Count, strconv.Quote(ex.Shard.Generation))
 
 	fmt.Fprintf(&b, "strands %d\n", len(ex.Strands))
 	for _, es := range ex.Strands {
@@ -273,6 +344,44 @@ func encodeBody(ex *core.Export) []byte {
 		b.WriteString("g")
 		for _, v := range ex.Strands[i].Sig {
 			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Multiplicity section (format version 3): per-target strand
+	// multiplicities, written only when they are present and exactly
+	// reproduce the per-strand counts (the invariant shard splitting
+	// depends on). A database rebuilt from a pre-v3 snapshot carries
+	// fabricated all-ones multiplicities, so re-saving it must not
+	// persist them as if they were real — it writes a zero count and
+	// the loader falls back to the same all-ones default.
+	nm := len(ex.Targets)
+	multSum := make([]int, len(ex.Strands))
+	for _, t := range ex.Targets {
+		if t.StrandMult == nil || len(t.StrandMult) != len(t.StrandIdx) {
+			nm = 0
+			break
+		}
+		for k, idx := range t.StrandIdx {
+			if idx >= 0 && idx < len(multSum) {
+				multSum[idx] += t.StrandMult[k]
+			}
+		}
+	}
+	if nm > 0 {
+		for j, es := range ex.Strands {
+			if multSum[j] != es.Count {
+				nm = 0
+				break
+			}
+		}
+	}
+	fmt.Fprintf(&b, "mults %d\n", nm)
+	for i := 0; i < nm; i++ {
+		t := ex.Targets[i]
+		fmt.Fprintf(&b, "m %d", len(t.StrandMult))
+		for _, m := range t.StrandMult {
+			fmt.Fprintf(&b, " %d", m)
 		}
 		b.WriteByte('\n')
 	}
@@ -381,6 +490,11 @@ func decodeBody(body []byte, version int) (*core.Export, error) {
 	if err := d.decodeOptions(ex); err != nil {
 		return nil, err
 	}
+	if version >= 3 {
+		if err := d.decodeShard(ex); err != nil {
+			return nil, err
+		}
+	}
 	if err := d.decodeStrands(ex); err != nil {
 		return nil, err
 	}
@@ -392,10 +506,71 @@ func decodeBody(body []byte, version int) (*core.Export, error) {
 			return nil, err
 		}
 	}
+	if version >= 3 {
+		if err := d.decodeMults(ex); err != nil {
+			return nil, err
+		}
+	}
 	if d.pos != len(d.lines) {
 		return nil, d.errf("trailing data after final section")
 	}
 	return ex, nil
+}
+
+// decodeShard reads the version-3 shard identity record.
+func (d *decoder) decodeShard(ex *core.Export) error {
+	toks, err := d.record("shard", 3)
+	if err != nil {
+		return err
+	}
+	nums, err := d.ints(toks[:2])
+	if err != nil {
+		return err
+	}
+	ex.Shard = core.ShardInfo{ID: nums[0], Count: nums[1], Generation: toks[2]}
+	if ex.Shard.Count < 0 {
+		return d.errf("negative shard count %d", ex.Shard.Count)
+	}
+	if ex.Shard.Sharded() && (ex.Shard.ID < 0 || ex.Shard.ID >= ex.Shard.Count) {
+		return d.errf("shard id %d out of range [0,%d)", ex.Shard.ID, ex.Shard.Count)
+	}
+	return nil
+}
+
+// decodeMults reads the version-3 multiplicity section. A zero target
+// count means multiplicities were not persisted; core.FromExport
+// defaults them to 1.
+func (d *decoder) decodeMults(ex *core.Export) error {
+	toks, err := d.record("mults", 1)
+	if err != nil {
+		return err
+	}
+	nums, err := d.ints(toks[:1])
+	if err != nil {
+		return err
+	}
+	n := nums[0]
+	if n != 0 && n != len(ex.Targets) {
+		return d.errf("mults section has %d records for %d targets", n, len(ex.Targets))
+	}
+	for i := 0; i < n; i++ {
+		mtoks, err := d.record("m", 1)
+		if err != nil {
+			return err
+		}
+		vals, err := d.ints(mtoks)
+		if err != nil {
+			return err
+		}
+		if vals[0] != len(vals)-1 {
+			return d.errf("target %d: multiplicity list has %d entries, header says %d", i, len(vals)-1, vals[0])
+		}
+		if len(vals)-1 != len(ex.Targets[i].StrandIdx) {
+			return d.errf("target %d: %d multiplicities for %d strand indices", i, len(vals)-1, len(ex.Targets[i].StrandIdx))
+		}
+		ex.Targets[i].StrandMult = vals[1:]
+	}
+	return nil
 }
 
 // decodeSketch reads the version-2 sketch section. A zero strand count

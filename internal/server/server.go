@@ -16,10 +16,13 @@ import (
 	"log/slog"
 	"net/http"
 	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/asm"
 	"repro/internal/core"
+	"repro/internal/index"
+	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 )
@@ -39,6 +42,10 @@ type Config struct {
 	// Logger receives one structured line per request (default
 	// slog.Default).
 	Logger *slog.Logger
+	// Snapshot identifies the index snapshot the DB was loaded from
+	// (version, checksum, shard). Optional — an in-memory corpus has
+	// none — but a gateway needs it in /v1/stats to verify the fleet.
+	Snapshot index.Info
 }
 
 func (c Config) withDefaults() Config {
@@ -70,8 +77,16 @@ type Server struct {
 	cfg Config
 	sem chan struct{}
 	// queryFn indirects db.QueryCtx so tests can inject slow or failing
-	// queries deterministically.
-	queryFn func(context.Context, *asm.Proc) (*core.Report, error)
+	// queries deterministically; partialFn likewise for db.PartialQueryCtx.
+	queryFn   func(context.Context, *asm.Proc) (*core.Report, error)
+	partialFn func(context.Context, *asm.Proc) (*core.QueryPartial, error)
+
+	// ready gates /readyz: true once the snapshot is loaded and
+	// serving, flipped false by SetReady during graceful drain so load
+	// balancers and the gateway stop picking this replica before the
+	// listener closes. Liveness (/healthz) is independent: a draining
+	// process is still alive.
+	ready atomic.Bool
 
 	// HTTP-level metrics; engine metrics live in the DB's registry and
 	// both are rendered by /metrics.
@@ -85,13 +100,15 @@ type Server struct {
 func New(db *core.DB, cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		db:      db,
-		cfg:     cfg,
-		sem:     make(chan struct{}, cfg.MaxInFlight),
-		queryFn: db.QueryCtx,
-		reg:     telemetry.NewRegistry(),
-		started: time.Now(),
+		db:        db,
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		queryFn:   db.QueryCtx,
+		partialFn: db.PartialQueryCtx,
+		reg:       telemetry.NewRegistry(),
+		started:   time.Now(),
 	}
+	s.ready.Store(true)
 	s.outcomes = make(map[string]*telemetry.Counter, len(queryResults))
 	for _, res := range queryResults {
 		s.outcomes[res] = s.reg.Counter("esh_http_queries_total",
@@ -113,6 +130,7 @@ func New(db *core.DB, cfg Config) *Server {
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
+	mux.HandleFunc("POST /v1/query/partial", s.handlePartial)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -120,7 +138,27 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /readyz", s.handleReady)
 	return s.logged(mux)
+}
+
+// SetReady flips the /readyz state. cmd/eshd calls SetReady(false) at
+// the start of a graceful drain, then waits out a grace period before
+// closing the listener, so pollers observe the 503 and route around the
+// replica while it still answers in-flight (and straggler) queries.
+func (s *Server) SetReady(v bool) { s.ready.Store(v) }
+
+// Ready reports the current /readyz state.
+func (s *Server) Ready() bool { return s.ready.Load() }
+
+func (s *Server) handleReady(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if !s.ready.Load() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "draining")
+		return
+	}
+	fmt.Fprintln(w, "ready")
 }
 
 type statusWriter struct {
@@ -135,8 +173,8 @@ func (w *statusWriter) WriteHeader(code int) {
 
 type requestIDKey struct{}
 
-// newRequestID returns 8 random bytes, hex-encoded.
-func newRequestID() string {
+// NewRequestID returns a fresh request ID: 8 random bytes, hex-encoded.
+func NewRequestID() string {
 	var b [8]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		return "unknown"
@@ -151,6 +189,12 @@ func RequestID(ctx context.Context) string {
 	return id
 }
 
+// WithRequestID returns ctx carrying rid, so non-server frontends (the
+// gateway) reuse the same correlation plumbing.
+func WithRequestID(ctx context.Context, rid string) context.Context {
+	return context.WithValue(ctx, requestIDKey{}, rid)
+}
+
 // logged assigns every request an ID (the client's X-Request-ID when
 // present, otherwise generated), echoes it in the response header, and
 // emits one structured log line carrying it — so a log line, a traced
@@ -160,7 +204,7 @@ func (s *Server) logged(next http.Handler) http.Handler {
 		start := time.Now()
 		rid := r.Header.Get("X-Request-ID")
 		if rid == "" || len(rid) > 128 {
-			rid = newRequestID()
+			rid = NewRequestID()
 		}
 		w.Header().Set("X-Request-ID", rid)
 		r = r.WithContext(context.WithValue(r.Context(), requestIDKey{}, rid))
@@ -239,7 +283,10 @@ type QueryResponse struct {
 	Trace *telemetry.SpanData `json:"trace,omitempty"`
 }
 
-func methodByName(name string) (stats.Method, error) {
+// MethodByName maps a wire-form ranking-method name to a stats.Method;
+// "" selects the default (esh). Shared with the gateway, which speaks
+// the same request schema.
+func MethodByName(name string) (stats.Method, error) {
 	switch name {
 	case "", "esh":
 		return stats.Esh, nil
@@ -266,7 +313,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
 		return
 	}
-	m, err := methodByName(req.Method)
+	m, err := MethodByName(req.Method)
 	if err != nil {
 		s.count("bad_input")
 		s.fail(w, http.StatusBadRequest, "%v", err)
@@ -333,7 +380,7 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 		}
 		s.count("completed")
 		s.latency.Observe(time.Since(start).Seconds())
-		resp := buildResponse(res.rep, m, top)
+		resp := BuildQueryResponse(res.rep, m, top)
 		resp.RequestID = RequestID(r.Context())
 		if wantTrace {
 			resp.Trace = root.Snapshot()
@@ -347,7 +394,100 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func buildResponse(rep *core.Report, m stats.Method, top int) *QueryResponse {
+// PartialResponse is the POST /v1/query/partial reply: one shard's
+// contribution to a scattered query, for a gateway to merge. The shard
+// identity inside lets the gateway check the reply against its manifest.
+type PartialResponse struct {
+	RequestID string         `json:"request_id,omitempty"`
+	Partial   *shard.Partial `json:"partial"`
+	// Trace is the per-query span tree, present with ?trace=1; the
+	// gateway grafts it into its fan-out trace.
+	Trace *telemetry.SpanData `json:"trace,omitempty"`
+}
+
+// handlePartial runs the shard-local stages of a query and returns the
+// wire-form partial instead of finalized scores. Request shape is the
+// same as /v1/query (method and top are ignored — ranking happens at
+// the gateway), as are admission, timeout, and outcome accounting.
+func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
+	var req QueryRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		s.count("bad_input")
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	procs, err := asm.Parse(req.Asm)
+	if err != nil {
+		s.count("bad_input")
+		s.fail(w, http.StatusBadRequest, "parse asm: %v", err)
+		return
+	}
+	if len(procs) == 0 {
+		s.count("bad_input")
+		s.fail(w, http.StatusBadRequest, "no procedure in request")
+		return
+	}
+	wantTrace := r.URL.Query().Get("trace") == "1"
+
+	select {
+	case s.sem <- struct{}{}:
+	default:
+		s.count("rejected")
+		w.Header().Set("Retry-After", "1")
+		s.fail(w, http.StatusTooManyRequests, "too many in-flight queries (limit %d)", s.cfg.MaxInFlight)
+		return
+	}
+
+	start := time.Now()
+	type result struct {
+		qp  *core.QueryPartial
+		err error
+	}
+	done := make(chan result, 1)
+	qctx, root := telemetry.StartSpan(context.Background(), "query_partial")
+	go func() {
+		defer func() { <-s.sem }()
+		qp, err := s.partialFn(qctx, procs[0])
+		root.End()
+		done <- result{qp, err}
+	}()
+
+	timer := time.NewTimer(s.cfg.QueryTimeout)
+	defer timer.Stop()
+	select {
+	case res := <-done:
+		if res.err != nil {
+			s.count("failure")
+			s.fail(w, http.StatusUnprocessableEntity, "query: %v", res.err)
+			return
+		}
+		s.count("completed")
+		s.latency.Observe(time.Since(start).Seconds())
+		resp := &PartialResponse{
+			RequestID: RequestID(r.Context()),
+			Partial:   shard.FromQueryPartial(res.qp, s.db.Shard()),
+		}
+		if wantTrace {
+			resp.Trace = root.Snapshot()
+		}
+		writeJSON(w, http.StatusOK, resp)
+	case <-timer.C:
+		s.count("timeout")
+		s.fail(w, http.StatusGatewayTimeout, "query exceeded %s", s.cfg.QueryTimeout)
+	}
+}
+
+// BuildQueryResponse ranks a report and shapes it as the wire response.
+// Exported so the gateway renders merged reports through the exact same
+// code path a single node uses — the differential guarantee includes
+// the response encoding.
+func BuildQueryResponse(rep *core.Report, m stats.Method, top int) *QueryResponse {
 	resp := &QueryResponse{
 		Query:      rep.QueryName,
 		Method:     m.String(),
@@ -407,6 +547,18 @@ type StatsResponse struct {
 		UniqueStrands int `json:"unique_strands"`
 		TotalStrands  int `json:"total_strands"`
 	} `json:"index"`
+	// Snapshot identifies the index snapshot this replica serves —
+	// format version, body checksum, and (when the corpus is one shard
+	// of a split) the shard coordinates and fleet generation. A gateway
+	// compares these across replicas to detect a mixed fleet before
+	// trusting merged scores.
+	Snapshot struct {
+		Version    int    `json:"version,omitempty"`
+		Checksum   string `json:"checksum,omitempty"`
+		ShardID    int    `json:"shard_id"`
+		ShardCount int    `json:"shard_count"`
+		Generation string `json:"generation,omitempty"`
+	} `json:"snapshot"`
 	VCPCache struct {
 		Pairs     int     `json:"pairs"`
 		QueryKeys int     `json:"query_keys"`
@@ -437,6 +589,7 @@ type StatsResponse struct {
 		PairsPruned             uint64             `json:"pairs_pruned"`
 		VerifierCalls           uint64             `json:"verifier_calls"`
 		VerifierCorrespondences uint64             `json:"verifier_correspondences"`
+		SigmoidK                float64            `json:"sigmoid_k"`
 		Kernel                  string             `json:"kernel"`
 		KernelSeconds           float64            `json:"kernel_seconds"`
 		KernelPrefixInstrs      uint64             `json:"kernel_prefix_instrs"`
@@ -463,6 +616,12 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Index.Targets = dbs.Targets
 	resp.Index.UniqueStrands = dbs.UniqueStrands
 	resp.Index.TotalStrands = dbs.TotalStrands
+	resp.Snapshot.Version = s.cfg.Snapshot.Version
+	resp.Snapshot.Checksum = s.cfg.Snapshot.Checksum
+	si := s.db.Shard()
+	resp.Snapshot.ShardID = si.ID
+	resp.Snapshot.ShardCount = si.Count
+	resp.Snapshot.Generation = si.Generation
 	resp.VCPCache.Pairs = dbs.VCPCachePairs
 	resp.VCPCache.QueryKeys = dbs.VCPCacheQueries
 	resp.VCPCache.CapPairs = dbs.VCPCacheCap
@@ -480,6 +639,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.PairsPruned = dbs.VCPPairsPruned
 	resp.Engine.VerifierCalls = dbs.VerifierCalls
 	resp.Engine.VerifierCorrespondences = dbs.VerifierCorrespondences
+	resp.Engine.SigmoidK = s.db.Options().SigmoidK
 	resp.Engine.Kernel = dbs.Kernel
 	resp.Engine.KernelSeconds = float64(dbs.KernelNanos) / 1e9
 	resp.Engine.KernelPrefixInstrs = dbs.KernelPrefixInstrs

@@ -1,0 +1,238 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/asm"
+	"repro/internal/core"
+)
+
+// Partial is one shard's contribution to a scattered query, in wire
+// form: the serialization of core.QueryPartial plus the shard identity
+// the coordinator checks against its manifest. JSON float64 round-trips
+// exactly in Go (shortest-representation encoding), so shipping rows as
+// JSON loses no bits.
+type Partial struct {
+	ShardID    int    `json:"shard_id"`
+	ShardCount int    `json:"shard_count"`
+	Generation string `json:"generation"`
+
+	QueryName  string         `json:"query_name"`
+	Source     asm.Provenance `json:"source"`
+	NumBlocks  int            `json:"num_blocks"`
+	NumStrands int            `json:"num_strands"`
+	SigmoidK   float64        `json:"sigmoid_k"`
+	// Weights and Rows are indexed by unique query strand, in the
+	// decomposition order every shard derives identically from the
+	// query text; Rows' second index is the shard-local strand order
+	// the manifest's Strands map translates to global.
+	Weights []float64       `json:"weights"`
+	Rows    [][]float64     `json:"rows"`
+	Targets []TargetPartial `json:"targets"`
+}
+
+// TargetPartial is one target's shard-exact reductions in wire form.
+type TargetPartial struct {
+	Name       string         `json:"name"`
+	Source     asm.Provenance `json:"source"`
+	NumBlocks  int            `json:"num_blocks"`
+	NumStrands int            `json:"num_strands"`
+	SVCP       float64        `json:"svcp"`
+	MaxVCP     []float64      `json:"max_vcp"`
+}
+
+// FromQueryPartial converts an engine partial to wire form.
+func FromQueryPartial(qp *core.QueryPartial, si core.ShardInfo) *Partial {
+	p := &Partial{
+		ShardID:    si.ID,
+		ShardCount: si.Count,
+		Generation: si.Generation,
+		QueryName:  qp.QueryName,
+		Source:     qp.Source,
+		NumBlocks:  qp.NumBlocks,
+		NumStrands: qp.NumStrands,
+		SigmoidK:   qp.SigmoidK,
+		Weights:    qp.Weights,
+		Rows:       qp.Rows,
+		Targets:    make([]TargetPartial, len(qp.Targets)),
+	}
+	for i, ps := range qp.Targets {
+		p.Targets[i] = TargetPartial{
+			Name:       ps.Target.Name,
+			Source:     ps.Target.Source,
+			NumBlocks:  ps.Target.NumBlocks,
+			NumStrands: ps.Target.NumStrands,
+			SVCP:       ps.SVCP,
+			MaxVCP:     ps.MaxVCP,
+		}
+	}
+	return p
+}
+
+// Merge reassembles shard partials into the single-node result. With
+// every shard present the output is bit-identical to core.Query on the
+// union corpus: the global VCP rows are rebuilt in global strand order
+// (each entry computed on some shard, per-pair deterministic), the
+// per-target reductions pass through untouched, the targets are laid
+// out in global (corpus build) order, and core.QueryPartial.Finalize
+// then runs the same H0/GES float sequence and the same stable sort a
+// single node runs.
+//
+// Missing shards degrade gracefully: their targets are absent from the
+// report, and strands covered only by missing shards are excluded from
+// the H0 estimate by zeroing their counts (an H0Accumulator.Add with
+// multiplicity 0 is a no-op), so the surviving targets' scores are the
+// best estimate available from the reachable corpus. The returned slice
+// lists the missing shard IDs (nil when the fleet was complete).
+func Merge(man *Manifest, parts []*Partial) (*core.Report, []int, error) {
+	n := len(man.Shards)
+	byShard := make([]*Partial, n)
+	var first *Partial
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if p.ShardID < 0 || p.ShardID >= n {
+			return nil, nil, fmt.Errorf("shard: merge: shard id %d out of range [0,%d)", p.ShardID, n)
+		}
+		if p.ShardCount != n {
+			return nil, nil, fmt.Errorf("shard: merge: shard %d reports fleet of %d, manifest has %d", p.ShardID, p.ShardCount, n)
+		}
+		if p.Generation != man.Generation {
+			return nil, nil, fmt.Errorf("shard: merge: shard %d is generation %q, manifest is %q", p.ShardID, p.Generation, man.Generation)
+		}
+		if byShard[p.ShardID] != nil {
+			return nil, nil, fmt.Errorf("shard: merge: two partials for shard %d", p.ShardID)
+		}
+		byShard[p.ShardID] = p
+		if first == nil {
+			first = p
+		}
+	}
+	if first == nil {
+		return nil, nil, fmt.Errorf("shard: merge: no shard responded")
+	}
+
+	var missing []int
+	for s, p := range byShard {
+		if p == nil {
+			missing = append(missing, s)
+			continue
+		}
+		if err := checkPartial(man, first, p); err != nil {
+			return nil, nil, err
+		}
+	}
+
+	// Rebuild the dense global rows. A strand shared by two shards is
+	// written twice with bitwise-equal values (same deterministic pair
+	// computation), so overwrite order is irrelevant.
+	nq := len(first.Weights)
+	rows := make([][]float64, nq)
+	for i := range rows {
+		rows[i] = make([]float64, len(man.Counts))
+	}
+	covered := make([]bool, len(man.Counts))
+	for s, p := range byShard {
+		if p == nil {
+			continue
+		}
+		for j, g := range man.Shards[s].Strands {
+			covered[g] = true
+			for i := range rows {
+				rows[i][g] = p.Rows[i][j]
+			}
+		}
+	}
+	counts := man.Counts
+	if len(missing) > 0 {
+		counts = make([]int, len(man.Counts))
+		for g, ok := range covered {
+			if ok {
+				counts[g] = man.Counts[g]
+			}
+		}
+	}
+
+	// Lay the targets out in global corpus order — the single-node
+	// pre-sort order, so the stable GES sort breaks ties identically.
+	type loc struct{ s, k int }
+	at := make(map[int]loc, man.NumTargets)
+	for s, p := range byShard {
+		if p == nil {
+			continue
+		}
+		for k := range p.Targets {
+			at[man.Shards[s].Targets[k]] = loc{s, k}
+		}
+	}
+	order := make([]int, 0, len(at))
+	for ti := range at {
+		order = append(order, ti)
+	}
+	sort.Ints(order)
+	targets := make([]core.PartialScore, 0, len(order))
+	for _, ti := range order {
+		l := at[ti]
+		tp := byShard[l.s].Targets[l.k]
+		targets = append(targets, core.PartialScore{
+			Target: &core.Target{
+				Name:       tp.Name,
+				Source:     tp.Source,
+				NumBlocks:  tp.NumBlocks,
+				NumStrands: tp.NumStrands,
+			},
+			SVCP:   tp.SVCP,
+			MaxVCP: tp.MaxVCP,
+		})
+	}
+
+	qp := &core.QueryPartial{
+		QueryName:  first.QueryName,
+		Source:     first.Source,
+		NumBlocks:  first.NumBlocks,
+		NumStrands: first.NumStrands,
+		SigmoidK:   first.SigmoidK,
+		Weights:    first.Weights,
+		Rows:       rows,
+		Targets:    targets,
+	}
+	return qp.Finalize(counts), missing, nil
+}
+
+// checkPartial validates one shard's partial against the manifest and
+// the fleet-wide query view (every shard must derive the identical
+// query decomposition, or rows cannot be merged by index).
+func checkPartial(man *Manifest, first, p *Partial) error {
+	s := p.ShardID
+	if p.SigmoidK != man.SigmoidK {
+		return fmt.Errorf("shard: merge: shard %d ran sigmoid k=%g, manifest says %g", s, p.SigmoidK, man.SigmoidK)
+	}
+	if p.QueryName != first.QueryName || p.NumStrands != first.NumStrands || len(p.Weights) != len(first.Weights) {
+		return fmt.Errorf("shard: merge: shard %d answered a different query (%q, %d strands) than shard %d (%q, %d strands)",
+			s, p.QueryName, len(p.Weights), first.ShardID, first.QueryName, len(first.Weights))
+	}
+	for i, w := range p.Weights {
+		if w != first.Weights[i] {
+			return fmt.Errorf("shard: merge: shard %d disagrees on query strand %d weight (%g vs %g)", s, i, w, first.Weights[i])
+		}
+	}
+	if len(p.Rows) != len(p.Weights) {
+		return fmt.Errorf("shard: merge: shard %d returned %d rows for %d query strands", s, len(p.Rows), len(p.Weights))
+	}
+	for i, row := range p.Rows {
+		if len(row) != len(man.Shards[s].Strands) {
+			return fmt.Errorf("shard: merge: shard %d row %d has %d entries, manifest maps %d strands", s, i, len(row), len(man.Shards[s].Strands))
+		}
+	}
+	if len(p.Targets) != len(man.Shards[s].Targets) {
+		return fmt.Errorf("shard: merge: shard %d returned %d targets, manifest assigns %d", s, len(p.Targets), len(man.Shards[s].Targets))
+	}
+	for k, tp := range p.Targets {
+		if len(tp.MaxVCP) != len(p.Weights) {
+			return fmt.Errorf("shard: merge: shard %d target %d has %d max-VCP entries for %d query strands", s, k, len(tp.MaxVCP), len(p.Weights))
+		}
+	}
+	return nil
+}

@@ -24,6 +24,7 @@ type Span struct {
 	attrs    map[string]float64
 	order    []string // attr keys in first-set order
 	children []*Span
+	remote   []*SpanData // subtrees grafted from other processes
 }
 
 type spanKey struct{}
@@ -106,6 +107,19 @@ func (s *Span) setLocked(key string, v float64) {
 	s.attrs[key] = v
 }
 
+// AttachRemote grafts an already-snapshotted span tree from another
+// process under this span — how a gateway stitches each shard's
+// server-side trace into its fan-out tree. nil is ignored. Remote
+// subtrees appear after local children in Snapshot output.
+func (s *Span) AttachRemote(d *SpanData) {
+	if d == nil {
+		return
+	}
+	s.mu.Lock()
+	s.remote = append(s.remote, d)
+	s.mu.Unlock()
+}
+
 // SpanData is the exported, JSON-friendly form of a span tree.
 type SpanData struct {
 	Name       string             `json:"name"`
@@ -133,10 +147,12 @@ func (s *Span) Snapshot() *SpanData {
 		}
 	}
 	children := append([]*Span(nil), s.children...)
+	remote := append([]*SpanData(nil), s.remote...)
 	s.mu.Unlock()
 	for _, c := range children {
 		out.Children = append(out.Children, c.Snapshot())
 	}
+	out.Children = append(out.Children, remote...)
 	return out
 }
 
