@@ -7,12 +7,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
 	"testing"
+	"time"
 
 	"repro/internal/asm"
 	"repro/internal/cfg"
@@ -27,6 +29,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/smt"
 	"repro/internal/strand"
+	"repro/internal/telemetry"
 	"repro/internal/vcp"
 )
 
@@ -321,6 +324,40 @@ func BenchmarkQuery(b *testing.B) {
 			b.StopTimer()
 			b.ReportMetric(float64(db.Stats().VerifierCalls)/float64(b.N), "verifier-calls/op")
 		})
+	}
+}
+
+// BenchmarkRecorder measures the flight recorder's per-query tax: the
+// span tree a query builds anyway is snapshotted, its stage timings and
+// work counters are adopted into a QueryRecord, and the record is
+// published into the lock-free ring — everything the server layer adds
+// on top of the engine per request. bench-smoke divides this figure by
+// BenchmarkQuery ns/op to hold the always-on recorder under 1% of a
+// query.
+func BenchmarkRecorder(b *testing.B) {
+	rec := telemetry.NewRecorder(0, 0, time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx, root := telemetry.StartSpan(context.Background(), "query")
+		_, spVCP := telemetry.StartSpan(ctx, "vcp")
+		spVCP.SetAttr("pairs", 128)
+		spVCP.SetAttr("pairs_pruned", 64)
+		spVCP.SetAttr("verifier_calls", 900)
+		spVCP.SetAttr("kernel_batch", 1)
+		spVCP.End()
+		_, spStats := telemetry.StartSpan(ctx, "stats")
+		spStats.End()
+		root.End()
+		qr := &telemetry.QueryRecord{ID: "bench", Kind: "query", Outcome: "completed"}
+		qr.FillFromTrace(root.Snapshot())
+		if rec.Record(qr) {
+			b.Fatal("sub-second record classified slow")
+		}
+	}
+	b.StopTimer()
+	if got := rec.Total(); got != uint64(b.N) {
+		b.Fatalf("recorder holds %d records, want %d", got, b.N)
 	}
 }
 

@@ -8,6 +8,7 @@
 //	eshd -index corpus.eshidx [-addr :8710] [-timeout 60s]
 //	     [-max-inflight 16] [-workers 0] [-drain 30s]
 //	     [-log-format text|json] [-pprof-addr 127.0.0.1:6060]
+//	     [-slow-query-threshold 1s] [-recorder-size 512]
 //
 // Endpoints:
 //
@@ -16,6 +17,8 @@
 //	POST /v1/query/partial  shard-local partial scores, for an eshgw coordinator
 //	GET  /v1/targets        indexed procedures with provenance
 //	GET  /v1/stats          index size, snapshot identity, query counters, latency
+//	GET  /debug/queries     flight recorder: recent queries with stage timings
+//	GET  /debug/slow        slow-query log: full span trees, no ?trace=1 needed
 //	GET  /metrics           Prometheus text-format exposition
 //	GET  /healthz           liveness
 //	GET  /readyz            readiness (503 while draining)
@@ -56,6 +59,8 @@ func main() {
 	notice := flag.Duration("ready-notice", 0, "hold /readyz at 503 this long before closing the listener, so pollers route away first")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	slowThreshold := flag.Duration("slow-query-threshold", time.Second, "queries at or above this duration keep their span tree in /debug/slow (negative = disabled)")
+	recorderSize := flag.Int("recorder-size", 0, "flight-recorder ring size (0 = default 512)")
 	prefilter := flag.String("prefilter", "", "candidate prefilter for the VCP pair loop: off or lsh (empty = snapshot's setting)")
 	lshBands := flag.Int("lsh-bands", 0, "LSH bands of the sketch prefilter (0 = snapshot's geometry)")
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = snapshot's geometry)")
@@ -139,10 +144,12 @@ func main() {
 	}
 
 	srv := server.New(db, server.Config{
-		QueryTimeout: *timeout,
-		MaxInFlight:  *maxInflight,
-		Logger:       logger,
-		Snapshot:     info,
+		QueryTimeout:       *timeout,
+		MaxInFlight:        *maxInflight,
+		Logger:             logger,
+		Snapshot:           info,
+		SlowQueryThreshold: *slowThreshold,
+		RecorderSize:       *recorderSize,
 	})
 	httpSrv := &http.Server{
 		Addr:              *addr,

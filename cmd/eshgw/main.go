@@ -9,7 +9,9 @@
 //	      -shards "http://h0:8710,http://h0b:8710;http://h1:8710" \
 //	      [-addr :8720] [-timeout 60s] [-hedge-after 300ms]
 //	      [-retries 2] [-retry-backoff 100ms] [-probe-interval 2s]
+//	      [-scrape-interval 15s] [-slow-query-threshold 1s]
 //	      [-allow-degraded] [-log-format text|json]
+//	      [-pprof-addr 127.0.0.1:6061]
 //
 // -shards lists replica base URLs per shard: ';' separates shards (in
 // shard-ID order, one group per manifest shard), ',' separates replicas
@@ -24,14 +26,18 @@
 //
 // Endpoints:
 //
-//	POST /v1/query   same schema as eshd; responses add "partial" and
-//	                 "missing_shards" when a shard was unreachable.
-//	                 ?trace=1 returns the fan-out tree with each
-//	                 shard's server-side trace grafted in.
-//	GET  /v1/stats   fleet health, hedge/retry counters, latency
-//	GET  /metrics    Prometheus text-format exposition
-//	GET  /healthz    liveness
-//	GET  /readyz     readiness: every shard has a ready replica
+//	POST /v1/query      same schema as eshd; responses add "partial" and
+//	                    "missing_shards" when a shard was unreachable.
+//	                    ?trace=1 returns the fan-out tree with each
+//	                    shard's server-side trace grafted in.
+//	GET  /v1/stats      fleet health, hedge/retry counters, latency
+//	GET  /v1/fleet      JSON fleet view: readiness, per-shard p99, scrapes
+//	GET  /debug/queries flight recorder: recent fan-outs with shard legs
+//	GET  /debug/slow    slow-query log: full fan-out span trees
+//	GET  /metrics       federated exposition: gateway series plus each
+//	                    shard's scraped series re-labeled shard="<id>"
+//	GET  /healthz       liveness
+//	GET  /readyz        readiness: every shard has a ready replica
 package main
 
 import (
@@ -41,6 +47,7 @@ import (
 	"fmt"
 	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strings"
@@ -63,6 +70,9 @@ func main() {
 	maxInflight := flag.Int("max-inflight", 0, "max concurrent fan-outs (0 = 16)")
 	allowDegraded := flag.Bool("allow-degraded", false, "start even when fleet verification fails or replicas are unreachable")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	pprofAddr := flag.String("pprof-addr", "", "serve net/http/pprof on this address (empty = disabled)")
+	scrapeInterval := flag.Duration("scrape-interval", 15*time.Second, "metrics-federation scrape period for shard /metrics pages")
+	slowThreshold := flag.Duration("slow-query-threshold", time.Second, "fan-outs at or above this duration keep their span tree in /debug/slow (negative = disabled)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -98,18 +108,35 @@ func main() {
 	}
 
 	gw, err := gateway.New(gateway.Config{
-		Manifest:      man,
-		Shards:        replicas,
-		QueryTimeout:  *timeout,
-		HedgeAfter:    *hedgeAfter,
-		MaxRetries:    *retries,
-		RetryBackoff:  *backoff,
-		ProbeInterval: *probeInterval,
-		MaxInFlight:   *maxInflight,
-		Logger:        logger,
+		Manifest:           man,
+		Shards:             replicas,
+		QueryTimeout:       *timeout,
+		HedgeAfter:         *hedgeAfter,
+		MaxRetries:         *retries,
+		RetryBackoff:       *backoff,
+		ProbeInterval:      *probeInterval,
+		MaxInFlight:        *maxInflight,
+		Logger:             logger,
+		ScrapeInterval:     *scrapeInterval,
+		SlowQueryThreshold: *slowThreshold,
 	})
 	if err != nil {
 		fail("%v", err)
+	}
+
+	if *pprofAddr != "" {
+		pprofMux := http.NewServeMux()
+		pprofMux.HandleFunc("/debug/pprof/", pprof.Index)
+		pprofMux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		pprofMux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		pprofMux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		pprofMux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			logger.Info("pprof listening", "addr", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, pprofMux); err != nil {
+				logger.Error("pprof listener failed", "err", err)
+			}
+		}()
 	}
 
 	// Verify the fleet before serving: a replica with the wrong

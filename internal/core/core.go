@@ -822,6 +822,20 @@ func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, 
 	// query of few large strands still saturates every worker and the
 	// goroutine count is bounded by Workers rather than the strand count.
 	_, spVCP := telemetry.StartSpan(ctx, "vcp")
+	// Pin the engine path this query actually ran under to the span:
+	// serve-time reconfiguration (ConfigureKernel/ConfigurePrefilter)
+	// can flip db.opts before anyone inspects the trace, so record
+	// the entry-time snapshot rather than the live options.
+	if qc.opts.VCP.Kernel == vcp.KernelScalar {
+		spVCP.SetAttr("kernel_batch", 0)
+	} else {
+		spVCP.SetAttr("kernel_batch", 1)
+	}
+	if qc.prefilterOn() {
+		spVCP.SetAttr("prefilter_lsh", 1)
+	} else {
+		spVCP.SetAttr("prefilter_lsh", 0)
+	}
 	preps := make([]*vcp.Prepared, len(qs))
 	for i, q := range qs {
 		preps[i] = q.prep

@@ -25,6 +25,7 @@ import (
 	"io"
 	"log/slog"
 	"net/http"
+	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -71,6 +72,19 @@ type Config struct {
 	// Client issues the shard requests (default: http.Client with the
 	// query timeout).
 	Client *http.Client
+	// ScrapeInterval is the metrics-federation period: every interval
+	// the gateway scrapes one ready replica per shard's /metrics and
+	// re-exports the series with a shard label (default 15s). The
+	// scraper rides the prober goroutine, so it needs StartProber.
+	ScrapeInterval time.Duration
+	// SlowQueryThreshold marks merged queries at or above this duration
+	// as slow (full fan-out span tree retained, exposed at /debug/slow).
+	// Default 1s; negative disables slow capture.
+	SlowQueryThreshold time.Duration
+	// RecorderSize / SlowLogSize bound the flight-recorder rings
+	// (defaults telemetry.DefaultRecorderSize / DefaultSlowLogSize).
+	RecorderSize int
+	SlowLogSize  int
 }
 
 func (c Config) withDefaults() Config {
@@ -104,6 +118,15 @@ func (c Config) withDefaults() Config {
 	if c.Client == nil {
 		c.Client = &http.Client{Timeout: c.QueryTimeout}
 	}
+	if c.ScrapeInterval <= 0 {
+		c.ScrapeInterval = 15 * time.Second
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = time.Second
+	}
+	if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0 // disabled
+	}
 	return c
 }
 
@@ -132,6 +155,35 @@ type Gateway struct {
 	latency  *telemetry.Histogram
 	shardLat []*telemetry.Histogram // per shard
 	started  time.Time
+
+	// Flight recorder and streaming latency quantiles, mirroring the
+	// shard server's: every fan-out leaves a record with its per-shard
+	// outcomes; slow ones keep the whole fan-out span tree.
+	rec    *telemetry.Recorder
+	lat    *telemetry.Quantiles
+	shardQ []*telemetry.Quantiles // per shard fan-out leg latency
+	slowQ  *telemetry.Counter
+
+	// Federation state: scrapes[i] holds shard i's last /metrics scrape
+	// (atomically swapped whole, so renders never see a half-written
+	// scrape); the counters track scrape outcomes per shard.
+	scrapes    []atomic.Pointer[scrapeResult]
+	scrapeOK   []*telemetry.Counter
+	scrapeErr  []*telemetry.Counter
+	fedDropped *telemetry.Counter
+}
+
+// scrapeResult is one shard's last federation scrape. fams is nil when
+// the scrape failed — failure drops the shard's series from the
+// federated page rather than re-exporting stale values.
+type scrapeResult struct {
+	replica string
+	at      time.Time
+	millis  float64
+	err     string
+	fams    []*telemetry.ParsedFamily
+	series  int
+	uptime  float64 // the shard's esh_http_uptime_seconds at scrape time
 }
 
 // New validates the fleet shape and builds a Gateway.
@@ -195,26 +247,141 @@ func New(cfg Config) (*Gateway, error) {
 		})
 	g.reg.GaugeFunc("esh_gw_uptime_seconds", "Seconds since the gateway started.",
 		func() float64 { return time.Since(g.started).Seconds() })
+	g.reg.Gauge("esh_process_start_time_seconds",
+		"Unix time the process started.").Set(float64(g.started.UnixNano()) / 1e9)
+	g.reg.Gauge("esh_build_info", "Build and engine configuration (value is always 1).",
+		"go_version", runtime.Version(),
+		"kernel", cfg.Manifest.Kernel,
+		"prefilter", cfg.Manifest.Prefilter).Set(1)
+
+	g.rec = telemetry.NewRecorder(cfg.RecorderSize, cfg.SlowLogSize, cfg.SlowQueryThreshold)
+	g.lat = telemetry.NewQuantiles(latencyQuantiles[:]...)
+	g.slowQ = g.reg.Counter("esh_gw_slow_queries_total",
+		"Merged queries at or above the slow-query threshold.")
+	g.reg.GaugeFunc("esh_flight_recorder_records",
+		"Query records ever published to the flight recorder.",
+		func() float64 { return float64(g.rec.Total()) })
+	for _, q := range latencyQuantiles {
+		q := q
+		g.reg.GaugeFunc("esh_gw_query_quantile_seconds",
+			"Streaming latency quantiles of merged queries (P2 estimator).",
+			func() float64 { return g.lat.Quantile(q) },
+			"quantile", telemetry.FormatQuantile(q))
+	}
+	g.shardQ = make([]*telemetry.Quantiles, len(cfg.Shards))
+	g.scrapes = make([]atomic.Pointer[scrapeResult], len(cfg.Shards))
+	g.scrapeOK = make([]*telemetry.Counter, len(cfg.Shards))
+	g.scrapeErr = make([]*telemetry.Counter, len(cfg.Shards))
+	for i := range cfg.Shards {
+		g.shardQ[i] = telemetry.NewQuantiles(latencyQuantiles[:]...)
+		for _, q := range latencyQuantiles {
+			i, q := i, q
+			g.reg.GaugeFunc("esh_gw_shard_quantile_seconds",
+				"Streaming per-shard fan-out latency quantiles (P2 estimator).",
+				func() float64 { return g.shardQ[i].Quantile(q) },
+				"shard", fmt.Sprint(i), "quantile", telemetry.FormatQuantile(q))
+		}
+		g.scrapeOK[i] = g.reg.Counter("esh_gw_scrapes_total",
+			"Federation scrapes of shard /metrics by result.",
+			"shard", fmt.Sprint(i), "result", "ok")
+		g.scrapeErr[i] = g.reg.Counter("esh_gw_scrapes_total",
+			"Federation scrapes of shard /metrics by result.",
+			"shard", fmt.Sprint(i), "result", "error")
+	}
+	g.fedDropped = g.reg.Counter("esh_gw_federation_dropped_total",
+		"Scraped families dropped from the federated page for type conflicts (cumulative over renders).")
 	return g, nil
 }
 
-// StartProber launches the background /readyz prober; StopProber (or
-// nothing, for tests) ends it.
+// latencyQuantiles mirrors the server's exported percentile set.
+var latencyQuantiles = [...]float64{0.5, 0.95, 0.99}
+
+// StartProber launches the background /readyz prober, which also
+// drives the metrics-federation scraper on its own cadence; StopProber
+// (or nothing, for tests — ScrapeFleet can be called directly) ends it.
 func (g *Gateway) StartProber() {
 	go func() {
 		defer close(g.probeDone)
 		t := time.NewTicker(g.cfg.ProbeInterval)
 		defer t.Stop()
+		st := time.NewTicker(g.cfg.ScrapeInterval)
+		defer st.Stop()
 		g.probeAll()
+		g.ScrapeFleet(context.Background())
 		for {
 			select {
 			case <-g.probeStop:
 				return
 			case <-t.C:
 				g.probeAll()
+			case <-st.C:
+				g.ScrapeFleet(context.Background())
 			}
 		}
 	}()
+}
+
+// ScrapeFleet scrapes one replica per shard's /metrics (ready replicas
+// preferred) and stores the parsed families for the federated /metrics
+// page and /v1/fleet. Shards scrape concurrently; a failed scrape
+// replaces the shard's series with the failure, never with stale data.
+func (g *Gateway) ScrapeFleet(ctx context.Context) {
+	var wg sync.WaitGroup
+	for sid := range g.cfg.Shards {
+		wg.Add(1)
+		go func(sid int) {
+			defer wg.Done()
+			g.scrapeShard(ctx, sid)
+		}(sid)
+	}
+	wg.Wait()
+}
+
+func (g *Gateway) scrapeShard(ctx context.Context, sid int) {
+	u := g.cfg.Shards[sid][g.replicaOrder(sid)[0]]
+	start := time.Now()
+	res := &scrapeResult{replica: u, at: start}
+	fams, err := g.fetchMetrics(ctx, u)
+	res.millis = float64(time.Since(start).Microseconds()) / 1000
+	if err != nil {
+		res.err = err.Error()
+		g.scrapeErr[sid].Inc()
+		g.cfg.Logger.Warn("federation scrape failed", "shard", sid, "replica", u, "err", err.Error())
+	} else {
+		res.fams = fams
+		for _, f := range fams {
+			res.series += len(f.Samples)
+			if f.Name == "esh_http_uptime_seconds" {
+				if v, ok := f.Gauge(); ok {
+					res.uptime = v
+				}
+			}
+		}
+		g.scrapeOK[sid].Inc()
+	}
+	g.scrapes[sid].Store(res)
+}
+
+func (g *Gateway) fetchMetrics(ctx context.Context, base string) ([]*telemetry.ParsedFamily, error) {
+	ctx, cancel := context.WithTimeout(ctx, g.cfg.ScrapeInterval)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, base+"/metrics", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := g.cfg.Client.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("metrics: HTTP %d", resp.StatusCode)
+	}
+	fams, err := telemetry.ParseExposition(io.LimitReader(resp.Body, 16<<20))
+	if err != nil {
+		return nil, fmt.Errorf("parse exposition: %w", err)
+	}
+	return fams, nil
 }
 
 // StopProber stops the prober and waits for it to exit. Safe to call
@@ -353,6 +520,7 @@ type shardReply struct {
 	replica  string
 	attempts int
 	hedged   bool
+	millis   float64
 	err      error
 }
 
@@ -369,12 +537,15 @@ func (g *Gateway) scatter(qctx context.Context, body []byte, wantTrace bool) []s
 			_, ss := telemetry.StartSpan(qctx, fmt.Sprintf("shard_%d", sid))
 			start := time.Now()
 			replies[sid] = g.queryShard(qctx, sid, body, wantTrace)
+			elapsed := time.Since(start)
+			replies[sid].millis = float64(elapsed.Microseconds()) / 1000
 			ss.SetAttr("attempts", float64(replies[sid].attempts))
 			if replies[sid].hedged {
 				ss.SetAttr("hedged", 1)
 			}
 			if replies[sid].err == nil {
-				g.shardLat[sid].Observe(time.Since(start).Seconds())
+				g.shardLat[sid].Observe(elapsed.Seconds())
+				g.shardQ[sid].Observe(elapsed.Seconds())
 				ss.AttachRemote(replies[sid].trace)
 			} else {
 				ss.SetAttr("failed", 1)

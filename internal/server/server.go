@@ -14,8 +14,10 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync/atomic"
 	"time"
 
@@ -25,6 +27,7 @@ import (
 	"repro/internal/shard"
 	"repro/internal/stats"
 	"repro/internal/telemetry"
+	"repro/internal/vcp"
 )
 
 // Config tunes the service. Zero values select the documented defaults.
@@ -46,6 +49,15 @@ type Config struct {
 	// (version, checksum, shard). Optional — an in-memory corpus has
 	// none — but a gateway needs it in /v1/stats to verify the fleet.
 	Snapshot index.Info
+	// SlowQueryThreshold marks queries at or above this duration as
+	// slow: they keep their full span tree in the flight recorder, show
+	// up at GET /debug/slow, and emit a structured warning line. Default
+	// 1s; negative disables slow capture (the recorder itself stays on).
+	SlowQueryThreshold time.Duration
+	// RecorderSize / SlowLogSize bound the flight-recorder rings
+	// (defaults telemetry.DefaultRecorderSize / DefaultSlowLogSize).
+	RecorderSize int
+	SlowLogSize  int
 }
 
 func (c Config) withDefaults() Config {
@@ -63,6 +75,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Logger == nil {
 		c.Logger = slog.Default()
+	}
+	if c.SlowQueryThreshold == 0 {
+		c.SlowQueryThreshold = time.Second
+	}
+	if c.SlowQueryThreshold < 0 {
+		c.SlowQueryThreshold = 0 // disabled
 	}
 	return c
 }
@@ -94,7 +112,19 @@ type Server struct {
 	outcomes map[string]*telemetry.Counter // by queryResults label
 	latency  *telemetry.Histogram
 	started  time.Time
+
+	// Flight recorder: every query that reached the engine leaves a
+	// structured record here whether or not the caller traced it; slow
+	// ones retain their span tree. lat feeds the streaming p50/p95/p99
+	// gauges next to the latency histogram; slowQ counts slow queries.
+	rec   *telemetry.Recorder
+	lat   *telemetry.Quantiles
+	slowQ *telemetry.Counter
 }
+
+// latencyQuantiles are the streamed percentiles exported as gauges and
+// reported in /v1/stats, by both the server and the gateway.
+var latencyQuantiles = [...]float64{0.5, 0.95, 0.99}
 
 // New builds a Server around an indexed database.
 func New(db *core.DB, cfg Config) *Server {
@@ -122,6 +152,27 @@ func New(db *core.DB, cfg Config) *Server {
 		func() float64 { return float64(cfg.MaxInFlight) })
 	s.reg.GaugeFunc("esh_http_uptime_seconds", "Seconds since the server started.",
 		func() float64 { return time.Since(s.started).Seconds() })
+	s.reg.Gauge("esh_process_start_time_seconds",
+		"Unix time the process started.").Set(float64(s.started.UnixNano()) / 1e9)
+	s.reg.Gauge("esh_build_info", "Build and engine configuration (value is always 1).",
+		"go_version", runtime.Version(),
+		"kernel", db.Options().VCP.Kernel,
+		"prefilter", db.Options().Prefilter).Set(1)
+
+	s.rec = telemetry.NewRecorder(cfg.RecorderSize, cfg.SlowLogSize, cfg.SlowQueryThreshold)
+	s.lat = telemetry.NewQuantiles(latencyQuantiles[:]...)
+	s.slowQ = s.reg.Counter("esh_http_slow_queries_total",
+		"Queries at or above the slow-query threshold.")
+	s.reg.GaugeFunc("esh_flight_recorder_records",
+		"Query records ever published to the flight recorder.",
+		func() float64 { return float64(s.rec.Total()) })
+	for _, q := range latencyQuantiles {
+		q := q
+		s.reg.GaugeFunc("esh_http_query_quantile_seconds",
+			"Streaming latency quantiles of completed queries (P2 estimator).",
+			func() float64 { return s.lat.Quantile(q) },
+			"quantile", telemetry.FormatQuantile(q))
+	}
 	return s
 }
 
@@ -133,6 +184,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query/partial", s.handlePartial)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /debug/slow", s.handleSlow)
+	mux.HandleFunc("GET /debug/queries", s.handleRecent)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -300,6 +353,90 @@ func MethodByName(name string) (stats.Method, error) {
 
 func (s *Server) count(result string) { s.outcomes[result].Inc() }
 
+// record publishes one query's flight-recorder entry — built from the
+// span tree the handler grows for every query, traced or not — and
+// emits the structured slow-query line when it crossed the threshold.
+// Only queries that reached the engine are recorded; bad_input and
+// rejected requests never ran and leave no record.
+func (s *Server) record(kind, rid, outcome, errMsg string, start time.Time, root *telemetry.Span) {
+	opts := s.db.Options()
+	rec := &telemetry.QueryRecord{
+		ID:         rid,
+		Kind:       kind,
+		Start:      start,
+		Outcome:    outcome,
+		Err:        errMsg,
+		Generation: s.db.Shard().Generation,
+		Kernel:     opts.VCP.Kernel,
+		Prefilter:  opts.Prefilter,
+	}
+	snap := root.Snapshot()
+	rec.FillFromTrace(snap)
+	// The vcp span carries the entry-time engine configuration, which
+	// beats the live options under concurrent reconfiguration.
+	if v := snap.Find("vcp"); v != nil {
+		if kb, ok := v.Attrs["kernel_batch"]; ok {
+			rec.Kernel = vcp.KernelScalar
+			if kb != 0 {
+				rec.Kernel = vcp.KernelBatch
+			}
+		}
+		if pf, ok := v.Attrs["prefilter_lsh"]; ok {
+			rec.Prefilter = core.PrefilterOff
+			if pf != 0 {
+				rec.Prefilter = core.PrefilterLSH
+			}
+		}
+	}
+	if s.rec.Record(rec) {
+		s.slowQ.Inc()
+		s.cfg.Logger.Warn("slow query",
+			"request_id", rid,
+			"kind", kind,
+			"outcome", outcome,
+			"dur_ms", rec.DurationMS,
+			"threshold_ms", float64(s.rec.SlowThreshold().Microseconds())/1000,
+			"pairs", rec.Pairs,
+			"verifier_calls", rec.VerifierCalls,
+			"stage_ms", fmt.Sprintf("%v", rec.StageMS),
+		)
+	}
+}
+
+// SlowResponse is the GET /debug/slow reply: the retained slow-query
+// records, newest first, each with its full span tree.
+type SlowResponse struct {
+	ThresholdMS float64                  `json:"threshold_ms"`
+	Total       uint64                   `json:"total_slow"`
+	Recorded    uint64                   `json:"total_recorded"`
+	Records     []*telemetry.QueryRecord `json:"records"`
+}
+
+func (s *Server) handleSlow(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, &SlowResponse{
+		ThresholdMS: float64(s.rec.SlowThreshold().Microseconds()) / 1000,
+		Total:       s.rec.SlowTotal(),
+		Recorded:    s.rec.Total(),
+		Records:     s.rec.Slow(),
+	})
+}
+
+// handleRecent serves GET /debug/queries: the most recent flight-recorder
+// entries (trace-stripped unless slow), newest first. ?n= bounds the
+// count (default 100).
+func (s *Server) handleRecent(w http.ResponseWriter, r *http.Request) {
+	n := 100
+	if v := r.URL.Query().Get("n"); v != "" {
+		if parsed, err := strconv.Atoi(v); err == nil && parsed > 0 {
+			n = parsed
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"total":   s.rec.Total(),
+		"records": s.rec.Recent(n),
+	})
+}
+
 func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	var req QueryRequest
 	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
@@ -371,17 +508,22 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 
 	timer := time.NewTimer(s.cfg.QueryTimeout)
 	defer timer.Stop()
+	rid := RequestID(r.Context())
 	select {
 	case res := <-done:
 		if res.err != nil {
 			s.count("failure")
+			s.record("query", rid, "failure", res.err.Error(), start, root)
 			s.fail(w, http.StatusUnprocessableEntity, "query: %v", res.err)
 			return
 		}
 		s.count("completed")
-		s.latency.Observe(time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		s.latency.Observe(secs)
+		s.lat.Observe(secs)
+		s.record("query", rid, "completed", "", start, root)
 		resp := BuildQueryResponse(res.rep, m, top)
-		resp.RequestID = RequestID(r.Context())
+		resp.RequestID = rid
 		if wantTrace {
 			resp.Trace = root.Snapshot()
 		}
@@ -389,7 +531,10 @@ func (s *Server) handleQuery(w http.ResponseWriter, r *http.Request) {
 	case <-timer.C:
 		// The engine query is not cancellable; it keeps running (and
 		// keeps holding its in-flight slot) while the client gets a 504.
+		// The record snapshots the still-running span tree: elapsed time
+		// so far, with whatever stages have finished.
 		s.count("timeout")
+		s.record("query", rid, "timeout", fmt.Sprintf("query exceeded %s", s.cfg.QueryTimeout), start, root)
 		s.fail(w, http.StatusGatewayTimeout, "query exceeded %s", s.cfg.QueryTimeout)
 	}
 }
@@ -460,17 +605,22 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 
 	timer := time.NewTimer(s.cfg.QueryTimeout)
 	defer timer.Stop()
+	rid := RequestID(r.Context())
 	select {
 	case res := <-done:
 		if res.err != nil {
 			s.count("failure")
+			s.record("partial", rid, "failure", res.err.Error(), start, root)
 			s.fail(w, http.StatusUnprocessableEntity, "query: %v", res.err)
 			return
 		}
 		s.count("completed")
-		s.latency.Observe(time.Since(start).Seconds())
+		secs := time.Since(start).Seconds()
+		s.latency.Observe(secs)
+		s.lat.Observe(secs)
+		s.record("partial", rid, "completed", "", start, root)
 		resp := &PartialResponse{
-			RequestID: RequestID(r.Context()),
+			RequestID: rid,
 			Partial:   shard.FromQueryPartial(res.qp, s.db.Shard()),
 		}
 		if wantTrace {
@@ -479,6 +629,7 @@ func (s *Server) handlePartial(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, resp)
 	case <-timer.C:
 		s.count("timeout")
+		s.record("partial", rid, "timeout", fmt.Sprintf("query exceeded %s", s.cfg.QueryTimeout), start, root)
 		s.fail(w, http.StatusGatewayTimeout, "query exceeded %s", s.cfg.QueryTimeout)
 	}
 }
@@ -541,7 +692,8 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 
 // StatsResponse is the GET /v1/stats reply.
 type StatsResponse struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
+	StartTime     time.Time `json:"start_time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
 	Index         struct {
 		Targets       int `json:"targets"`
 		UniqueStrands int `json:"unique_strands"`
@@ -608,11 +760,38 @@ type StatsResponse struct {
 	// LatencyMS maps histogram bucket labels ("<=50ms", ">10000ms") to
 	// completed-query counts. Empty buckets are omitted.
 	LatencyMS map[string]uint64 `json:"latency_ms"`
+	// LatencyQuantilesMS are the streamed P2 estimates behind the
+	// esh_http_query_quantile_seconds gauges (zero until traffic).
+	LatencyQuantilesMS map[string]float64 `json:"latency_quantiles_ms"`
+	// Recorder summarizes the flight recorder (see /debug/slow and
+	// /debug/queries for the records themselves).
+	Recorder struct {
+		Records     uint64  `json:"records"`
+		Slow        uint64  `json:"slow"`
+		ThresholdMS float64 `json:"threshold_ms"`
+	} `json:"recorder"`
+}
+
+// quantilesMS shapes a Quantiles estimator as a {"p50": ms, ...} map,
+// dropping NaN (empty-stream) entries so the struct stays JSON-safe.
+func quantilesMS(lat *telemetry.Quantiles) map[string]float64 {
+	out := make(map[string]float64, len(latencyQuantiles))
+	for _, q := range latencyQuantiles {
+		v := lat.Quantile(q)
+		if math.IsNaN(v) {
+			v = 0
+		}
+		out[fmt.Sprintf("p%g", q*100)] = v * 1000
+	}
+	return out
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	dbs := s.db.Stats()
-	resp := &StatsResponse{UptimeSeconds: time.Since(s.started).Seconds()}
+	resp := &StatsResponse{
+		StartTime:     s.started.UTC(),
+		UptimeSeconds: time.Since(s.started).Seconds(),
+	}
 	resp.Index.Targets = dbs.Targets
 	resp.Index.UniqueStrands = dbs.UniqueStrands
 	resp.Index.TotalStrands = dbs.TotalStrands
@@ -666,5 +845,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 			resp.LatencyMS[fmt.Sprintf(">%gms", bounds[len(bounds)-1]*1000)] = n
 		}
 	}
+	resp.LatencyQuantilesMS = quantilesMS(s.lat)
+	resp.Recorder.Records = s.rec.Total()
+	resp.Recorder.Slow = s.rec.SlowTotal()
+	resp.Recorder.ThresholdMS = float64(s.rec.SlowThreshold().Microseconds()) / 1000
 	writeJSON(w, http.StatusOK, resp)
 }

@@ -1,0 +1,53 @@
+package shard
+
+import "time"
+
+// Fleet-health wire types: the JSON shapes behind the gateway's
+// GET /v1/fleet view. They live here, next to Manifest and Partial,
+// because they are fleet vocabulary — a monitoring client should be
+// able to consume them without importing the gateway.
+
+// ReplicaHealth is one replica's liveness as the gateway sees it.
+type ReplicaHealth struct {
+	URL   string `json:"url"`
+	Ready bool   `json:"ready"`
+}
+
+// ScrapeStatus describes the gateway's last /metrics scrape of a shard:
+// which replica it hit, when, how long it took, and what went wrong.
+// Series is the number of samples the scrape yielded (0 on failure).
+type ScrapeStatus struct {
+	Replica string    `json:"replica,omitempty"`
+	At      time.Time `json:"at,omitempty"`
+	Millis  float64   `json:"millis,omitempty"`
+	Series  int       `json:"series,omitempty"`
+	Err     string    `json:"error,omitempty"`
+}
+
+// ShardHealth is one shard's row in the fleet view.
+type ShardHealth struct {
+	ID       int             `json:"id"`
+	Targets  int             `json:"targets"`
+	Replicas []ReplicaHealth `json:"replicas"`
+	// P50/P95/P99 are the gateway-observed latency quantiles of this
+	// shard's fan-out legs, in milliseconds (zero until traffic).
+	P50MS float64 `json:"p50_ms"`
+	P95MS float64 `json:"p95_ms"`
+	P99MS float64 `json:"p99_ms"`
+	// UptimeSeconds is the shard's own uptime taken from its last
+	// successful /metrics scrape (0 when never scraped).
+	UptimeSeconds float64       `json:"uptime_seconds,omitempty"`
+	LastScrape    *ScrapeStatus `json:"last_scrape,omitempty"`
+}
+
+// FleetHealth is the gateway's GET /v1/fleet reply.
+type FleetHealth struct {
+	Generation    string    `json:"generation"`
+	StartTime     time.Time `json:"start_time"`
+	UptimeSeconds float64   `json:"uptime_seconds"`
+	// Ready mirrors /readyz: every shard has at least one ready replica.
+	Ready         bool          `json:"ready"`
+	Replicas      int           `json:"replicas"`
+	ReadyReplicas int           `json:"ready_replicas"`
+	Shards        []ShardHealth `json:"shards"`
+}

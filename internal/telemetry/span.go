@@ -156,6 +156,24 @@ func (s *Span) Snapshot() *SpanData {
 	return out
 }
 
+// Find returns the first node named name in a depth-first walk of the
+// tree (the receiver included), or nil. The flight recorder uses it to
+// pull per-query engine attributes off a known stage span.
+func (d *SpanData) Find(name string) *SpanData {
+	if d == nil {
+		return nil
+	}
+	if d.Name == name {
+		return d
+	}
+	for _, c := range d.Children {
+		if hit := c.Find(name); hit != nil {
+			return hit
+		}
+	}
+	return nil
+}
+
 // WriteTree pretty-prints the span tree as an indented breakdown, the
 // format behind esh -timings.
 func (d *SpanData) WriteTree(w io.Writer) {
