@@ -48,6 +48,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "enable the heuristic prefilter tier at this estimated-containment threshold (0 = sound tier only; rankings can change when set)")
 	kernel := flag.String("kernel", "", "evaluation kernel for the verifier γ loop: batch or scalar (empty = batch; rankings are identical)")
+	retrieval := flag.String("retrieval", "scan", "stage-3 candidate retrieval: scan or probe (rankings are identical at sound settings)")
 	flag.Parse()
 
 	prefMode, err := core.NormalizePrefilter(*prefilter)
@@ -55,6 +56,10 @@ func main() {
 		fail("%v", err)
 	}
 	kernMode, err := core.NormalizeKernel(*kernel)
+	if err != nil {
+		fail("%v", err)
+	}
+	retrMode, err := core.NormalizeRetrieval(*retrieval)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -91,6 +96,9 @@ func main() {
 		if err := loaded.ConfigureKernel(kernMode); err != nil {
 			fail("%v", err)
 		}
+		if err := loaded.ConfigureRetrieval(retrMode); err != nil {
+			fail("%v", err)
+		}
 		db = loaded
 	} else {
 		opts := core.Options{
@@ -101,6 +109,7 @@ func main() {
 			LSHBands:          *lshBands,
 			LSHRows:           *lshRows,
 			LSHMinContainment: *lshMinCont,
+			Retrieval:         retrMode,
 		}
 		opts.VCP.Kernel = kernMode
 		db = core.NewDB(opts)

@@ -41,6 +41,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "with -save: LSH rows per band (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "with -save: heuristic prefilter tier threshold baked into the snapshot (0 = sound tier only)")
 	kernel := flag.String("kernel", "", "with -save: evaluation kernel baked into the snapshot: batch or scalar (empty = batch; serve-time flags can override)")
+	retrieval := flag.String("retrieval", "scan", "with -save: stage-3 candidate retrieval baked into the snapshot: scan or probe (serve-time flags can override)")
 	saveShards := flag.Int("save-shards", 0, "with -save: also split the index into this many shard snapshots plus a manifest at <save>.manifest (serve each shard with eshd, coordinate with eshgw)")
 	flag.Parse()
 
@@ -49,6 +50,10 @@ func main() {
 		fail("%v", err)
 	}
 	kernMode, err := core.NormalizeKernel(*kernel)
+	if err != nil {
+		fail("%v", err)
+	}
+	retrMode, err := core.NormalizeRetrieval(*retrieval)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -116,6 +121,7 @@ func main() {
 			LSHBands:          *lshBands,
 			LSHRows:           *lshRows,
 			LSHMinContainment: *lshMinCont,
+			Retrieval:         retrMode,
 		}
 		opts.VCP.Kernel = kernMode
 		db := core.NewDB(opts)
@@ -124,11 +130,16 @@ func main() {
 				fail("index %s: %v", p.Name, err)
 			}
 		}
+		// Build the retrieval table before saving so the snapshot carries
+		// it (format v4) and serve-time probe mode skips the rebuild.
+		rstats := db.RetrievalIndex().Stats()
 		if err := index.SaveFile(*save, db); err != nil {
 			fail("%v", err)
 		}
 		fmt.Printf("indexed %d procedures (%d unique strands) in %s; snapshot saved to %s\n",
 			db.NumTargets(), db.NumUniqueStrands(), time.Since(start).Round(time.Millisecond), *save)
+		fmt.Printf("retrieval table: %d buckets over %d bands (%d rows), postings max %d mean %.2f skew %.2f, %d small-strand entries, checksum %016x\n",
+			rstats.Buckets, rstats.Bands, rstats.Rows, rstats.MaxPosting, rstats.MeanPosting, rstats.Skew, rstats.Small, rstats.Checksum)
 		if *saveShards > 0 {
 			manifest := *save + ".manifest"
 			man, err := shard.SaveShards(manifest, db.Export(), *saveShards)

@@ -66,6 +66,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = snapshot's geometry)")
 	lshMinCont := flag.Float64("lsh-min-containment", -1, "heuristic prefilter tier threshold (0 = sound tier only, -1 = snapshot's setting; rankings can change when > 0)")
 	kernel := flag.String("kernel", "", "evaluation kernel for the verifier γ loop: batch or scalar (empty = snapshot's setting; rankings are identical)")
+	retrieval := flag.String("retrieval", "", "stage-3 candidate retrieval: scan or probe (empty = snapshot's setting; rankings are identical at sound settings)")
 	flag.Parse()
 
 	var handler slog.Handler
@@ -103,6 +104,13 @@ func main() {
 	if err := db.ConfigureKernel(kernMode); err != nil {
 		fail("%v", err)
 	}
+	retrMode := *retrieval
+	if retrMode == "" {
+		retrMode = db.Options().Retrieval // keep the snapshot's setting
+	}
+	if err := db.ConfigureRetrieval(retrMode); err != nil {
+		fail("%v", err)
+	}
 	st := db.Stats()
 	attrs := []any{
 		"path", *indexPath,
@@ -113,6 +121,7 @@ func main() {
 		"lsh_bands", st.LSHBands,
 		"lsh_rows", st.LSHRows,
 		"kernel", st.Kernel,
+		"retrieval", st.Retrieval,
 		"snapshot_version", info.Version,
 		"checksum", info.Checksum,
 		"load_ms", loadSpan.Duration().Milliseconds(),

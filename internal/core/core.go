@@ -68,6 +68,38 @@ func NormalizeKernel(mode string) (string, error) {
 	return "", fmt.Errorf("core: unknown kernel mode %q (batch, scalar)", mode)
 }
 
+// Retrieval modes: how stage 3 finds the candidate target strands for
+// each query strand.
+const (
+	// RetrievalScan walks every unique target strand per query strand,
+	// consulting the prefilter per pair. The zero Options value and the
+	// empty string select this mode; per-query cost grows linearly with
+	// the corpus.
+	RetrievalScan = "scan"
+	// RetrievalProbe probes the banded-LSH retrieval table (package
+	// sketch, RetrievalIndex) for each query strand's candidate set and
+	// runs injectability, the size window, and the verifier only on
+	// retrieved pairs. At sound settings (LSHMinContainment == 0) the
+	// probe returns exactly the injectability-live set, so rankings are
+	// byte-identical to scan mode; with the heuristic tier enabled the
+	// probe returns band-bucket collisions (a subset of the scan-mode
+	// heuristic rule) and per-query cost becomes roughly independent of
+	// corpus size.
+	RetrievalProbe = "probe"
+)
+
+// NormalizeRetrieval maps a user-facing retrieval mode string to a
+// canonical value, rejecting unknown modes.
+func NormalizeRetrieval(mode string) (string, error) {
+	switch mode {
+	case "", RetrievalScan:
+		return RetrievalScan, nil
+	case RetrievalProbe:
+		return RetrievalProbe, nil
+	}
+	return "", fmt.Errorf("core: unknown retrieval mode %q (scan, probe)", mode)
+}
+
 // Options configures the engine.
 type Options struct {
 	// VCP holds the verifier and §5.5 heuristic settings.
@@ -106,6 +138,11 @@ type Options struct {
 	// default 0 keeps the prefilter sound: rankings are byte-identical
 	// to prefilter-off.
 	LSHMinContainment float64
+	// Retrieval selects the stage-3 candidate source: RetrievalScan
+	// ("" or "scan") or RetrievalProbe ("probe"). Like Prefilter it can
+	// be flipped at runtime (ConfigureRetrieval); the probe table is
+	// built lazily on first use and persisted in snapshot format v4.
+	Retrieval string
 }
 
 // DefaultVCPCachePairs is the default vcpCache bound: at 16 bytes per
@@ -174,6 +211,20 @@ type DB struct {
 	sums      []sketch.Summary
 	sketchIdx *sketch.Index
 
+	// Retrieval state: the immutable probe table over sums, built
+	// lazily (first probe query, ConfigureRetrieval, or snapshot adopt)
+	// and invalidated whenever sums or the banding change. sketchGen
+	// counts those invalidations so a query whose config snapshot
+	// predates a rebuild can detect it and build a private table
+	// instead of caching a stale one.
+	retr      *sketch.RetrievalIndex
+	sketchGen uint64
+
+	// markPool recycles the n-wide []bool scratch slices stage 3 uses
+	// for prefilter candidate marking and probe deduplication, so a
+	// query of many strands does not allocate one per strand.
+	markPool sync.Pool
+
 	// vcpCache memoizes forward and reverse VCP by (query strand key,
 	// target strand key). It is bounded by Options.VCPCachePairs with
 	// FIFO eviction at query-strand granularity: cacheOrder records
@@ -202,8 +253,14 @@ type DB struct {
 	mKernelNanos   *telemetry.Counter
 	mPrefixInstrs  *telemetry.Counter
 	mKernelInstrs  *telemetry.Counter
+	mProbes        *telemetry.Counter
+	mProbeCands    *telemetry.Counter
+	mProbeSound    *telemetry.Counter
 	hLSHCands      *telemetry.Histogram
 	hSketchBuild   *telemetry.Histogram
+	hProbeCands    *telemetry.Histogram
+	hProbeLatency  *telemetry.Histogram
+	hRetrBuild     *telemetry.Histogram
 }
 
 // queryStages names the Query pipeline stages, in execution order. Each
@@ -223,6 +280,10 @@ func NewDB(opts Options) *DB {
 	opts.VCP.Kernel, _ = NormalizeKernel(opts.VCP.Kernel) // unknown modes read as batch
 	if opts.VCP.Kernel == "" {
 		opts.VCP.Kernel = vcp.KernelBatch
+	}
+	opts.Retrieval, _ = NormalizeRetrieval(opts.Retrieval) // unknown modes read as scan
+	if opts.Retrieval == "" {
+		opts.Retrieval = RetrievalScan
 	}
 	cfg := sketch.Config{
 		Bands:          opts.LSHBands,
@@ -270,8 +331,25 @@ func (db *DB) initMetrics() {
 		[]float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000})
 	db.hSketchBuild = reg.Histogram("esh_sketch_build_seconds",
 		"Wall time spent computing MinHash sketches and LSH buckets (per target at index time, per rebuild at load time).", nil)
+	db.mProbes = reg.Counter("esh_retrieval_probes_total", "Probe-mode candidate retrievals (one per query strand).")
+	db.mProbeCands = reg.Counter("esh_retrieval_candidates_total", "Candidate target strands retrieved by probe-mode queries.")
+	db.mProbeSound = reg.Counter("esh_retrieval_sound_candidates_total", "Injectability-live target strands for probe-mode query strands (the sound candidate set the heuristic tier's retrieval is a subset of; candidates/sound is the recall proxy).")
+	db.hProbeCands = reg.Histogram("esh_retrieval_candidate_set_size",
+		"Retrieved candidate-set size per probe-mode query strand.",
+		[]float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000})
+	db.hProbeLatency = reg.Histogram("esh_retrieval_probe_seconds",
+		"Wall time per retrieval-table probe (one per probe-mode query strand).",
+		[]float64{1e-6, 5e-6, 1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 1e-2, 5e-2, 0.1})
+	db.hRetrBuild = reg.Histogram("esh_retrieval_table_build_seconds",
+		"Wall time per retrieval-table build (lazy first probe, ConfigureRetrieval, or sketch rebuild).", nil)
 	reg.GaugeFunc("esh_lsh_prefilter_enabled", "1 when the LSH prefilter gates the VCP pair loop.", func() float64 {
 		if db.prefilterOn() {
+			return 1
+		}
+		return 0
+	})
+	reg.GaugeFunc("esh_retrieval_probe_enabled", "1 when stage 3 probes the retrieval table instead of scanning all targets.", func() float64 {
+		if db.retrievalOn() {
 			return 1
 		}
 		return 0
@@ -356,6 +434,13 @@ func (db *DB) prefilterOn() bool {
 	return db.opts.Prefilter == PrefilterLSH
 }
 
+// retrievalOn reports whether stage 3 probes the retrieval table.
+func (db *DB) retrievalOn() bool {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.opts.Retrieval == RetrievalProbe
+}
+
 // SketchConfig returns the banding of the DB's sketch index.
 func (db *DB) SketchConfig() sketch.Config {
 	db.cfgMu.RLock()
@@ -371,14 +456,68 @@ type queryConfig struct {
 	sketchCfg sketch.Config
 	sums      []sketch.Summary
 	sketchIdx *sketch.Index
+	retr      *sketch.RetrievalIndex
+	sketchGen uint64
 }
 
 func (qc *queryConfig) prefilterOn() bool { return qc.opts.Prefilter == PrefilterLSH }
+func (qc *queryConfig) probeOn() bool     { return qc.opts.Retrieval == RetrievalProbe }
 
 func (db *DB) snapshotConfig() queryConfig {
 	db.cfgMu.RLock()
-	defer db.cfgMu.RUnlock()
-	return queryConfig{opts: db.opts, sketchCfg: db.sketchCfg, sums: db.sums, sketchIdx: db.sketchIdx}
+	qc := queryConfig{
+		opts: db.opts, sketchCfg: db.sketchCfg, sums: db.sums,
+		sketchIdx: db.sketchIdx, retr: db.retr, sketchGen: db.sketchGen,
+	}
+	db.cfgMu.RUnlock()
+	if qc.probeOn() && qc.retr == nil {
+		qc.retr = db.retrievalFor(&qc)
+	}
+	return qc
+}
+
+// retrievalFor resolves the probe table for a query's configuration
+// snapshot, building and caching it on first use. If the sketch state
+// moved on between the snapshot and the build (a concurrent
+// ConfigurePrefilter geometry change), the shared cache is left alone
+// and the query gets a private table over its own snapshot view, so the
+// query still runs under one consistent configuration.
+func (db *DB) retrievalFor(qc *queryConfig) *sketch.RetrievalIndex {
+	db.cfgMu.Lock()
+	if db.sketchGen == qc.sketchGen {
+		if db.retr == nil {
+			start := time.Now()
+			db.retr = sketch.BuildRetrieval(db.sums, db.sketchCfg)
+			db.hRetrBuild.Observe(time.Since(start).Seconds())
+		}
+		r := db.retr
+		db.cfgMu.Unlock()
+		return r
+	}
+	db.cfgMu.Unlock()
+	start := time.Now()
+	r := sketch.BuildRetrieval(qc.sums, qc.sketchCfg)
+	db.hRetrBuild.Observe(time.Since(start).Seconds())
+	return r
+}
+
+// getMark fetches an all-false scratch slice of length n from the pool.
+func (db *DB) getMark(n int) []bool {
+	if v := db.markPool.Get(); v != nil {
+		if m := *(v.(*[]bool)); len(m) >= n {
+			return m[:n]
+		}
+	}
+	return make([]bool, n)
+}
+
+// putMark clears a scratch slice and returns it to the pool. The clear
+// costs the same memset the old per-row allocation paid, without the
+// garbage.
+func (db *DB) putMark(m []bool) {
+	m = m[:cap(m)]
+	clear(m)
+	db.markPool.Put(&m)
 }
 
 // Signatures returns the per-unique-strand MinHash signatures in index
@@ -450,6 +589,42 @@ func (db *DB) ConfigureKernel(mode string) error {
 	return nil
 }
 
+// ConfigureRetrieval sets the stage-3 candidate source (scan or probe)
+// for subsequent queries. Switching to probe builds the retrieval table
+// if it is not already resident (adopted from a v4 snapshot or built by
+// an earlier probe). Like ConfigurePrefilter it is safe to call
+// concurrently with Query: in-flight queries finish under the mode they
+// started with.
+func (db *DB) ConfigureRetrieval(mode string) error {
+	m, err := NormalizeRetrieval(mode)
+	if err != nil {
+		return err
+	}
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
+	db.opts.Retrieval = m
+	if m == RetrievalProbe && db.retr == nil {
+		start := time.Now()
+		db.retr = sketch.BuildRetrieval(db.sums, db.sketchCfg)
+		db.hRetrBuild.Observe(time.Since(start).Seconds())
+	}
+	return nil
+}
+
+// RetrievalIndex returns the probe table over the current corpus,
+// building it if necessary. The returned index is immutable; it is what
+// the snapshot writer persists and eshcorpus prints build stats from.
+func (db *DB) RetrievalIndex() *sketch.RetrievalIndex {
+	db.cfgMu.Lock()
+	defer db.cfgMu.Unlock()
+	if db.retr == nil {
+		start := time.Now()
+		db.retr = sketch.BuildRetrieval(db.sums, db.sketchCfg)
+		db.hRetrBuild.Observe(time.Since(start).Seconds())
+	}
+	return db.retr
+}
+
 // rebuildSketches rebuilds the summary table and LSH index over every
 // unique strand. When sigs is non-nil and geometrically compatible the
 // persisted signatures are adopted as-is (the snapshot-restore path);
@@ -484,7 +659,17 @@ func (db *DB) rebuildSketches(sigs []sketch.Signature) {
 	}
 	db.sums = sums
 	db.sketchIdx = idx
+	db.invalidateRetrieval()
 	db.hSketchBuild.Observe(time.Since(start).Seconds())
+}
+
+// invalidateRetrieval drops the probe table after the summaries or the
+// banding change; the next probe-mode query (or ConfigureRetrieval)
+// rebuilds it. Callers hold cfgMu, or are AddTarget (documented as not
+// concurrency-safe).
+func (db *DB) invalidateRetrieval() {
+	db.retr = nil
+	db.sketchGen++
 }
 
 // DBStats is a point-in-time snapshot of database and cache occupancy,
@@ -521,6 +706,22 @@ type DBStats struct {
 	LSHMinContainment float64
 	LSHPairsSkipped   uint64
 	LSHDeadDirections uint64
+	// Retrieval is the active stage-3 candidate source (RetrievalScan
+	// or RetrievalProbe). RetrievalProbes counts probe-mode query
+	// strands; RetrievalCandidates their cumulative retrieved
+	// candidates; RetrievalSoundCandidates the cumulative
+	// injectability-live set sizes (candidates/sound is the recall
+	// proxy at heuristic settings — at sound settings the two are
+	// equal). The table-shape fields are zero until the probe table has
+	// been built (lazily, on first probe use).
+	Retrieval                string
+	RetrievalProbes          uint64
+	RetrievalCandidates      uint64
+	RetrievalSoundCandidates uint64
+	RetrievalTableBuckets    int
+	RetrievalTableMaxPost    int
+	RetrievalTableMeanPost   float64
+	RetrievalTableSkew       float64
 	// Kernel is the active evaluation-kernel mode (batch or scalar);
 	// KernelNanos the cumulative wall time γ loops spent inside it;
 	// KernelPrefixInstrs / KernelInstrs the γ-invariant and total
@@ -552,31 +753,44 @@ func (db *DB) Stats() DBStats {
 	db.cfgMu.RLock()
 	prefilter := db.opts.Prefilter
 	kernel := db.opts.VCP.Kernel
+	retrieval := db.opts.Retrieval
 	skCfg := db.sketchCfg
+	retr := db.retr
 	db.cfgMu.RUnlock()
 	s := DBStats{
-		Targets:                 len(db.targets),
-		UniqueStrands:           len(db.uniq),
-		TotalStrands:            db.total,
-		VCPCacheCap:             db.cacheCap(),
-		VCPCacheEvicted:         db.mCacheEvict.Value(),
-		VCPCacheHits:            db.mCacheHits.Value(),
-		VCPCacheMisses:          db.mCacheMisses.Value(),
-		VCPPairsPruned:          db.mPairsPruned.Value(),
-		VerifierCalls:           db.mVerifierCalls.Value(),
-		VerifierCorrespondences: db.mGamma.Value(),
-		Prefilter:               prefilter,
-		LSHBands:                skCfg.Bands,
-		LSHRows:                 skCfg.Rows,
-		LSHMinContainment:       skCfg.MinContainment,
-		LSHPairsSkipped:         db.mLSHSkipped.Value(),
-		LSHDeadDirections:       db.mDeadDirs.Value(),
-		Kernel:                  kernel,
-		KernelNanos:             db.mKernelNanos.Value(),
-		KernelPrefixInstrs:      db.mPrefixInstrs.Value(),
-		KernelInstrs:            db.mKernelInstrs.Value(),
-		Queries:                 db.mQueries.Value(),
-		StageSeconds:            make(map[string]float64, len(queryStages)),
+		Targets:                  len(db.targets),
+		UniqueStrands:            len(db.uniq),
+		TotalStrands:             db.total,
+		VCPCacheCap:              db.cacheCap(),
+		VCPCacheEvicted:          db.mCacheEvict.Value(),
+		VCPCacheHits:             db.mCacheHits.Value(),
+		VCPCacheMisses:           db.mCacheMisses.Value(),
+		VCPPairsPruned:           db.mPairsPruned.Value(),
+		VerifierCalls:            db.mVerifierCalls.Value(),
+		VerifierCorrespondences:  db.mGamma.Value(),
+		Prefilter:                prefilter,
+		LSHBands:                 skCfg.Bands,
+		LSHRows:                  skCfg.Rows,
+		LSHMinContainment:        skCfg.MinContainment,
+		LSHPairsSkipped:          db.mLSHSkipped.Value(),
+		LSHDeadDirections:        db.mDeadDirs.Value(),
+		Retrieval:                retrieval,
+		RetrievalProbes:          db.mProbes.Value(),
+		RetrievalCandidates:      db.mProbeCands.Value(),
+		RetrievalSoundCandidates: db.mProbeSound.Value(),
+		Kernel:                   kernel,
+		KernelNanos:              db.mKernelNanos.Value(),
+		KernelPrefixInstrs:       db.mPrefixInstrs.Value(),
+		KernelInstrs:             db.mKernelInstrs.Value(),
+		Queries:                  db.mQueries.Value(),
+		StageSeconds:             make(map[string]float64, len(queryStages)),
+	}
+	if retr != nil {
+		rst := retr.Stats()
+		s.RetrievalTableBuckets = rst.Buckets
+		s.RetrievalTableMaxPost = rst.MaxPosting
+		s.RetrievalTableMeanPost = rst.MeanPosting
+		s.RetrievalTableSkew = rst.Skew
 	}
 	for _, st := range queryStages {
 		s.StageSeconds[st] = db.stageHist[st].Sum()
@@ -670,6 +884,7 @@ func (db *DB) AddTarget(p *asm.Proc) error {
 			sum := sketch.Summarize(s, db.sketchCfg)
 			db.sums = append(db.sums, sum)
 			db.sketchIdx.Add(sum)
+			db.invalidateRetrieval()
 			db.hSketchBuild.Observe(time.Since(skStart).Seconds())
 		}
 		db.counts[idx]++
@@ -836,6 +1051,11 @@ func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, 
 	} else {
 		spVCP.SetAttr("prefilter_lsh", 0)
 	}
+	if qc.probeOn() {
+		spVCP.SetAttr("retrieval_probe", 1)
+	} else {
+		spVCP.SetAttr("retrieval_probe", 0)
+	}
 	preps := make([]*vcp.Prepared, len(qs))
 	for i, q := range qs {
 		preps[i] = q.prep
@@ -899,6 +1119,10 @@ type rowStats struct {
 	lshSkipped  int   // skipped by the LSH prefilter
 	lshCands    int   // LSH candidate-set size (valid when lshOn)
 	lshOn       bool  // prefilter consulted for this row
+	probeOn     bool  // candidates came from a retrieval-table probe
+	probeCands  int   // retrieved candidate-set size (valid when probeOn)
+	soundCands  int   // injectability-live set size (valid when probeOn)
+	probeNanos  int64 // wall time inside the probe (valid when probeOn)
 	pruned      int   // rejected by the size-ratio window
 	identical   int   // short-circuited as structurally identical
 	hits        int   // cache hits (pair results reused)
@@ -936,8 +1160,17 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	db.mKernelNanos.Add(uint64(rs.kernelNanos))
 	if rs.lshOn {
 		db.mLSHSkipped.Add(uint64(rs.lshSkipped))
-		db.mDeadDirs.Add(uint64(rs.deadDirs))
 		db.hLSHCands.Observe(float64(rs.lshCands))
+	}
+	if rs.probeOn {
+		db.mProbes.Inc()
+		db.mProbeCands.Add(uint64(rs.probeCands))
+		db.mProbeSound.Add(uint64(rs.soundCands))
+		db.hProbeCands.Observe(float64(rs.probeCands))
+		db.hProbeLatency.Observe(float64(rs.probeNanos) / 1e9)
+	}
+	if rs.lshOn || rs.probeOn {
+		db.mDeadDirs.Add(uint64(rs.deadDirs))
 	}
 	if sp == nil {
 		return
@@ -946,6 +1179,13 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	if rs.lshOn {
 		sp.AddAttr("lsh_skipped", float64(rs.lshSkipped))
 		sp.AddAttr("lsh_candidates", float64(rs.lshCands))
+	}
+	if rs.probeOn {
+		sp.AddAttr("retrieval_candidates", float64(rs.probeCands))
+		sp.AddAttr("retrieval_sound_candidates", float64(rs.soundCands))
+		sp.AddAttr("probe_nanos", float64(rs.probeNanos))
+	}
+	if rs.lshOn || rs.probeOn {
 		sp.AddAttr("dead_directions", float64(rs.deadDirs))
 	}
 	sp.AddAttr("pairs_pruned", float64(rs.pruned))
@@ -988,9 +1228,16 @@ type vcpRowState struct {
 	qc       *queryConfig // the query's entry-time configuration snapshot
 	fwd, rev []float64
 
+	// Probe mode: the retrieved candidate ids, filled at row setup
+	// (before chunking — the chunk cuts cover this list, not [0, n)).
+	// nil in scan mode. probed distinguishes "probe mode, no
+	// candidates" from "scan mode".
+	candIDs []int32
+	probed  bool
+
 	init   sync.Once
 	cached map[string][2]float64 // shared-cache snapshot, read-only after init
-	cand   []bool                // prefilter candidates (nil when off)
+	cand   []bool                // prefilter candidates (nil when off or probing)
 	qSum   sketch.Summary
 	ratio  float64
 
@@ -1014,9 +1261,12 @@ func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span, qc *queryConfig) (
 	rows = make([][]float64, len(qs))
 	revRows = make([][]float64, len(qs))
 	states := make([]*vcpRowState, len(qs))
-	size := pairChunk(len(qs), n, qc.opts.Workers)
-	type chunk struct{ row, lo, hi int }
-	var chunks []chunk
+	probe := qc.probeOn() && qc.retr != nil
+	totalPairs := 0
+	var scratch []bool
+	if probe {
+		scratch = db.getMark(n)
+	}
 	for i, q := range qs {
 		st := &vcpRowState{
 			q:     q,
@@ -1025,12 +1275,47 @@ func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span, qc *queryConfig) (
 			rev:   make([]float64, n),
 			fresh: map[string][2]float64{},
 		}
-		st.rs.pairs = n
-		st.pending.Store(int32((n + size - 1) / size))
+		if probe {
+			// Probe the retrieval table up front: the chunk cuts below
+			// cover the retrieved candidate list, so everything outside
+			// it is never touched (its row entries stay zero, exactly
+			// like a scan-mode prefilter skip).
+			st.probed = true
+			st.qSum = sketch.Summarize(q.S, qc.sketchCfg)
+			start := time.Now()
+			st.candIDs, st.rs.soundCands = qc.retr.Probe(st.qSum, scratch, nil)
+			st.rs.probeNanos = time.Since(start).Nanoseconds()
+			st.rs.probeOn = true
+			st.rs.probeCands = len(st.candIDs)
+			st.rs.pairs = len(st.candIDs)
+			totalPairs += len(st.candIDs)
+		} else {
+			st.rs.pairs = n
+			totalPairs += n
+		}
 		states[i] = st
 		rows[i], revRows[i] = st.fwd, st.rev
-		for lo := 0; lo < n; lo += size {
-			chunks = append(chunks, chunk{row: i, lo: lo, hi: min(lo+size, n)})
+	}
+	if probe {
+		db.putMark(scratch)
+	}
+	size := pairChunk(1, totalPairs, qc.opts.Workers)
+	type chunk struct{ row, lo, hi int }
+	var chunks []chunk
+	for i, st := range states {
+		rowLen := n
+		if st.probed {
+			rowLen = len(st.candIDs)
+		}
+		if rowLen == 0 {
+			// No chunk will ever touch this row: flush its telemetry
+			// (probe latency, empty candidate set) here.
+			db.flushRowStats(st.rs, sp)
+			continue
+		}
+		st.pending.Store(int32((rowLen + size - 1) / size))
+		for lo := 0; lo < rowLen; lo += size {
+			chunks = append(chunks, chunk{row: i, lo: lo, hi: min(lo+size, rowLen)})
 		}
 	}
 	if len(chunks) == 0 {
@@ -1074,9 +1359,12 @@ func (db *DB) initRow(st *vcpRowState) {
 	if st.ratio <= 0 {
 		st.ratio = vcp.Default().SizeRatio
 	}
-	if st.qc.prefilterOn() {
+	// In probe mode the candidate set was retrieved at row setup (it
+	// determined the chunk cuts); the scan-mode prefilter has nothing
+	// left to mark.
+	if !st.probed && st.qc.prefilterOn() {
 		st.rs.lshOn = true
-		st.cand = make([]bool, len(db.uniq))
+		st.cand = db.getMark(len(db.uniq))
 		st.qSum = sketch.Summarize(st.q.S, st.qc.sketchCfg)
 		st.rs.lshCands = st.qc.sketchIdx.Candidates(st.qSum, st.cand)
 	}
@@ -1096,7 +1384,11 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 	qKey := q.Key()
 	var rs rowStats
 	var fresh map[string][2]float64
-	for j := lo; j < hi; j++ {
+	for k := lo; k < hi; k++ {
+		j := k
+		if st.candIDs != nil {
+			j = int(st.candIDs[k]) // probe mode: [lo,hi) indexes the candidate list
+		}
 		u := db.uniq[j]
 		uKey := u.Key()
 		if qKey == uKey {
@@ -1115,11 +1407,12 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 		}
 		v, hit := st.cached[uKey]
 		if !hit {
-			// With the prefilter on, a candidate pair can still be
-			// injectability-dead in ONE direction: that direction's
-			// VCP is exactly 0 and its verifier call is skipped.
+			// With the prefilter on (or a probed candidate set), a
+			// candidate pair can still be injectability-dead in ONE
+			// direction: that direction's VCP is exactly 0 and its
+			// verifier call is skipped.
 			fwdLive, revLive := true, true
-			if st.cand != nil {
+			if st.cand != nil || st.probed {
 				uSum := st.qc.sums[j]
 				fwdLive, revLive = st.qSum.Injects(uSum), uSum.Injects(st.qSum)
 			}
@@ -1171,6 +1464,10 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 // the pair loop.
 func (db *DB) finishRow(st *vcpRowState, sp *telemetry.Span) {
 	db.flushRowStats(st.rs, sp)
+	if st.cand != nil {
+		db.putMark(st.cand)
+		st.cand = nil
+	}
 	if len(st.fresh) == 0 {
 		return
 	}

@@ -27,6 +27,11 @@ type Export struct {
 	// strands by position, and reports must be reproducible).
 	Strands []ExportStrand
 	Targets []ExportTarget
+	// Retrieval, when non-nil, is the probe table's persistable band
+	// structure (snapshot format v4). Nil means "not built" — an
+	// importer that needs the table rebuilds it from the strands, which
+	// is deterministic and yields an identical table.
+	Retrieval *sketch.RetrievalTable
 }
 
 // ExportStrand is one unique strand, its corpus multiplicity, and its
@@ -60,6 +65,10 @@ func (db *DB) Export() *Export {
 	ex.Strands = make([]ExportStrand, len(db.uniq))
 	for i, p := range db.uniq {
 		ex.Strands[i] = ExportStrand{S: p.S, Count: db.counts[i], Sig: db.sums[i].Sig}
+	}
+	if db.retr != nil {
+		tab := db.retr.Table()
+		ex.Retrieval = &tab
 	}
 	db.cfgMu.RUnlock()
 	ex.Targets = make([]ExportTarget, len(db.targets))
@@ -129,6 +138,20 @@ func FromExport(ex *Export) (*DB, error) {
 		sigs[i] = es.Sig
 	}
 	db.rebuildSketches(sigs)
+
+	// Adopt the persisted probe table when present and consistent with
+	// the summaries just rebuilt; otherwise fall back to rebuilding it
+	// (pre-v4 snapshots, banding overridden at load, or a corrupt
+	// table). Eager only under probe mode — scan-mode databases build
+	// the table lazily if it is ever needed.
+	if ex.Retrieval != nil {
+		if rx, err := sketch.FromTable(*ex.Retrieval, db.sums, db.sketchCfg); err == nil {
+			db.retr = rx
+		}
+	}
+	if db.opts.Retrieval == RetrievalProbe && db.retr == nil {
+		db.retr = sketch.BuildRetrieval(db.sums, db.sketchCfg)
+	}
 
 	// Per-target multiplicities: all-or-nothing per snapshot (the v3
 	// writer always emits them). When present they must reproduce the

@@ -1,0 +1,285 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/asm"
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/sketch"
+	"repro/internal/stats"
+)
+
+// Probe-mode retrieval is an optimisation, not a new ranking method:
+// at sound settings (no heuristic containment tier) the probe table
+// must hand the verifier exactly the pairs the exhaustive scan would
+// have scored nonzero, so every score — not just every rank — comes
+// out bit-identical. The heuristic tier trades recall for sublinear
+// candidate lookup; its top-k agreement against the exhaustive scan is
+// pinned here so a regression shows up as a test failure, not as a
+// silent recall cliff in production.
+
+func TestRetrievalDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential retrieval run is slow")
+	}
+	procs := buildDiffCorpus(t)
+
+	dbScan := NewDB(Options{})
+	dbProbe := NewDB(Options{Retrieval: RetrievalProbe})
+	fillDB(t, dbScan, procs)
+	fillDB(t, dbProbe, procs)
+
+	qtc, ok := compile.ByName("clang-3.5")
+	if !ok {
+		t.Fatal("query toolchain missing")
+	}
+	vulns := corpus.Vulns()
+	if len(vulns) > 3 {
+		vulns = vulns[:3]
+	}
+	for _, v := range vulns {
+		q, err := corpus.CompileVuln(v, qtc, false)
+		if err != nil {
+			t.Fatalf("compile query %s: %v", v.Alias, err)
+		}
+		repScan, err := dbScan.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (scan): %v", v.Alias, err)
+		}
+		repProbe, err := dbProbe.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (probe): %v", v.Alias, err)
+		}
+		compareReportsExact(t, v.Alias, repScan, repProbe)
+		auditProbeCandidates(t, dbProbe, q, v.Alias)
+	}
+
+	scanCalls := dbScan.Stats().VerifierCalls
+	probeCalls := dbProbe.Stats().VerifierCalls
+	if probeCalls == 0 {
+		t.Fatal("probe-mode run made no verifier calls; harness is vacuous")
+	}
+	if probeCalls > scanCalls {
+		t.Errorf("probe mode made more verifier calls than the exhaustive scan: %d vs %d", probeCalls, scanCalls)
+	}
+	ps := dbProbe.Stats()
+	if ps.RetrievalProbes == 0 || ps.RetrievalCandidates == 0 {
+		t.Errorf("probe counters did not move: probes=%d candidates=%d", ps.RetrievalProbes, ps.RetrievalCandidates)
+	}
+	t.Logf("verifier calls: scan=%d probe=%d (%.1f%% saved); %d probes, %d candidates",
+		scanCalls, probeCalls, 100*(1-float64(probeCalls)/float64(scanCalls)),
+		ps.RetrievalProbes, ps.RetrievalCandidates)
+}
+
+// compareReportsExact demands bit-identical scores in identical order —
+// the strongest statement of "same computation, different loop shape".
+func compareReportsExact(t *testing.T, alias string, a, b *Report) {
+	t.Helper()
+	if len(a.Results) != len(b.Results) {
+		t.Errorf("query %s: %d results under scan, %d under probe", alias, len(a.Results), len(b.Results))
+		return
+	}
+	var diffs []string
+	for i := range a.Results {
+		ra, rb := a.Results[i], b.Results[i]
+		if ra.Target.Name != rb.Target.Name ||
+			math.Float64bits(ra.SVCP) != math.Float64bits(rb.SVCP) ||
+			math.Float64bits(ra.SLOG) != math.Float64bits(rb.SLOG) ||
+			math.Float64bits(ra.GES) != math.Float64bits(rb.GES) {
+			diffs = append(diffs, fmt.Sprintf(
+				"  rank %3d: scan %-52s GES=%.9f | probe %-52s GES=%.9f",
+				i+1, ra.Target.Name, ra.GES, rb.Target.Name, rb.GES))
+		}
+	}
+	if len(diffs) > 0 {
+		if len(diffs) > 8 {
+			diffs = diffs[:8]
+		}
+		t.Errorf("query %s: probe-mode scores are not bit-identical to scan at sound settings:\n%s",
+			alias, strings.Join(diffs, "\n"))
+	}
+}
+
+// auditProbeCandidates recomputes the ground-truth sound candidate set
+// for every unique query strand and demands the probe table return
+// exactly it: a missing strand would silently zero a pair the scan
+// scores, an extra one would waste verifier calls (and at sound
+// settings both are bugs, not tradeoffs).
+func auditProbeCandidates(t *testing.T, db *DB, q *asm.Proc, alias string) {
+	t.Helper()
+	kept, _, err := decompose(q, db.opts)
+	if err != nil {
+		t.Fatalf("decompose %s: %v", alias, err)
+	}
+	rx := db.RetrievalIndex()
+	scratch := make([]bool, rx.Len())
+	seen := map[string]bool{}
+	audited, want := 0, map[int32]bool{}
+	for _, s := range kept {
+		key := s.CanonicalKey()
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		qSum := sketch.Summarize(s, db.sketchCfg)
+		clear(want)
+		for j := range db.sums {
+			if qSum.Injects(db.sums[j]) || db.sums[j].Injects(qSum) {
+				want[int32(j)] = true
+			}
+		}
+		ids, sound := rx.Probe(qSum, scratch, nil)
+		if sound != len(want) {
+			t.Errorf("query %s: strand probe reports %d sound candidates, brute force finds %d", alias, sound, len(want))
+		}
+		if len(ids) != len(want) {
+			t.Errorf("query %s: strand probe returned %d candidates, brute force finds %d", alias, len(ids), len(want))
+		}
+		for _, id := range ids {
+			if !want[id] {
+				t.Errorf("query %s: probe returned strand %d, which is not injectability-live", alias, id)
+			}
+		}
+		audited++
+	}
+	t.Logf("query %s: audited probe candidate sets of %d unique strands", alias, audited)
+}
+
+// TestRetrievalHeuristicRecall pins the recall of the heuristic probe
+// tier against the exhaustive scan: band-bucket retrieval may drop
+// pairs the scan's containment estimate would rescue, so top-k is not
+// guaranteed identical — but it must stay close, and any change to the
+// banding or probe rule that craters it fails here first.
+func TestRetrievalHeuristicRecall(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential retrieval run is slow")
+	}
+	procs := buildDiffCorpus(t)
+
+	dbScan := NewDB(Options{})
+	dbProbe := NewDB(Options{
+		Retrieval:         RetrievalProbe,
+		Prefilter:         PrefilterLSH,
+		LSHMinContainment: sketch.SuggestedMinContainment,
+	})
+	fillDB(t, dbScan, procs)
+	fillDB(t, dbProbe, procs)
+
+	qtc, ok := compile.ByName("clang-3.5")
+	if !ok {
+		t.Fatal("query toolchain missing")
+	}
+	const topK = 10
+	const minRecall = 0.7
+	vulns := corpus.Vulns()
+	if len(vulns) > 3 {
+		vulns = vulns[:3]
+	}
+	for _, v := range vulns {
+		q, err := corpus.CompileVuln(v, qtc, false)
+		if err != nil {
+			t.Fatalf("compile query %s: %v", v.Alias, err)
+		}
+		repScan, err := dbScan.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (scan): %v", v.Alias, err)
+		}
+		repProbe, err := dbProbe.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (probe): %v", v.Alias, err)
+		}
+		truth := map[string]bool{}
+		for i, ts := range repScan.Rank(stats.Esh) {
+			if i >= topK {
+				break
+			}
+			truth[ts.Target.Name] = true
+		}
+		hits := 0
+		for i, ts := range repProbe.Rank(stats.Esh) {
+			if i >= topK {
+				break
+			}
+			if truth[ts.Target.Name] {
+				hits++
+			}
+		}
+		recall := float64(hits) / float64(len(truth))
+		t.Logf("query %s: heuristic probe top-%d recall %.2f (%d/%d)", v.Alias, topK, recall, hits, len(truth))
+		if recall < minRecall {
+			t.Errorf("query %s: heuristic probe top-%d recall %.2f below %.2f", v.Alias, topK, recall, minRecall)
+		}
+	}
+}
+
+// TestProbeScalingSmoke is the sublinearity check behind the whole
+// exercise, sized for CI: growing the corpus by a decoy factor must
+// grow probe-mode verifier work per query by much less. The full 8×
+// curve lives in BenchmarkQueryScale; this smoke asserts the shape.
+func TestProbeScalingSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scaling smoke builds two corpora")
+	}
+	var tcs []compile.Toolchain
+	for _, n := range []string{"gcc-4.9", "clang-3.5"} {
+		tc, ok := compile.ByName(n)
+		if !ok {
+			t.Fatalf("unknown toolchain %q", n)
+		}
+		tcs = append(tcs, tc)
+	}
+	build := func(synth int) *DB {
+		procs, err := corpus.Build(corpus.BuildConfig{
+			Toolchains:     tcs,
+			IncludePatched: true,
+			SynthVariants:  synth,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		db := NewDB(Options{
+			Retrieval:         RetrievalProbe,
+			Prefilter:         PrefilterLSH,
+			LSHBands:          12,
+			LSHRows:           6,
+			LSHMinContainment: sketch.SuggestedMinContainment,
+		})
+		fillDB(t, db, procs)
+		return db
+	}
+	small := build(4)
+	big := build(32)
+
+	qtc, _ := compile.ByName("clang-3.5")
+	q, err := corpus.CompileVuln(corpus.Vulns()[0], qtc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := small.Query(q); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := big.Query(q); err != nil {
+		t.Fatal(err)
+	}
+
+	smallCalls := float64(small.Stats().VerifierCalls)
+	bigCalls := float64(big.Stats().VerifierCalls)
+	strandRatio := float64(big.NumUniqueStrands()) / float64(small.NumUniqueStrands())
+	callRatio := bigCalls / smallCalls
+	t.Logf("strands %d -> %d (%.2fx); probe verifier calls %v -> %v (%.2fx)",
+		small.NumUniqueStrands(), big.NumUniqueStrands(), strandRatio,
+		smallCalls, bigCalls, callRatio)
+	if smallCalls == 0 {
+		t.Fatal("small-corpus query made no verifier calls; harness is vacuous")
+	}
+	if strandRatio < 1.5 {
+		t.Fatalf("corpus did not grow (ratio %.2f); adjust SynthVariants", strandRatio)
+	}
+	if callRatio > 0.75*strandRatio {
+		t.Errorf("probe verifier calls grew near-linearly with the corpus: %.2fx calls for %.2fx strands", callRatio, strandRatio)
+	}
+}

@@ -66,45 +66,91 @@ func rev_strcmp_%s(a, b) {
 // GeneratedVariants returns n additional synthetic decoy packages built
 // from parameterized templates (different constants, field offsets and
 // loop structures), used to grow the target database toward the paper's
-// 1500-procedure scale without hand-writing every source.
+// 1500-procedure scale without hand-writing every source. Every
+// constant is a distinct function of the variant index — never a small
+// modulus — so variants do not collapse into shared canonical strands:
+// unique-strand count, the quantity query cost actually scales with,
+// grows near-linearly in n (which is what makes this the corpus-growth
+// knob behind the retrieval scaling benchmark).
 func GeneratedVariants(n int) []Package {
 	var out []Package
 	for i := 0; i < n; i++ {
-		// Vary constants so every variant is a distinct computation.
+		// Vary constants so every variant is a distinct computation,
+		// and keep the straight-line blocks chunky: MinHash signatures
+		// over tiny feature sets collide with everything, which would
+		// turn corpus growth into candidate-set growth and defeat the
+		// point of the decoys.
 		poly := 0x21 + 2*i
 		shift := 3 + i%5
-		mask := 0xFF << (i % 3)
-		off := 8 * (i%4 + 1)
+		mask := 0x11 + 3*i
+		off := 8 * (i + 1)
+		stride := 8*(i%6) + 16
+		seed := 0x9E37 + 31*i
+		fold := 5 + i%7
+		k1 := 0x5BD1 + 101*i
+		k2 := 0xC2B2 + 67*i
 		src := fmt.Sprintf(`
 func digest_v%d(buf, len) {
 	var h = %d;
+	var t = %d;
 	var i = 0;
 	while (i < len) {
 		h = h * %d + load8(buf + i);
 		h = h ^ (h >>u %d);
+		t = t + (h ^ %d);
+		t = t * %d;
+		h = h + (t >>u %d);
 		i = i + 1;
 	}
+	h = h ^ (t * %d);
+	h = h * %d;
+	h = h ^ (h >>u %d);
 	return h & 0x7FFFFFFFFFFFFFFF;
 }
 func scan_v%d(buf, len, needle) {
 	var i = 0;
 	var hits = 0;
+	var run = %d;
 	while (i < len) {
 		var c = load8(buf + i);
+		c = (c * %d) ^ (run >>u %d);
+		run = run + (c & %d);
 		if ((c & %d) == needle) {
-			hits = hits + 1;
+			hits = hits + (run & %d);
+			run = run ^ %d;
 		}
 		i = i + 1;
 	}
-	return hits;
+	return hits + (run * %d);
 }
 func pack_v%d(rec, a, b) {
-	store64(rec, a);
-	store64(rec + %d, b);
+	var chk = (a * %d) ^ (b * %d);
+	store64(rec, a + %d);
+	store64(rec + %d, b ^ %d);
+	store64(rec + %d, chk);
 	store32(rec + %d, (a ^ b) & 0xFFFFFFFF);
+	store32(rec + %d, (chk >>u %d) & 0xFFFFFFFF);
 	return rec;
 }
-`, i, 0x1000+i*17, poly, shift, i, mask, i, off, off+16)
+func stride_v%d(buf, count) {
+	var acc = %d;
+	var carry = %d;
+	var i = 0;
+	while (i < count) {
+		var w = load64(buf + i * %d);
+		acc = acc + (w * %d);
+		acc = acc ^ (acc << %d);
+		carry = carry + (w >>u %d);
+		carry = carry * %d;
+		acc = acc + (carry ^ %d);
+		i = i + 1;
+	}
+	return acc ^ (carry * %d);
+}
+`, i, 0x1000+i*17, seed, poly, shift, k1, k2, fold, k1+3, poly+2, shift+7,
+			i, seed, poly+4, fold, mask, mask+2, k1, k2, poly+6,
+			i, k1, k2, seed, off, k1+5, off+16, off+24, off+32, shift,
+			i, seed, k2, stride, poly+8, fold, shift, k1+7, k2+9, poly+10)
 		out = append(out, Package{Name: fmt.Sprintf("synth-0.%d/lib", i), Src: src})
 	}
 	return out

@@ -252,7 +252,8 @@ func New(cfg Config) (*Gateway, error) {
 	g.reg.Gauge("esh_build_info", "Build and engine configuration (value is always 1).",
 		"go_version", runtime.Version(),
 		"kernel", cfg.Manifest.Kernel,
-		"prefilter", cfg.Manifest.Prefilter).Set(1)
+		"prefilter", cfg.Manifest.Prefilter,
+		"retrieval", cfg.Manifest.Retrieval).Set(1)
 
 	g.rec = telemetry.NewRecorder(cfg.RecorderSize, cfg.SlowLogSize, cfg.SlowQueryThreshold)
 	g.lat = telemetry.NewQuantiles(latencyQuantiles[:]...)
@@ -487,9 +488,23 @@ func (g *Gateway) CheckFleet(ctx context.Context) (warnings []string, errs []err
 			if st.Prefilter.Mode != man.Prefilter {
 				warnings = append(warnings, fmt.Sprintf("shard %d (%s): prefilter %q, manifest built with %q (score-neutral)", i, u, st.Prefilter.Mode, man.Prefilter))
 			}
+			// Pre-retrieval manifests and replicas report "", which
+			// means scan — normalize so mixed-age fleets don't warn.
+			if got, want := retrMode(st.Retrieval.Mode), retrMode(man.Retrieval); got != want {
+				warnings = append(warnings, fmt.Sprintf("shard %d (%s): retrieval %q, manifest built with %q (score-neutral)", i, u, got, want))
+			}
 		}
 	}
 	return warnings, errs
+}
+
+// retrMode canonicalizes a retrieval-mode string: an empty value (a
+// pre-retrieval snapshot, manifest, or replica) means core.RetrievalScan.
+func retrMode(m string) string {
+	if m == "" {
+		return "scan"
+	}
+	return m
 }
 
 func (g *Gateway) fetchStats(ctx context.Context, base string) (*server.StatsResponse, error) {

@@ -121,6 +121,7 @@ func (g *Gateway) record(rid, outcome, errMsg string, start time.Time, root *tel
 		Generation: man.Generation,
 		Kernel:     man.Kernel,
 		Prefilter:  man.Prefilter,
+		Retrieval:  man.Retrieval,
 	}
 	rec.FillFromTrace(root.Snapshot())
 	rec.Shards = make([]telemetry.ShardOutcome, len(replies))

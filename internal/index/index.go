@@ -42,11 +42,15 @@ import (
 // the LSH prefilter) and the prefilter/lshbands/lshrows option keys;
 // version 3 added the shard-identity record and the per-target strand
 // multiplicity section (what lets a corpus split into shards whose
-// local strand counts sum exactly to the union's). Older versions still
-// load: signatures are recomputed and multiplicities default to 1.
+// local strand counts sum exactly to the union's); version 4 added the
+// retrieval section (the banded-LSH probe table's posting slabs, with
+// their own checksum) and the retrieval option key. Older versions
+// still load: signatures are recomputed, multiplicities default to 1,
+// and the probe table is rebuilt from the strands (deterministically,
+// so probe-mode answers are identical either way).
 const (
 	Magic      = "eshidx"
-	Version    = 3
+	Version    = 4
 	MinVersion = 1
 )
 
@@ -289,10 +293,10 @@ func codeType(c int) (ivl.Type, error) {
 func encodeBody(ex *core.Export) []byte {
 	var b bytes.Buffer
 	o := ex.Opts
-	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s\n",
+	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s retrieval=%s\n",
 		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
 		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences,
-		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel)
+		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel, o.Retrieval)
 
 	// Shard identity (format version 3). All zero/empty for an unsharded
 	// corpus.
@@ -382,6 +386,42 @@ func encodeBody(ex *core.Export) []byte {
 		fmt.Fprintf(&b, "m %d", len(t.StrandMult))
 		for _, m := range t.StrandMult {
 			fmt.Fprintf(&b, " %d", m)
+		}
+		b.WriteByte('\n')
+	}
+
+	// Retrieval section (format version 4): the probe table's band
+	// posting slabs with their own checksum, so a load can adopt the
+	// table instead of re-sorting it. Written empty (count 0) when the
+	// table was never built, or disagrees with the snapshot's strand
+	// count or banding; the loader rebuilds in that case (the table is
+	// a deterministic function of the strands, so answers match).
+	rt := ex.Retrieval
+	if rt != nil && (rt.N != len(ex.Strands) || rt.Bands != cfg.Bands || rt.Rows != cfg.Rows) {
+		rt = nil
+	}
+	if rt == nil {
+		fmt.Fprintf(&b, "retrieval 0 %d %d 0\n", cfg.Bands, cfg.Rows)
+	} else {
+		fmt.Fprintf(&b, "retrieval %d %d %d %016x\n", rt.N, rt.Bands, rt.Rows, rt.Checksum)
+		fmt.Fprintf(&b, "rd %d", len(rt.BandDir))
+		for _, v := range rt.BandDir {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "rk %d", len(rt.BandKeys))
+		for _, v := range rt.BandKeys {
+			fmt.Fprintf(&b, " %x", v)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "ro %d", len(rt.BandOffs))
+		for _, v := range rt.BandOffs {
+			fmt.Fprintf(&b, " %d", v)
+		}
+		b.WriteByte('\n')
+		fmt.Fprintf(&b, "ri %d", len(rt.BandIDs))
+		for _, v := range rt.BandIDs {
+			fmt.Fprintf(&b, " %d", v)
 		}
 		b.WriteByte('\n')
 	}
@@ -511,10 +551,94 @@ func decodeBody(body []byte, version int) (*core.Export, error) {
 			return nil, err
 		}
 	}
+	if version >= 4 {
+		if err := d.decodeRetrieval(ex); err != nil {
+			return nil, err
+		}
+	}
 	if d.pos != len(d.lines) {
 		return nil, d.errf("trailing data after final section")
 	}
 	return ex, nil
+}
+
+// decodeRetrieval reads the version-4 retrieval section. A zero strand
+// count means the probe table was not persisted; core.FromExport
+// rebuilds it on demand. The decoded table's internal consistency
+// (sorted keys, monotonic offsets, id ranges, checksum) is validated by
+// sketch.FromTable at adopt time.
+func (d *decoder) decodeRetrieval(ex *core.Export) error {
+	toks, err := d.record("retrieval", 4)
+	if err != nil {
+		return err
+	}
+	nums, err := d.ints(toks[:3])
+	if err != nil {
+		return err
+	}
+	n, bands, rows := nums[0], nums[1], nums[2]
+	if bands <= 0 || rows <= 0 {
+		return d.errf("bad retrieval banding %dx%d", bands, rows)
+	}
+	if n == 0 {
+		return nil
+	}
+	if n != len(ex.Strands) {
+		return d.errf("retrieval section covers %d strands, snapshot has %d", n, len(ex.Strands))
+	}
+	checksum, err := strconv.ParseUint(toks[3], 16, 64)
+	if err != nil {
+		return d.errf("bad retrieval checksum %q", toks[3])
+	}
+	int32List := func(tag string) ([]int32, error) {
+		toks, err := d.record(tag, 1)
+		if err != nil {
+			return nil, err
+		}
+		vals, err := d.ints(toks)
+		if err != nil {
+			return nil, err
+		}
+		if vals[0] != len(vals)-1 {
+			return nil, d.errf("%q list has %d entries, header says %d", tag, len(vals)-1, vals[0])
+		}
+		out := make([]int32, len(vals)-1)
+		for i, v := range vals[1:] {
+			out[i] = int32(v)
+		}
+		return out, nil
+	}
+	tab := sketch.RetrievalTable{N: n, Bands: bands, Rows: rows, Checksum: checksum}
+	if tab.BandDir, err = int32List("rd"); err != nil {
+		return err
+	}
+	ktoks, err := d.record("rk", 1)
+	if err != nil {
+		return err
+	}
+	kn, err := d.ints(ktoks[:1])
+	if err != nil {
+		return err
+	}
+	if kn[0] != len(ktoks)-1 {
+		return d.errf("\"rk\" list has %d entries, header says %d", len(ktoks)-1, kn[0])
+	}
+	tab.BandKeys = make([]uint64, len(ktoks)-1)
+	for i, t := range ktoks[1:] {
+		v, err := strconv.ParseUint(t, 16, 64)
+		if err != nil {
+			return d.errf("bad retrieval band key %q", t)
+		}
+		tab.BandKeys[i] = v
+	}
+	if tab.BandOffs, err = int32List("ro"); err != nil {
+		return err
+	}
+	if tab.BandIDs, err = int32List("ri"); err != nil {
+		return err
+	}
+	ex.Retrieval = &tab
+	return nil
 }
 
 // decodeShard reads the version-3 shard identity record.
@@ -667,6 +791,8 @@ func (d *decoder) decodeOptions(ex *core.Export) error {
 			ex.Opts.LSHMinContainment = atof()
 		case "kernel":
 			ex.Opts.VCP.Kernel = val
+		case "retrieval":
+			ex.Opts.Retrieval = val
 		default:
 			// Unknown keys are ignored so minor option additions do not
 			// invalidate old readers within a format version.

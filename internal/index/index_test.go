@@ -2,6 +2,9 @@ package index
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
 	"strings"
 	"testing"
 
@@ -214,5 +217,149 @@ func TestSaveLoadFile(t *testing.T) {
 	}
 	if db2.NumTargets() != db.NumTargets() {
 		t.Fatalf("targets %d, want %d", db2.NumTargets(), db.NumTargets())
+	}
+}
+
+// buildProbeDB is buildDB in probe retrieval mode, which makes Export
+// carry the built probe table so the snapshot exercises the version-4
+// retrieval section.
+func buildProbeDB(t *testing.T) *core.DB {
+	t.Helper()
+	db := core.NewDB(core.Options{VCP: vcp.Config{MinVars: 3}, Retrieval: core.RetrievalProbe})
+	for _, src := range []string{iccStyle, memStyle} {
+		if err := db.AddTarget(parse(t, src)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return db
+}
+
+// TestRetrievalTableRoundTrip checks the version-4 retrieval section:
+// a probe-mode save persists the table, a load adopts it byte-for-byte
+// (same slab checksum as the builder produced), and the re-saved
+// snapshot is a fixed point.
+func TestRetrievalTableRoundTrip(t *testing.T) {
+	db := buildProbeDB(t)
+	want := db.RetrievalIndex().Checksum()
+	snap := saveBytes(t, db)
+
+	ex, err := LoadExport(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ex.Retrieval == nil {
+		t.Fatal("probe-mode snapshot did not persist the retrieval table")
+	}
+	if ex.Retrieval.N != len(ex.Strands) {
+		t.Fatalf("persisted table covers %d strands, snapshot has %d", ex.Retrieval.N, len(ex.Strands))
+	}
+	if ex.Retrieval.Checksum != want {
+		t.Fatalf("persisted table checksum %016x, builder produced %016x", ex.Retrieval.Checksum, want)
+	}
+
+	db2, err := Load(bytes.NewReader(snap))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db2.RetrievalIndex().Checksum(); got != want {
+		t.Fatalf("adopted table checksum %016x, want %016x", got, want)
+	}
+	if snap2 := saveBytes(t, db2); !bytes.Equal(snap, snap2) {
+		t.Fatal("probe-mode snapshot is not a save/load fixed point")
+	}
+	compareQueries(t, db, db2)
+}
+
+// downgrade rewrites a current-version snapshot as an older format:
+// it strips the sections (and option keys) that version did not have
+// and recomputes the header. This is how the compat tests synthesize
+// genuine old snapshots without checking in binary fixtures.
+func downgrade(t *testing.T, snap []byte, version int) []byte {
+	t.Helper()
+	nl := bytes.IndexByte(snap, '\n')
+	if nl < 0 {
+		t.Fatal("snapshot has no header line")
+	}
+	var out []string
+	for _, ln := range strings.Split(string(snap[nl+1:]), "\n") {
+		tag, _, _ := strings.Cut(ln, " ")
+		switch {
+		case tag == "options" && version < 4:
+			var kept []string
+			for _, tok := range strings.Fields(ln) {
+				if !strings.HasPrefix(tok, "retrieval=") {
+					kept = append(kept, tok)
+				}
+			}
+			ln = strings.Join(kept, " ")
+		case version < 4 && (tag == "retrieval" || tag == "rd" || tag == "rk" || tag == "ro" || tag == "ri"):
+			continue
+		case version < 3 && (tag == "shard" || tag == "mults" || tag == "m"):
+			continue
+		}
+		out = append(out, ln)
+	}
+	body := strings.Join(out, "\n")
+	sum := sha256.Sum256([]byte(body))
+	return []byte(fmt.Sprintf("%s %d %d %s\n%s", Magic, version, len(body), hex.EncodeToString(sum[:]), body))
+}
+
+// TestOldVersionsLoad checks that version-2 and version-3 snapshots
+// (no retrieval section, and for v2 no shard/multiplicity records)
+// still load, and that the probe table rebuilt from their strands is
+// identical to the one a current snapshot persists — so probe-mode
+// answers do not depend on the snapshot's age.
+func TestOldVersionsLoad(t *testing.T) {
+	db := buildProbeDB(t)
+	want := db.RetrievalIndex().Checksum()
+	snap := saveBytes(t, db)
+
+	for _, v := range []int{2, 3} {
+		old := downgrade(t, snap, v)
+		ex, err := LoadExport(bytes.NewReader(old))
+		if err != nil {
+			t.Fatalf("load v%d export: %v", v, err)
+		}
+		if ex.Retrieval != nil {
+			t.Fatalf("v%d snapshot decoded a retrieval table it cannot contain", v)
+		}
+		db2, err := Load(bytes.NewReader(old))
+		if err != nil {
+			t.Fatalf("load v%d: %v", v, err)
+		}
+		if db2.NumTargets() != db.NumTargets() || db2.NumUniqueStrands() != db.NumUniqueStrands() {
+			t.Fatalf("v%d: reloaded shape %d/%d, want %d/%d", v,
+				db2.NumTargets(), db2.NumUniqueStrands(), db.NumTargets(), db.NumUniqueStrands())
+		}
+		if got := db2.RetrievalIndex().Checksum(); got != want {
+			t.Fatalf("v%d: rebuilt table checksum %016x, persisted-table build %016x", v, got, want)
+		}
+		compareQueries(t, db, db2)
+	}
+}
+
+// compareQueries runs the shared query set against both databases and
+// demands identical rankings and scores.
+func compareQueries(t *testing.T, db, db2 *core.DB) {
+	t.Helper()
+	for _, qsrc := range []string{gccStyle, memStyle} {
+		r1, err := db.Query(parse(t, qsrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := db2.Query(parse(t, qsrc))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r1.Results) != len(r2.Results) {
+			t.Fatalf("result count %d vs %d", len(r1.Results), len(r2.Results))
+		}
+		for i := range r1.Results {
+			a, b := r1.Results[i], r2.Results[i]
+			if a.Target.Name != b.Target.Name || a.GES != b.GES || a.SLOG != b.SLOG || a.SVCP != b.SVCP {
+				t.Fatalf("rank %d: (%s %v %v %v) vs (%s %v %v %v)",
+					i, a.Target.Name, a.GES, a.SLOG, a.SVCP, b.Target.Name, b.GES, b.SLOG, b.SVCP)
+			}
+		}
 	}
 }

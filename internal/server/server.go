@@ -157,7 +157,8 @@ func New(db *core.DB, cfg Config) *Server {
 	s.reg.Gauge("esh_build_info", "Build and engine configuration (value is always 1).",
 		"go_version", runtime.Version(),
 		"kernel", db.Options().VCP.Kernel,
-		"prefilter", db.Options().Prefilter).Set(1)
+		"prefilter", db.Options().Prefilter,
+		"retrieval", db.Options().Retrieval).Set(1)
 
 	s.rec = telemetry.NewRecorder(cfg.RecorderSize, cfg.SlowLogSize, cfg.SlowQueryThreshold)
 	s.lat = telemetry.NewQuantiles(latencyQuantiles[:]...)
@@ -369,6 +370,7 @@ func (s *Server) record(kind, rid, outcome, errMsg string, start time.Time, root
 		Generation: s.db.Shard().Generation,
 		Kernel:     opts.VCP.Kernel,
 		Prefilter:  opts.Prefilter,
+		Retrieval:  opts.Retrieval,
 	}
 	snap := root.Snapshot()
 	rec.FillFromTrace(snap)
@@ -385,6 +387,12 @@ func (s *Server) record(kind, rid, outcome, errMsg string, start time.Time, root
 			rec.Prefilter = core.PrefilterOff
 			if pf != 0 {
 				rec.Prefilter = core.PrefilterLSH
+			}
+		}
+		if rp, ok := v.Attrs["retrieval_probe"]; ok {
+			rec.Retrieval = core.RetrievalScan
+			if rp != 0 {
+				rec.Retrieval = core.RetrievalProbe
 			}
 		}
 	}
@@ -733,6 +741,20 @@ type StatsResponse struct {
 		PairsSkipped   uint64  `json:"pairs_skipped"`
 		DeadDirections uint64  `json:"dead_directions"`
 	} `json:"prefilter"`
+	// Retrieval reports stage-3 candidate retrieval: the active mode
+	// ("scan" walks every unique strand per query strand, "probe" looks
+	// candidates up in the ANN table), cumulative probe counters, and
+	// the probe table's shape (zeros until the table is built).
+	Retrieval struct {
+		Mode            string  `json:"mode"`
+		Probes          uint64  `json:"probes"`
+		Candidates      uint64  `json:"candidates"`
+		SoundCandidates uint64  `json:"sound_candidates"`
+		TableBuckets    int     `json:"table_buckets"`
+		TableMaxPosting int     `json:"table_max_posting"`
+		TableMeanPost   float64 `json:"table_mean_posting"`
+		TableSkew       float64 `json:"table_skew"`
+	} `json:"retrieval"`
 	// Engine aggregates pipeline work across all queries: verifier
 	// effort, pruning effectiveness, evaluation-kernel mode and time,
 	// γ-invariant hoisting coverage, and cumulative per-stage wall time.
@@ -814,6 +836,14 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Prefilter.MinContainment = dbs.LSHMinContainment
 	resp.Prefilter.PairsSkipped = dbs.LSHPairsSkipped
 	resp.Prefilter.DeadDirections = dbs.LSHDeadDirections
+	resp.Retrieval.Mode = dbs.Retrieval
+	resp.Retrieval.Probes = dbs.RetrievalProbes
+	resp.Retrieval.Candidates = dbs.RetrievalCandidates
+	resp.Retrieval.SoundCandidates = dbs.RetrievalSoundCandidates
+	resp.Retrieval.TableBuckets = dbs.RetrievalTableBuckets
+	resp.Retrieval.TableMaxPosting = dbs.RetrievalTableMaxPost
+	resp.Retrieval.TableMeanPost = dbs.RetrievalTableMeanPost
+	resp.Retrieval.TableSkew = dbs.RetrievalTableSkew
 	resp.Engine.Queries = dbs.Queries
 	resp.Engine.PairsPruned = dbs.VCPPairsPruned
 	resp.Engine.VerifierCalls = dbs.VerifierCalls

@@ -1,0 +1,225 @@
+package sketch
+
+import (
+	"reflect"
+	"testing"
+)
+
+// synthSummaries derives a deterministic summary set from a byte
+// string: every 4 bytes become one strand's typed input counts and a
+// small synthetic feature set. Shared by the unit tests and the fuzz
+// target so corpus entries shrink meaningfully.
+func synthSummaries(data []byte, cfg Config) []Summary {
+	cfg = cfg.Normalized()
+	var sums []Summary
+	for i := 0; i+4 <= len(data) && len(sums) < 64; i += 4 {
+		nInt := int(data[i] % 5)
+		nMem := int(data[i+1] % 3)
+		nf := int(data[i+2]%29) + 1
+		seed := splitmix64(uint64(data[i+3]) + 1)
+		feats := make([]uint64, nf)
+		for k := range feats {
+			seed = splitmix64(seed)
+			feats[k] = seed
+		}
+		sums = append(sums, Summary{
+			Sig:   FromFeatures(feats, cfg),
+			NFeat: nf,
+			NInt:  nInt,
+			NMem:  nMem,
+		})
+	}
+	return sums
+}
+
+// soundSet is the reference sound candidate rule: every strand whose
+// typed counts inject into the query's or vice versa.
+func soundSet(rx *RetrievalIndex, sums []Summary, q Summary) map[int32]bool {
+	set := map[int32]bool{}
+	for id := range sums {
+		if q.Injects(sums[id]) || sums[id].Injects(q) {
+			set[int32(id)] = true
+		}
+	}
+	return set
+}
+
+func checkProbe(t *testing.T, rx *RetrievalIndex, sums []Summary, self int) {
+	t.Helper()
+	q := sums[self]
+	scratch := make([]bool, rx.Len())
+	ids, sound := rx.Probe(q, scratch, nil)
+
+	for _, v := range scratch {
+		if v {
+			t.Fatal("Probe left scratch dirty")
+		}
+	}
+	want := soundSet(rx, sums, q)
+	if sound != len(want) {
+		t.Fatalf("Probe reports %d sound candidates, brute force finds %d", sound, len(want))
+	}
+	seen := map[int32]bool{}
+	for i, id := range ids {
+		if id < 0 || int(id) >= rx.Len() {
+			t.Fatalf("candidate id %d out of range [0,%d)", id, rx.Len())
+		}
+		if i > 0 && ids[i-1] >= id {
+			t.Fatal("candidate ids are not sorted and unique")
+		}
+		if !want[id] {
+			t.Fatalf("candidate %d is not injectability-live against the query", id)
+		}
+		seen[id] = true
+	}
+	if !seen[int32(self)] {
+		t.Fatalf("strand %d does not retrieve itself", self)
+	}
+	if rx.Config().MinContainment <= 0 {
+		// Sound tier: the set must be exactly the brute-force live set.
+		if len(seen) != len(want) {
+			t.Fatalf("sound probe returned %d candidates, brute force finds %d", len(seen), len(want))
+		}
+		return
+	}
+	// Heuristic tier: a live strand sharing any band bucket with the
+	// query must be retrieved, and nothing that shares no bucket may be.
+	collides := func(id int32) bool {
+		for b := 0; b < rx.Config().Bands; b++ {
+			if bandKeyFor(q.Sig, rx.Config().Rows, b) == bandKeyFor(sums[id].Sig, rx.Config().Rows, b) {
+				return true
+			}
+		}
+		return false
+	}
+	for id := range want {
+		if seen[id] != collides(id) {
+			t.Fatalf("live strand %d: retrieved=%v collides=%v", id, seen[id], collides(id))
+		}
+	}
+}
+
+func checkRoundTrip(t *testing.T, rx *RetrievalIndex, sums []Summary) {
+	t.Helper()
+	tab := rx.Table()
+	rt, err := FromTable(tab, sums, rx.Config())
+	if err != nil {
+		t.Fatalf("FromTable rejected the table Table() produced: %v", err)
+	}
+	if rt.Checksum() != rx.Checksum() {
+		t.Fatalf("round-tripped checksum %016x, built %016x", rt.Checksum(), rx.Checksum())
+	}
+	scratch := make([]bool, rx.Len())
+	for id := range sums {
+		a, as := rx.Probe(sums[id], scratch, nil)
+		b, bs := rt.Probe(sums[id], scratch, nil)
+		if as != bs || !reflect.DeepEqual(a, b) {
+			t.Fatalf("strand %d probes differently through the adopted table", id)
+		}
+	}
+}
+
+func fuzzConfigs() []Config {
+	return []Config{
+		{Bands: 4, Rows: 2},
+		{Bands: 4, Rows: 2, MinContainment: SuggestedMinContainment},
+		{Bands: 6, Rows: 3, MinContainment: 0.2},
+	}
+}
+
+// FuzzRetrieval asserts the probe-table invariants for arbitrary
+// summary sets: deterministic builds, self-retrieval, sorted unique
+// live candidate sets, exact agreement with the brute-force sound rule
+// at sound settings, the no-missed-collision guarantee at heuristic
+// settings, a clean scratch buffer after every probe, and
+// Table→FromTable round-trips that preserve checksum and probe results.
+func FuzzRetrieval(f *testing.F) {
+	f.Add([]byte{1, 0, 20, 7, 2, 1, 3, 9, 1, 0, 20, 7})
+	f.Add([]byte{0, 0, 1, 1})
+	f.Add([]byte{4, 2, 28, 255, 4, 2, 28, 255, 0, 1, 14, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) > 512 {
+			return // bound build cost, not a correctness limit
+		}
+		for _, cfg := range fuzzConfigs() {
+			sums := synthSummaries(data, cfg)
+			if len(sums) == 0 {
+				return
+			}
+			rx := BuildRetrieval(sums, cfg)
+			if again := BuildRetrieval(sums, cfg); again.Checksum() != rx.Checksum() {
+				t.Fatal("BuildRetrieval is not deterministic")
+			}
+			for id := range sums {
+				checkProbe(t, rx, sums, id)
+			}
+			checkRoundTrip(t, rx, sums)
+		}
+	})
+}
+
+func TestRetrievalProbeMatchesCandidates(t *testing.T) {
+	// The sound probe must mark exactly what Index.Candidates marks at
+	// sound settings, for the same summaries in the same order.
+	cfg := Config{Bands: 4, Rows: 2}
+	data := []byte{
+		1, 0, 20, 7, 2, 1, 3, 9, 1, 0, 20, 8, 0, 0, 1, 1,
+		3, 2, 25, 77, 1, 1, 9, 4, 2, 0, 17, 5, 4, 1, 28, 6,
+	}
+	sums := synthSummaries(data, cfg)
+	rx := BuildRetrieval(sums, cfg)
+	ix := NewIndex(cfg)
+	for _, s := range sums {
+		ix.Add(s)
+	}
+	scratch := make([]bool, len(sums))
+	for qi, q := range sums {
+		ids, _ := rx.Probe(q, scratch, nil)
+		mark := make([]bool, len(sums))
+		ix.Candidates(q, mark)
+		probed := make([]bool, len(sums))
+		for _, id := range ids {
+			probed[id] = true
+		}
+		if !reflect.DeepEqual(probed, mark) {
+			t.Errorf("query %d: probe set diverges from Candidates at sound settings", qi)
+		}
+	}
+}
+
+func TestFromTableRejectsCorruption(t *testing.T) {
+	cfg := Config{Bands: 4, Rows: 2}
+	sums := synthSummaries([]byte{1, 0, 20, 7, 2, 1, 3, 9, 1, 0, 18, 8, 3, 1, 22, 2}, cfg)
+	rx := BuildRetrieval(sums, cfg)
+	base := rx.Table()
+
+	clone := func() RetrievalTable {
+		t := base
+		t.BandDir = append([]int32(nil), base.BandDir...)
+		t.BandKeys = append([]uint64(nil), base.BandKeys...)
+		t.BandOffs = append([]int32(nil), base.BandOffs...)
+		t.BandIDs = append([]int32(nil), base.BandIDs...)
+		return t
+	}
+
+	if _, err := FromTable(clone(), sums, cfg); err != nil {
+		t.Fatalf("pristine table rejected: %v", err)
+	}
+	cases := map[string]func(*RetrievalTable){
+		"banding mismatch":  func(tb *RetrievalTable) { tb.Bands = 8 },
+		"strand count":      func(tb *RetrievalTable) { tb.N++ },
+		"truncated dir":     func(tb *RetrievalTable) { tb.BandDir = tb.BandDir[:len(tb.BandDir)-1] },
+		"id out of range":   func(tb *RetrievalTable) { tb.BandIDs[0] = int32(tb.N) },
+		"flipped id":        func(tb *RetrievalTable) { tb.BandIDs[0], tb.BandIDs[1] = tb.BandIDs[1], tb.BandIDs[0] },
+		"stale checksum":    func(tb *RetrievalTable) { tb.Checksum ^= 1 },
+		"missing sentinel":  func(tb *RetrievalTable) { tb.BandOffs = tb.BandOffs[:len(tb.BandOffs)-1] },
+		"unsorted bandkeys": func(tb *RetrievalTable) { tb.BandKeys[0], tb.BandKeys[1] = tb.BandKeys[1], tb.BandKeys[0] },
+	}
+	for name, corrupt := range cases {
+		tb := clone()
+		corrupt(&tb)
+		if _, err := FromTable(tb, sums, cfg); err == nil {
+			t.Errorf("%s: corruption not detected", name)
+		}
+	}
+}

@@ -345,14 +345,11 @@ func (ix *Index) Len() int { return len(ix.sums) }
 // Summary returns the id-th strand's summary.
 func (ix *Index) Summary(id int) Summary { return ix.sums[id] }
 
-// bandKey hashes one band's rows of the signature.
+// bandKey hashes one band's rows of the signature. It delegates to the
+// shared bandKeyFor so the scan-mode index and the retrieval table
+// always bucket identically.
 func (ix *Index) bandKey(sig Signature, b int) uint64 {
-	h := uint64(14695981039346656037) ^ uint64(b)<<32
-	for _, v := range sig[b*ix.cfg.Rows : (b+1)*ix.cfg.Rows] {
-		h ^= uint64(v)
-		h *= 1099511628211
-	}
-	return h
+	return bandKeyFor(sig, ix.cfg.Rows, b)
 }
 
 // Add inserts the next strand's summary; ids are assigned sequentially.
