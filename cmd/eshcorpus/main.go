@@ -20,11 +20,13 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/asm"
 	"repro/internal/compile"
 	"repro/internal/core"
 	"repro/internal/corpus"
 	"repro/internal/index"
 	"repro/internal/shard"
+	"repro/internal/wal"
 )
 
 func main() {
@@ -43,6 +45,7 @@ func main() {
 	kernel := flag.String("kernel", "", "with -save: evaluation kernel baked into the snapshot: batch or scalar (empty = batch; serve-time flags can override)")
 	retrieval := flag.String("retrieval", "scan", "with -save: stage-3 candidate retrieval baked into the snapshot: scan or probe (serve-time flags can override)")
 	saveShards := flag.Int("save-shards", 0, "with -save: also split the index into this many shard snapshots plus a manifest at <save>.manifest (serve each shard with eshd, coordinate with eshgw)")
+	walPath := flag.String("wal", "", "with -save: fold this write-ahead log (from eshd -wal) into the snapshot before saving")
 	flag.Parse()
 
 	prefMode, err := core.NormalizePrefilter(*prefilter)
@@ -129,6 +132,34 @@ func main() {
 			if err := db.AddTarget(p); err != nil {
 				fail("index %s: %v", p.Name, err)
 			}
+		}
+		// Fold a daemon's WAL into the snapshot: replay every record, so
+		// the saved index carries the live writes (the export is the
+		// remapped live view) and records its high-water mark — a daemon
+		// restarted on this snapshot with the same WAL skips them.
+		if *walPath != "" {
+			_, recs, err := wal.Open(*walPath, wal.Options{Sync: wal.SyncNone})
+			if err != nil {
+				fail("wal: %v", err)
+			}
+			for _, r := range recs {
+				switch r.Op {
+				case wal.OpAdd:
+					p, err := asm.ParseProc(r.Body)
+					if err != nil {
+						fail("wal seq %d: parse %s: %v", r.Seq, r.Name, err)
+					}
+					if err := db.ReplayAdd(p, r.Seq); err != nil {
+						fail("wal seq %d: add %s: %v", r.Seq, r.Name, err)
+					}
+				case wal.OpDelete:
+					if err := db.ReplayRemove(r.Name, r.Seq); err != nil {
+						fail("wal seq %d: delete %s: %v", r.Seq, r.Name, err)
+					}
+				}
+			}
+			fmt.Printf("folded %d WAL records (high-water mark %d) from %s\n",
+				len(recs), db.WALSeq(), *walPath)
 		}
 		// Build the retrieval table before saving so the snapshot carries
 		// it (format v4) and serve-time probe mode skips the rebuild.

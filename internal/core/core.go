@@ -143,12 +143,25 @@ type Options struct {
 	// be flipped at runtime (ConfigureRetrieval); the probe table is
 	// built lazily on first use and persisted in snapshot format v4.
 	Retrieval string
+	// RetrievalMaxDelta bounds how many live-written strands the probe
+	// path may overlay on the immutable retrieval table before the
+	// table is rebuilt eagerly at write time. Overlay strands are
+	// tested per query strand with the sound injectability rule, so
+	// correctness never depends on this knob — only the probe's
+	// sublinearity does. 0 selects DefaultRetrievalMaxDelta; negative
+	// defers every rebuild to compaction.
+	RetrievalMaxDelta int
 }
 
 // DefaultVCPCachePairs is the default vcpCache bound: at 16 bytes per
 // cached pair (plus key overhead) this keeps the steady-state cache in
 // the low hundreds of MB even with long canonical keys.
 const DefaultVCPCachePairs = 1 << 21
+
+// DefaultRetrievalMaxDelta is the default Options.RetrievalMaxDelta: a
+// few hundred overlay strands cost microseconds per probe, far below
+// one verifier call, while keeping write-time table rebuilds rare.
+const DefaultRetrievalMaxDelta = 256
 
 // Target is one indexed procedure.
 type Target struct {
@@ -186,21 +199,55 @@ func (si ShardInfo) Sharded() bool { return si.Count > 0 }
 // concurrently with Query: each query snapshots the configuration once
 // at entry and runs to completion under that view.
 type DB struct {
-	// cfgMu guards opts and the sketch state (sketchCfg, sums,
-	// sketchIdx) against serve-time reconfiguration racing in-flight
-	// queries. Queries take one RLock at entry to snapshot the
-	// configuration; writers (ConfigurePrefilter, ConfigureKernel,
-	// SetWorkers) take the write lock. AddTarget mutates without the
-	// lock — it is documented as not concurrency-safe.
+	// cfgMu guards opts, the sketch state (sketchCfg, sums, sketchIdx),
+	// and — since the live write path landed — the corpus itself (uniq,
+	// counts, targets, total, live, h0Order, generation) against
+	// serve-time mutation racing in-flight queries. Queries take one
+	// RLock at entry to snapshot a consistent view; mutators take the
+	// write lock for the swap. AddTarget still mutates without the lock
+	// — it is documented as not concurrency-safe (bulk indexing).
 	cfgMu sync.RWMutex
 	opts  Options
 	shard ShardInfo
+
+	// writeMu serializes the live write path (ApplyAdd, ApplyRemove,
+	// Replay*, Compact) and the serve-time reconfiguration calls, and
+	// orders strictly before cfgMu: writers validate and journal under
+	// writeMu alone (queries keep flowing), then apply in memory under
+	// a brief cfgMu write lock. Compact holds writeMu across snapshot
+	// persistence, freezing writers but never readers.
+	writeMu sync.Mutex
 
 	uniq    []*vcp.Prepared // unique strands across all targets
 	counts  []int           // corpus multiplicity per unique strand
 	byKey   map[string]int  // canonical key -> index in uniq
 	targets []*Target
 	total   int // Σ counts: |T|, the H0 denominator
+
+	// Tombstone state. live[ti] is target ti's liveness; nil means "all
+	// live" (the common, tombstone-free case — the bulk AddTarget path
+	// never materializes it). h0Order, non-nil exactly when tombstones
+	// exist, is the H0 iteration permutation: the surviving strands in
+	// the first-seen order a from-scratch rebuild of the live targets
+	// would assign, which is what keeps post-tombstone scores
+	// bit-identical to that rebuild (float addition is order-
+	// sensitive, so masking dead strands is not enough — see
+	// FinalizeOrder). Both are copy-on-write: mutators install fresh
+	// slices under cfgMu so snapshotted queries keep a stable view.
+	live    []bool
+	h0Order []int32
+
+	// Write-path bookkeeping: the data generation (bumped by every
+	// compaction), the WAL high-water mark (sequence of the last
+	// applied record), pending live writes and tombstoned targets
+	// since the last compaction, and the journal acknowledged writes
+	// are logged to (nil: writes are memory-only, e.g. replay or
+	// tests).
+	generation    uint64
+	walSeq        uint64
+	pendingWrites int
+	tombstones    int
+	journal       Journal
 
 	// Prefilter state: one sketch summary per unique strand (in uniq
 	// order; MinHash signatures are persisted in snapshots, the rest
@@ -261,6 +308,10 @@ type DB struct {
 	hProbeCands    *telemetry.Histogram
 	hProbeLatency  *telemetry.Histogram
 	hRetrBuild     *telemetry.Histogram
+	mWritesAdd     *telemetry.Counter
+	mWritesDel     *telemetry.Counter
+	mCompactions   *telemetry.Counter
+	hCompact       *telemetry.Histogram
 }
 
 // queryStages names the Query pipeline stages, in execution order. Each
@@ -302,9 +353,9 @@ func NewDB(opts Options) *DB {
 	return db
 }
 
-// initMetrics builds the DB's metrics registry. Gauge funcs read index
-// sizes without the lock: they are written only by AddTarget, which is
-// documented as not concurrency-safe (serving reads an immutable index).
+// initMetrics builds the DB's metrics registry. Index-size gauge funcs
+// take cfgMu.RLock: the live write path mutates those fields at serve
+// time, so a scrape concurrent with ApplyAdd must see a consistent view.
 func (db *DB) initMetrics() {
 	reg := telemetry.NewRegistry()
 	db.reg = reg
@@ -372,13 +423,39 @@ func (db *DB) initMetrics() {
 		return float64(h) / float64(h+m)
 	})
 	reg.GaugeFunc("esh_index_targets", "Indexed target procedures.", func() float64 {
+		db.cfgMu.RLock()
+		defer db.cfgMu.RUnlock()
 		return float64(len(db.targets))
 	})
 	reg.GaugeFunc("esh_index_unique_strands", "Distinct strands in the index.", func() float64 {
+		db.cfgMu.RLock()
+		defer db.cfgMu.RUnlock()
 		return float64(len(db.uniq))
 	})
 	reg.GaugeFunc("esh_index_total_strands", "Corpus strand count |T| (H0 denominator).", func() float64 {
+		db.cfgMu.RLock()
+		defer db.cfgMu.RUnlock()
 		return float64(db.total)
+	})
+	db.mWritesAdd = reg.Counter("esh_writes_applied_total", "Live corpus writes applied in memory.", "op", "add")
+	db.mWritesDel = reg.Counter("esh_writes_applied_total", "Live corpus writes applied in memory.", "op", "delete")
+	db.mCompactions = reg.Counter("esh_compactions_total", "Compactions folding live writes and tombstones into a new snapshot generation.")
+	db.hCompact = reg.Histogram("esh_compaction_seconds",
+		"Wall time per compaction (remap + snapshot persistence + swap).", nil)
+	reg.GaugeFunc("esh_index_generation", "Data generation: bumped by every compaction.", func() float64 {
+		db.cfgMu.RLock()
+		defer db.cfgMu.RUnlock()
+		return float64(db.generation)
+	})
+	reg.GaugeFunc("esh_index_pending_writes", "Live writes applied since the last compaction (or load).", func() float64 {
+		db.cfgMu.RLock()
+		defer db.cfgMu.RUnlock()
+		return float64(db.pendingWrites)
+	})
+	reg.GaugeFunc("esh_index_tombstones", "Tombstoned (dead but uncompacted) targets.", func() float64 {
+		db.cfgMu.RLock()
+		defer db.cfgMu.RUnlock()
+		return float64(db.tombstones)
 	})
 }
 
@@ -393,17 +470,86 @@ func (db *DB) observeStage(stage string, d time.Duration) {
 	}
 }
 
-// NumTargets returns the number of indexed procedures.
-func (db *DB) NumTargets() int { return len(db.targets) }
+// NumTargets returns the number of indexed procedures (live and
+// tombstoned alike; compaction drops the dead ones).
+func (db *DB) NumTargets() int {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return len(db.targets)
+}
 
 // NumUniqueStrands returns the number of distinct strands in the index.
-func (db *DB) NumUniqueStrands() int { return len(db.uniq) }
+func (db *DB) NumUniqueStrands() int {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return len(db.uniq)
+}
 
-// TotalStrands returns |T|, the corpus strand count used for H0.
-func (db *DB) TotalStrands() int { return db.total }
+// TotalStrands returns |T|, the corpus strand count used for H0. It
+// tracks the live corpus: tombstoning a target subtracts its strand
+// multiplicities immediately.
+func (db *DB) TotalStrands() int {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.total
+}
 
-// Targets returns the indexed targets (do not modify).
-func (db *DB) Targets() []*Target { return db.targets }
+// Targets returns the indexed targets (do not modify), including
+// tombstoned ones. Use LiveTargets for the serving view.
+func (db *DB) Targets() []*Target {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.targets
+}
+
+// LiveTargets returns the live (non-tombstoned) targets in add order —
+// the view queries rank over (do not modify the targets).
+func (db *DB) LiveTargets() []*Target {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	if db.live == nil {
+		return db.targets
+	}
+	out := make([]*Target, 0, len(db.targets)-db.tombstones)
+	for ti, t := range db.targets {
+		if db.live[ti] {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// DataGeneration returns the compaction generation of the in-memory
+// corpus (zero until the first compaction).
+func (db *DB) DataGeneration() uint64 {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.generation
+}
+
+// WALSeq returns the journal high-water mark: the sequence number of
+// the last write applied to the in-memory corpus (zero when none).
+func (db *DB) WALSeq() uint64 {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.walSeq
+}
+
+// PendingWrites returns the number of live writes applied since the
+// last compaction (or snapshot load).
+func (db *DB) PendingWrites() int {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.pendingWrites
+}
+
+// Tombstones returns the number of tombstoned, not-yet-compacted
+// targets.
+func (db *DB) Tombstones() int {
+	db.cfgMu.RLock()
+	defer db.cfgMu.RUnlock()
+	return db.tombstones
+}
 
 // SetWorkers overrides query parallelism (n <= 0 selects GOMAXPROCS).
 // It exists so a snapshot indexed on one machine can serve on another.
@@ -411,6 +557,8 @@ func (db *DB) SetWorkers(n int) {
 	if n <= 0 {
 		n = runtime.GOMAXPROCS(0)
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.cfgMu.Lock()
 	db.opts.Workers = n
 	db.cfgMu.Unlock()
@@ -458,6 +606,19 @@ type queryConfig struct {
 	sketchIdx *sketch.Index
 	retr      *sketch.RetrievalIndex
 	sketchGen uint64
+
+	// Corpus snapshot: live writes install fresh slices (counts, live,
+	// h0Order) or append beyond our lengths (uniq, targets, sums), so
+	// these headers stay internally consistent for the query's
+	// lifetime. live == nil means every target is live; h0Order == nil
+	// means H0 accumulates in index order (no tombstones).
+	uniq       []*vcp.Prepared
+	counts     []int
+	targets    []*Target
+	live       []bool
+	h0Order    []int32
+	generation uint64
+	pending    int
 }
 
 func (qc *queryConfig) prefilterOn() bool { return qc.opts.Prefilter == PrefilterLSH }
@@ -468,6 +629,9 @@ func (db *DB) snapshotConfig() queryConfig {
 	qc := queryConfig{
 		opts: db.opts, sketchCfg: db.sketchCfg, sums: db.sums,
 		sketchIdx: db.sketchIdx, retr: db.retr, sketchGen: db.sketchGen,
+		uniq: db.uniq, counts: db.counts, targets: db.targets,
+		live: db.live, h0Order: db.h0Order,
+		generation: db.generation, pending: db.pendingWrites,
 	}
 	db.cfgMu.RUnlock()
 	if qc.probeOn() && qc.retr == nil {
@@ -484,7 +648,11 @@ func (db *DB) snapshotConfig() queryConfig {
 // query still runs under one consistent configuration.
 func (db *DB) retrievalFor(qc *queryConfig) *sketch.RetrievalIndex {
 	db.cfgMu.Lock()
-	if db.sketchGen == qc.sketchGen {
+	// The length check matters under live writes: sums is append-only
+	// within a sketch generation, so a write between the snapshot and
+	// this build could leave db.sums longer than the query's uniq view —
+	// a shared table built now would probe out of the query's range.
+	if db.sketchGen == qc.sketchGen && len(db.sums) == len(qc.sums) {
 		if db.retr == nil {
 			start := time.Now()
 			db.retr = sketch.BuildRetrieval(db.sums, db.sketchCfg)
@@ -545,6 +713,8 @@ func (db *DB) ConfigurePrefilter(mode string, bands, rows int, minCont float64) 
 	if err != nil {
 		return err
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.cfgMu.Lock()
 	defer db.cfgMu.Unlock()
 	db.opts.Prefilter = m
@@ -583,6 +753,8 @@ func (db *DB) ConfigureKernel(mode string) error {
 	if err != nil {
 		return err
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.cfgMu.Lock()
 	db.opts.VCP.Kernel = m
 	db.cfgMu.Unlock()
@@ -600,6 +772,8 @@ func (db *DB) ConfigureRetrieval(mode string) error {
 	if err != nil {
 		return err
 	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.cfgMu.Lock()
 	defer db.cfgMu.Unlock()
 	db.opts.Retrieval = m
@@ -615,6 +789,8 @@ func (db *DB) ConfigureRetrieval(mode string) error {
 // building it if necessary. The returned index is immutable; it is what
 // the snapshot writer persists and eshcorpus prints build stats from.
 func (db *DB) RetrievalIndex() *sketch.RetrievalIndex {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
 	db.cfgMu.Lock()
 	defer db.cfgMu.Unlock()
 	if db.retr == nil {
@@ -678,6 +854,15 @@ type DBStats struct {
 	Targets       int
 	UniqueStrands int
 	TotalStrands  int
+	// Live write-path state: LiveTargets excludes tombstoned targets;
+	// Generation is the compaction generation; WALSeq the sequence of
+	// the last applied journal record; PendingWrites/Tombstones the
+	// uncompacted write and tombstone counts.
+	LiveTargets   int
+	Generation    uint64
+	WALSeq        uint64
+	PendingWrites int
+	Tombstones    int
 	// VCPCachePairs is the number of cached strand-pair results;
 	// VCPCacheQueries the number of distinct query strands they span.
 	VCPCachePairs   int
@@ -746,9 +931,9 @@ func (s DBStats) VCPCacheHitRate() float64 {
 	return float64(s.VCPCacheHits) / float64(s.VCPCacheHits+s.VCPCacheMisses)
 }
 
-// Stats returns current occupancy counters. Targets, unique strands and
-// totals are only written by AddTarget (not concurrency-safe anyway);
-// the cache counters are read under the cache lock.
+// Stats returns current occupancy counters. Index sizes and write-path
+// state are read under cfgMu (the live write path mutates them at serve
+// time); the cache counters are read under the cache lock.
 func (db *DB) Stats() DBStats {
 	db.cfgMu.RLock()
 	prefilter := db.opts.Prefilter
@@ -756,11 +941,23 @@ func (db *DB) Stats() DBStats {
 	retrieval := db.opts.Retrieval
 	skCfg := db.sketchCfg
 	retr := db.retr
+	nTargets := len(db.targets)
+	nUniq := len(db.uniq)
+	total := db.total
+	tombstones := db.tombstones
+	generation := db.generation
+	walSeq := db.walSeq
+	pending := db.pendingWrites
 	db.cfgMu.RUnlock()
 	s := DBStats{
-		Targets:                  len(db.targets),
-		UniqueStrands:            len(db.uniq),
-		TotalStrands:             db.total,
+		Targets:                  nTargets,
+		UniqueStrands:            nUniq,
+		TotalStrands:             total,
+		LiveTargets:              nTargets - tombstones,
+		Generation:               generation,
+		WALSeq:                   walSeq,
+		PendingWrites:            pending,
+		Tombstones:               tombstones,
 		VCPCacheCap:              db.cacheCap(),
 		VCPCacheEvicted:          db.mCacheEvict.Value(),
 		VCPCacheHits:             db.mCacheHits.Value(),
@@ -898,6 +1095,13 @@ func (db *DB) AddTarget(p *asm.Proc) error {
 		}
 	}
 	db.targets = append(db.targets, t)
+	if db.live != nil {
+		// Keep the tombstone mask and H0 order in step when bulk adds
+		// are mixed with live writes (startup WAL replay after a dirty
+		// snapshot).
+		db.live = append(db.live, true)
+		db.h0Order = db.computeH0Order()
+	}
 	return nil
 }
 
@@ -961,11 +1165,18 @@ func (db *DB) Query(p *asm.Proc) (*Report, error) {
 // unsharded cases is what makes a gateway merge provably score-identical
 // to a single node.
 func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
-	qp, err := db.PartialQueryCtx(ctx, p)
+	qc := db.snapshotConfig()
+	qp, err := db.partialQuery(ctx, p, &qc)
 	if err != nil {
 		return nil, err
 	}
-	return qp.Finalize(db.counts), nil
+	// Finalize against the same snapshot the pair loop ran under: a live
+	// write between the two would otherwise hand Finalize counts that
+	// are longer (or, post-tombstone, differently weighted) than the
+	// rows. With tombstones present, h0Order replays the H0 sums in the
+	// first-seen order a from-scratch rebuild of the live targets would
+	// use, keeping scores bit-identical to that rebuild.
+	return qp.FinalizeOrder(qc.counts, qc.h0Order), nil
 }
 
 // PartialQueryCtx runs the query pipeline up to (but excluding) the
@@ -976,8 +1187,16 @@ func (db *DB) QueryCtx(ctx context.Context, p *asm.Proc) (*Report, error) {
 // scores bit-identical to a single node holding the union corpus — see
 // QueryPartial.Finalize for the exactness argument.
 func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, error) {
-	db.mQueries.Inc()
 	qc := db.snapshotConfig()
+	return db.partialQuery(ctx, p, &qc)
+}
+
+// partialQuery is the shared pipeline body behind QueryCtx and
+// PartialQueryCtx: both snapshot the configuration exactly once and run
+// every stage — and, for QueryCtx, finalization — against that view, so
+// a live write landing mid-query can never mix two corpus states.
+func (db *DB) partialQuery(ctx context.Context, p *asm.Proc, qc *queryConfig) (*QueryPartial, error) {
+	db.mQueries.Inc()
 
 	// Stage 1: decompose — disassembly → CFG → lift → strands.
 	_, spDec := telemetry.StartSpan(ctx, "decompose")
@@ -1060,7 +1279,7 @@ func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, 
 	for i, q := range qs {
 		preps[i] = q.prep
 	}
-	rows, revRows := db.vcpRows(preps, spVCP, &qc)
+	rows, revRows := db.vcpRows(preps, spVCP, qc)
 	db.observeStage("vcp", spVCP.End())
 
 	qp.Weights = make([]float64, len(qs))
@@ -1078,7 +1297,7 @@ func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, 
 	_, spScore := telemetry.StartSpan(ctx, "score")
 
 	// maxRev[j]: the best any query strand contains target strand j.
-	maxRev := make([]float64, len(db.uniq))
+	maxRev := make([]float64, len(qc.uniq))
 	for i := range qs {
 		for j, v := range revRows[i] {
 			if v > maxRev[j] {
@@ -1087,8 +1306,14 @@ func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, 
 		}
 	}
 
-	qp.Targets = make([]PartialScore, len(db.targets))
-	for ti, t := range db.targets {
+	// Tombstoned targets are masked here rather than at row level: the
+	// surviving targets in add order are exactly the target order a
+	// from-scratch rebuild of the live corpus would produce.
+	qp.Targets = make([]PartialScore, 0, len(qc.targets))
+	for ti, t := range qc.targets {
+		if qc.live != nil && !qc.live[ti] {
+			continue
+		}
 		maxVCPs := make([]float64, len(qs))
 		for i := range qs {
 			best := 0.0
@@ -1104,9 +1329,11 @@ func (db *DB) PartialQueryCtx(ctx context.Context, p *asm.Proc) (*QueryPartial, 
 		for _, j := range t.strandIdx {
 			svcp += maxRev[j]
 		}
-		qp.Targets[ti] = PartialScore{Target: t, SVCP: svcp, MaxVCP: maxVCPs}
+		qp.Targets = append(qp.Targets, PartialScore{Target: t, SVCP: svcp, MaxVCP: maxVCPs})
 	}
-	spScore.SetAttr("targets", float64(len(db.targets)))
+	qp.DataGeneration = qc.generation
+	qp.PendingWrites = qc.pending
+	spScore.SetAttr("targets", float64(len(qp.Targets)))
 	db.observeStage("score", spScore.End())
 	return qp, nil
 }
@@ -1257,7 +1484,7 @@ type vcpRowState struct {
 // spawns a goroutine per strand. Work counts flow into sp (the shared
 // vcp stage span) and the DB counters once per row.
 func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span, qc *queryConfig) (rows, revRows [][]float64) {
-	n := len(db.uniq)
+	n := len(qc.uniq)
 	rows = make([][]float64, len(qs))
 	revRows = make([][]float64, len(qs))
 	states := make([]*vcpRowState, len(qs))
@@ -1284,6 +1511,11 @@ func (db *DB) vcpRows(qs []*vcp.Prepared, sp *telemetry.Span, qc *queryConfig) (
 			st.qSum = sketch.Summarize(q.S, qc.sketchCfg)
 			start := time.Now()
 			st.candIDs, st.rs.soundCands = qc.retr.Probe(st.qSum, scratch, nil)
+			// Delta overlay: strands written live since the table was
+			// built (sketch.RetrievalIndex.ProbeDelta has the contract).
+			var deltaSound int
+			st.candIDs, deltaSound = qc.retr.ProbeDelta(st.qSum, qc.sums[:n], qc.counts, st.candIDs)
+			st.rs.soundCands += deltaSound
 			st.rs.probeNanos = time.Since(start).Nanoseconds()
 			st.rs.probeOn = true
 			st.rs.probeCands = len(st.candIDs)
@@ -1364,7 +1596,7 @@ func (db *DB) initRow(st *vcpRowState) {
 	// left to mark.
 	if !st.probed && st.qc.prefilterOn() {
 		st.rs.lshOn = true
-		st.cand = db.getMark(len(db.uniq))
+		st.cand = db.getMark(len(st.qc.uniq))
 		st.qSum = sketch.Summarize(st.q.S, st.qc.sketchCfg)
 		st.rs.lshCands = st.qc.sketchIdx.Candidates(st.qSum, st.cand)
 	}
@@ -1389,7 +1621,16 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 		if st.candIDs != nil {
 			j = int(st.candIDs[k]) // probe mode: [lo,hi) indexes the candidate list
 		}
-		u := db.uniq[j]
+		// Dead strands (every owning target tombstoned) are skipped
+		// before any work — including the identical short circuit — so
+		// their row entries stay zero and scan and probe hand the
+		// verifier the same live pair set. Nothing downstream reads
+		// them: h0Order excludes dead strands and stage 4 only walks
+		// live targets' strand lists.
+		if st.qc.counts[j] == 0 {
+			continue
+		}
+		u := st.qc.uniq[j]
 		uKey := u.Key()
 		if qKey == uKey {
 			st.fwd[j], st.rev[j] = 1.0, 1.0 // identical strands match exactly

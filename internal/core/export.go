@@ -32,6 +32,12 @@ type Export struct {
 	// importer that needs the table rebuilds it from the strands, which
 	// is deterministic and yields an identical table.
 	Retrieval *sketch.RetrievalTable
+	// Generation is the compaction generation of the exported corpus
+	// and WALSeq its journal high-water mark: a snapshot at (g, s)
+	// already contains every write with sequence <= s, so startup replay
+	// skips them (snapshot format v5; both zero before).
+	Generation uint64
+	WALSeq     uint64
 }
 
 // ExportStrand is one unique strand, its corpus multiplicity, and its
@@ -59,20 +65,40 @@ type ExportTarget struct {
 
 // Export captures the database state for serialization. The returned
 // value aliases the DB's strands and targets; treat it as read-only.
+// With tombstones or uncompacted live writes present it exports the
+// remapped live view — the corpus a from-scratch rebuild of the
+// surviving targets would hold — because Export's invariants (counts
+// == per-target multiplicity sums, every strand owned) only hold for
+// that view. It takes the write lock, so it serializes against live
+// writes but never against queries.
 func (db *DB) Export() *Export {
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	return db.exportLocked()
+}
+
+// exportLocked is Export's body; callers hold writeMu.
+func (db *DB) exportLocked() *Export {
 	db.cfgMu.RLock()
-	ex := &Export{Opts: db.opts, Shard: db.shard}
-	ex.Strands = make([]ExportStrand, len(db.uniq))
-	for i, p := range db.uniq {
-		ex.Strands[i] = ExportStrand{S: p.S, Count: db.counts[i], Sig: db.sums[i].Sig}
+	defer db.cfgMu.RUnlock()
+	lv := db.buildLiveView()
+	ex := &Export{
+		Opts: db.opts, Shard: db.shard,
+		Generation: db.generation, WALSeq: db.walSeq,
 	}
-	if db.retr != nil {
+	ex.Strands = make([]ExportStrand, len(lv.uniq))
+	for i, p := range lv.uniq {
+		ex.Strands[i] = ExportStrand{S: p.S, Count: lv.counts[i], Sig: lv.sums[i].Sig}
+	}
+	if lv.identity && db.retr != nil && db.retr.Len() == len(lv.sums) {
+		// The resident probe table only describes the unremapped index;
+		// a dirty export leaves Retrieval nil and importers rebuild it
+		// deterministically from the strands.
 		tab := db.retr.Table()
 		ex.Retrieval = &tab
 	}
-	db.cfgMu.RUnlock()
-	ex.Targets = make([]ExportTarget, len(db.targets))
-	for i, t := range db.targets {
+	ex.Targets = make([]ExportTarget, len(lv.targets))
+	for i, t := range lv.targets {
 		ex.Targets[i] = ExportTarget{
 			Name:       t.Name,
 			Source:     t.Source,
@@ -95,6 +121,8 @@ func FromExport(ex *Export) (*DB, error) {
 		return nil, fmt.Errorf("core: import: shard id %d out of range [0,%d)", ex.Shard.ID, ex.Shard.Count)
 	}
 	db.shard = ex.Shard
+	db.generation = ex.Generation
+	db.walSeq = ex.WALSeq
 	db.uniq = make([]*vcp.Prepared, len(ex.Strands))
 	db.counts = make([]int, len(ex.Strands))
 

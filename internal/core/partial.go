@@ -52,6 +52,14 @@ type QueryPartial struct {
 	Rows [][]float64
 	// Targets holds the exact per-target reductions, in index order.
 	Targets []PartialScore
+	// DataGeneration is the compaction generation the partial was
+	// computed under; PendingWrites the number of uncompacted live
+	// writes. A coordinator merging shard partials must refuse either
+	// being nonzero: its manifest's union counts describe the shards'
+	// generation-zero snapshots, so a drifted shard would finalize
+	// against stale multiplicities and corrupt scores.
+	DataGeneration uint64
+	PendingWrites  int
 }
 
 // PartialScore is the shard-exact half of one target's score.
@@ -72,11 +80,30 @@ type PartialScore struct {
 // bit-identical inputs and therefore produce bit-identical scores and
 // (stable-sorted) rankings.
 func (qp *QueryPartial) Finalize(counts []int) *Report {
+	return qp.FinalizeOrder(counts, nil)
+}
+
+// FinalizeOrder is Finalize with an explicit H0 accumulation order:
+// order[k] is the index (into counts and each row) of the k-th strand to
+// fold into the H0 mean. nil means index order — plain Finalize. The
+// live write path uses it after tombstones: floating-point addition is
+// order-sensitive, so bit-identity with a from-scratch rebuild of the
+// surviving corpus requires replaying the rebuild's first-seen strand
+// order, not the dirty index order with dead strands masked. Dead
+// strands (counts 0) are simply absent from the order.
+func (qp *QueryPartial) FinalizeOrder(counts []int, order []int32) *Report {
 	evidence := make([]stats.StrandEvidence, len(qp.Weights))
 	for i, w := range qp.Weights {
 		h0 := stats.H0Accumulator{K: qp.SigmoidK}
-		for j, v := range qp.Rows[i] {
-			h0.Add(v, counts[j])
+		row := qp.Rows[i]
+		if order == nil {
+			for j, v := range row {
+				h0.Add(v, counts[j])
+			}
+		} else {
+			for _, j := range order {
+				h0.Add(row[j], counts[j])
+			}
 		}
 		evidence[i] = h0.Evidence(w)
 	}

@@ -479,6 +479,12 @@ func (g *Gateway) CheckFleet(ctx context.Context) (warnings []string, errs []err
 			if st.Snapshot.Checksum != "" && man.Shards[i].Checksum != "" && st.Snapshot.Checksum != man.Shards[i].Checksum {
 				errs = append(errs, &FleetError{i, u, fmt.Errorf("snapshot checksum %.12s…, manifest says %.12s…", st.Snapshot.Checksum, man.Shards[i].Checksum)})
 			}
+			// Live writes drift a shard's corpus away from the counts the
+			// manifest was split with; merging its partials would corrupt
+			// scores, so this is an error, not a warning.
+			if st.Writes.Generation > 0 || st.Writes.PendingWrites > 0 {
+				errs = append(errs, &FleetError{i, u, fmt.Errorf("live writes drifted from snapshot (data generation %d, %d pending writes); re-split the corpus", st.Writes.Generation, st.Writes.PendingWrites)})
+			}
 			if st.Engine.SigmoidK != man.SigmoidK {
 				errs = append(errs, &FleetError{i, u, fmt.Errorf("sigmoid k=%g, manifest says %g", st.Engine.SigmoidK, man.SigmoidK)})
 			}

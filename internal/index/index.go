@@ -44,13 +44,17 @@ import (
 // multiplicity section (what lets a corpus split into shards whose
 // local strand counts sum exactly to the union's); version 4 added the
 // retrieval section (the banded-LSH probe table's posting slabs, with
-// their own checksum) and the retrieval option key. Older versions
-// still load: signatures are recomputed, multiplicities default to 1,
-// and the probe table is rebuilt from the strands (deterministically,
-// so probe-mode answers are identical either way).
+// their own checksum) and the retrieval option key; version 5 added the
+// wal record (compaction generation + journal high-water mark, what
+// lets a restarting daemon skip already-folded journal records) and the
+// retrmaxdelta option key. Older versions still load: signatures are
+// recomputed, multiplicities default to 1, the probe table is rebuilt
+// from the strands (deterministically, so probe-mode answers are
+// identical either way), and generation and high-water mark default to
+// zero (replay everything).
 const (
 	Magic      = "eshidx"
-	Version    = 4
+	Version    = 5
 	MinVersion = 1
 )
 
@@ -293,14 +297,19 @@ func codeType(c int) (ivl.Type, error) {
 func encodeBody(ex *core.Export) []byte {
 	var b bytes.Buffer
 	o := ex.Opts
-	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s retrieval=%s\n",
+	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s retrieval=%s retrmaxdelta=%d\n",
 		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
 		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences,
-		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel, o.Retrieval)
+		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel, o.Retrieval,
+		o.RetrievalMaxDelta)
 
 	// Shard identity (format version 3). All zero/empty for an unsharded
 	// corpus.
 	fmt.Fprintf(&b, "shard %d %d %s\n", ex.Shard.ID, ex.Shard.Count, strconv.Quote(ex.Shard.Generation))
+
+	// Write-path watermark (format version 5): the compaction generation
+	// and the journal sequence already folded into this snapshot.
+	fmt.Fprintf(&b, "wal %d %d\n", ex.Generation, ex.WALSeq)
 
 	fmt.Fprintf(&b, "strands %d\n", len(ex.Strands))
 	for _, es := range ex.Strands {
@@ -535,6 +544,11 @@ func decodeBody(body []byte, version int) (*core.Export, error) {
 			return nil, err
 		}
 	}
+	if version >= 5 {
+		if err := d.decodeWAL(ex); err != nil {
+			return nil, err
+		}
+	}
 	if err := d.decodeStrands(ex); err != nil {
 		return nil, err
 	}
@@ -658,6 +672,26 @@ func (d *decoder) decodeShard(ex *core.Export) error {
 	if ex.Shard.Sharded() && (ex.Shard.ID < 0 || ex.Shard.ID >= ex.Shard.Count) {
 		return d.errf("shard id %d out of range [0,%d)", ex.Shard.ID, ex.Shard.Count)
 	}
+	return nil
+}
+
+// decodeWAL reads the version-5 write-path watermark record: the
+// compaction generation and the journal sequence number already folded
+// into the snapshot (startup replay skips records at or below it).
+func (d *decoder) decodeWAL(ex *core.Export) error {
+	toks, err := d.record("wal", 2)
+	if err != nil {
+		return err
+	}
+	gen, err := strconv.ParseUint(toks[0], 10, 64)
+	if err != nil {
+		return d.errf("bad wal generation %q", toks[0])
+	}
+	seq, err := strconv.ParseUint(toks[1], 10, 64)
+	if err != nil {
+		return d.errf("bad wal sequence %q", toks[1])
+	}
+	ex.Generation, ex.WALSeq = gen, seq
 	return nil
 }
 
@@ -793,6 +827,8 @@ func (d *decoder) decodeOptions(ex *core.Export) error {
 			ex.Opts.VCP.Kernel = val
 		case "retrieval":
 			ex.Opts.Retrieval = val
+		case "retrmaxdelta":
+			ex.Opts.RetrievalMaxDelta = atoi()
 		default:
 			// Unknown keys are ignored so minor option additions do not
 			// invalidate old readers within a format version.

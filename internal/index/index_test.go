@@ -292,6 +292,8 @@ func downgrade(t *testing.T, snap []byte, version int) []byte {
 				}
 			}
 			ln = strings.Join(kept, " ")
+		case version < 5 && tag == "wal":
+			continue
 		case version < 4 && (tag == "retrieval" || tag == "rd" || tag == "rk" || tag == "ro" || tag == "ri"):
 			continue
 		case version < 3 && (tag == "shard" || tag == "mults" || tag == "m"):

@@ -18,6 +18,7 @@ import (
 	"net/http"
 	"runtime"
 	"strconv"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"repro/internal/stats"
 	"repro/internal/telemetry"
 	"repro/internal/vcp"
+	"repro/internal/wal"
 )
 
 // Config tunes the service. Zero values select the documented defaults.
@@ -58,6 +60,18 @@ type Config struct {
 	// (defaults telemetry.DefaultRecorderSize / DefaultSlowLogSize).
 	RecorderSize int
 	SlowLogSize  int
+	// EnableWrites turns on the live write API (POST /v1/targets,
+	// DELETE /v1/targets/{name}, POST /v1/compact). Off by default:
+	// without a write-ahead log the daemon cannot make writes durable,
+	// so cmd/eshd enables it only when -wal is set.
+	EnableWrites bool
+	// Compact, when non-nil, is invoked by POST /v1/compact (and is how
+	// the daemon's background compactor and the API share one code
+	// path). It returns the new generation and folded WAL high-water
+	// mark.
+	Compact func() (gen, hwm uint64, err error)
+	// WALStats, when non-nil, supplies journal statistics for /v1/stats.
+	WALStats func() wal.Stats
 }
 
 func (c Config) withDefaults() Config {
@@ -89,11 +103,18 @@ func (c Config) withDefaults() Config {
 // terminal outcome per query request.
 var queryResults = [...]string{"completed", "failure", "timeout", "rejected", "bad_input"}
 
-// Server serves similarity queries against one immutable DB.
+// Server serves similarity queries — and, with writes enabled, live
+// corpus mutations — against one DB.
 type Server struct {
 	db  *core.DB
 	cfg Config
 	sem chan struct{}
+
+	// snapMu guards the serving snapshot identity: compaction persists a
+	// new snapshot generation under the live daemon and updates it via
+	// SetSnapshotInfo while /v1/stats reads it.
+	snapMu   sync.RWMutex
+	snapshot index.Info
 	// queryFn indirects db.QueryCtx so tests can inject slow or failing
 	// queries deterministically; partialFn likewise for db.PartialQueryCtx.
 	queryFn   func(context.Context, *asm.Proc) (*core.Report, error)
@@ -133,6 +154,7 @@ func New(db *core.DB, cfg Config) *Server {
 		db:        db,
 		cfg:       cfg,
 		sem:       make(chan struct{}, cfg.MaxInFlight),
+		snapshot:  cfg.Snapshot,
 		queryFn:   db.QueryCtx,
 		partialFn: db.PartialQueryCtx,
 		reg:       telemetry.NewRegistry(),
@@ -184,6 +206,9 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/query", s.handleQuery)
 	mux.HandleFunc("POST /v1/query/partial", s.handlePartial)
 	mux.HandleFunc("GET /v1/targets", s.handleTargets)
+	mux.HandleFunc("POST /v1/targets", s.handleAddTarget)
+	mux.HandleFunc("DELETE /v1/targets/{name}", s.handleDeleteTarget)
+	mux.HandleFunc("POST /v1/compact", s.handleCompact)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /debug/slow", s.handleSlow)
 	mux.HandleFunc("GET /debug/queries", s.handleRecent)
@@ -684,8 +709,9 @@ type TargetInfo struct {
 }
 
 func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
-	out := make([]TargetInfo, 0, s.db.NumTargets())
-	for _, t := range s.db.Targets() {
+	live := s.db.LiveTargets()
+	out := make([]TargetInfo, 0, len(live))
+	for _, t := range live {
 		out = append(out, TargetInfo{
 			Name:       t.Name,
 			Package:    t.Source.Package,
@@ -698,15 +724,204 @@ func (s *Server) handleTargets(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"targets": out})
 }
 
+// SetSnapshotInfo replaces the snapshot identity reported by /v1/stats.
+// The daemon calls it after a compaction persists a new snapshot
+// generation under the live server.
+func (s *Server) SetSnapshotInfo(info index.Info) {
+	s.snapMu.Lock()
+	s.snapshot = info
+	s.snapMu.Unlock()
+}
+
+// writeEnabled gates the write API: 501 with a pointer at -wal when the
+// daemon has no durable journal.
+func (s *Server) writeEnabled(w http.ResponseWriter) bool {
+	if !s.cfg.EnableWrites {
+		s.fail(w, http.StatusNotImplemented, "live writes are disabled (start eshd with -wal)")
+		return false
+	}
+	return true
+}
+
+// WriteRequest is the POST /v1/targets body: one or more procedures in
+// assembler-text form, each indexed as one target.
+type WriteRequest struct {
+	Asm string `json:"asm"`
+}
+
+// WriteResponse is the reply of the write endpoints. Added lists the
+// target names indexed by a POST (in order; on error the prefix that
+// was durably applied before the failure). Removed counts tombstoned
+// targets. WALSeq is the journal high-water mark after the write and
+// PendingWrites the uncompacted write count.
+type WriteResponse struct {
+	Added         []string `json:"added,omitempty"`
+	Removed       int      `json:"removed,omitempty"`
+	Generation    uint64   `json:"generation"`
+	WALSeq        uint64   `json:"wal_seq"`
+	PendingWrites int      `json:"pending_writes"`
+}
+
+func (s *Server) fillWriteState(resp *WriteResponse) {
+	resp.Generation = s.db.DataGeneration()
+	resp.WALSeq = s.db.WALSeq()
+	resp.PendingWrites = s.db.PendingWrites()
+}
+
+// writeStatus maps a write-path error to its HTTP status: duplicate
+// names conflict (409), unknown names are absent (404), journal append
+// failures are server-side (500, the write was not applied), and
+// everything else is an unprocessable procedure (422).
+func writeStatus(err error) int {
+	switch {
+	case errors.Is(err, core.ErrDuplicateTarget):
+		return http.StatusConflict
+	case errors.Is(err, core.ErrTargetNotFound):
+		return http.StatusNotFound
+	case errors.Is(err, core.ErrJournal):
+		return http.StatusInternalServerError
+	default:
+		return http.StatusUnprocessableEntity
+	}
+}
+
+// handleAddTarget serves POST /v1/targets: journal, then index, each
+// procedure in the body. Each procedure is individually durable — on a
+// mid-batch failure the response still lists the prefix that was
+// acknowledged, and those targets survive a crash.
+func (s *Server) handleAddTarget(w http.ResponseWriter, r *http.Request) {
+	if !s.writeEnabled(w) {
+		return
+	}
+	var req WriteRequest
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	if err := json.NewDecoder(body).Decode(&req); err != nil {
+		var tooLarge *http.MaxBytesError
+		if errors.As(err, &tooLarge) {
+			s.fail(w, http.StatusRequestEntityTooLarge, "request body exceeds %d bytes", s.cfg.MaxBodyBytes)
+			return
+		}
+		s.fail(w, http.StatusBadRequest, "decode request: %v", err)
+		return
+	}
+	procs, err := asm.Parse(req.Asm)
+	if err != nil {
+		s.fail(w, http.StatusBadRequest, "parse asm: %v", err)
+		return
+	}
+	if len(procs) == 0 {
+		s.fail(w, http.StatusBadRequest, "no procedure in request")
+		return
+	}
+	rid := RequestID(r.Context())
+	start := time.Now()
+	_, root := telemetry.StartSpan(context.Background(), "write")
+	resp := &WriteResponse{}
+	for _, p := range procs {
+		if err := s.db.ApplyAdd(p); err != nil {
+			root.End()
+			s.record("write", rid, "failure", err.Error(), start, root)
+			s.fillWriteState(resp)
+			status := writeStatus(err)
+			writeJSON(w, status, map[string]any{
+				"error":   err.Error(),
+				"added":   resp.Added,
+				"wal_seq": resp.WALSeq,
+			})
+			return
+		}
+		resp.Added = append(resp.Added, p.Name)
+	}
+	root.SetAttr("targets_added", float64(len(resp.Added)))
+	root.End()
+	s.record("write", rid, "completed", "", start, root)
+	s.fillWriteState(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleDeleteTarget serves DELETE /v1/targets/{name}: tombstone every
+// live target with that name. The strands stay resident until the next
+// compaction but stop influencing scores immediately.
+func (s *Server) handleDeleteTarget(w http.ResponseWriter, r *http.Request) {
+	if !s.writeEnabled(w) {
+		return
+	}
+	name := r.PathValue("name")
+	if name == "" {
+		s.fail(w, http.StatusBadRequest, "empty target name")
+		return
+	}
+	rid := RequestID(r.Context())
+	start := time.Now()
+	_, root := telemetry.StartSpan(context.Background(), "delete")
+	n, err := s.db.ApplyRemove(name)
+	root.End()
+	if err != nil {
+		s.record("delete", rid, "failure", err.Error(), start, root)
+		s.fail(w, writeStatus(err), "%v", err)
+		return
+	}
+	s.record("delete", rid, "completed", "", start, root)
+	resp := &WriteResponse{Removed: n}
+	s.fillWriteState(resp)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCompact serves POST /v1/compact: fold the journal and
+// tombstones into a new snapshot generation via the daemon's compaction
+// hook. 501 when the daemon wired no hook (no snapshot path to persist
+// to).
+func (s *Server) handleCompact(w http.ResponseWriter, r *http.Request) {
+	if !s.writeEnabled(w) {
+		return
+	}
+	if s.cfg.Compact == nil {
+		s.fail(w, http.StatusNotImplemented, "no compaction hook configured")
+		return
+	}
+	rid := RequestID(r.Context())
+	start := time.Now()
+	_, root := telemetry.StartSpan(context.Background(), "compact")
+	gen, hwm, err := s.cfg.Compact()
+	root.SetAttr("generation", float64(gen))
+	root.End()
+	if err != nil {
+		s.record("compact", rid, "failure", err.Error(), start, root)
+		s.fail(w, http.StatusInternalServerError, "compact: %v", err)
+		return
+	}
+	s.record("compact", rid, "completed", "", start, root)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"generation":     gen,
+		"wal_seq":        hwm,
+		"pending_writes": s.db.PendingWrites(),
+	})
+}
+
 // StatsResponse is the GET /v1/stats reply.
 type StatsResponse struct {
 	StartTime     time.Time `json:"start_time"`
 	UptimeSeconds float64   `json:"uptime_seconds"`
 	Index         struct {
 		Targets       int `json:"targets"`
+		LiveTargets   int `json:"live_targets"`
 		UniqueStrands int `json:"unique_strands"`
 		TotalStrands  int `json:"total_strands"`
 	} `json:"index"`
+	// Writes reports the live write path: whether it is enabled, the
+	// data generation (bumped per compaction), the journal high-water
+	// mark, uncompacted write and tombstone counts, and — when a WAL is
+	// attached — its on-disk statistics. A gateway refuses to merge
+	// partials from a shard with nonzero pending writes or generation
+	// (its manifest no longer describes that shard's corpus).
+	Writes struct {
+		Enabled       bool       `json:"enabled"`
+		Generation    uint64     `json:"generation"`
+		WALSeq        uint64     `json:"wal_seq"`
+		PendingWrites int        `json:"pending_writes"`
+		Tombstones    int        `json:"tombstones"`
+		WAL           *wal.Stats `json:"wal,omitempty"`
+	} `json:"writes"`
 	// Snapshot identifies the index snapshot this replica serves —
 	// format version, body checksum, and (when the corpus is one shard
 	// of a split) the shard coordinates and fleet generation. A gateway
@@ -815,10 +1030,22 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		UptimeSeconds: time.Since(s.started).Seconds(),
 	}
 	resp.Index.Targets = dbs.Targets
+	resp.Index.LiveTargets = dbs.LiveTargets
 	resp.Index.UniqueStrands = dbs.UniqueStrands
 	resp.Index.TotalStrands = dbs.TotalStrands
-	resp.Snapshot.Version = s.cfg.Snapshot.Version
-	resp.Snapshot.Checksum = s.cfg.Snapshot.Checksum
+	resp.Writes.Enabled = s.cfg.EnableWrites
+	resp.Writes.Generation = dbs.Generation
+	resp.Writes.WALSeq = dbs.WALSeq
+	resp.Writes.PendingWrites = dbs.PendingWrites
+	resp.Writes.Tombstones = dbs.Tombstones
+	if s.cfg.WALStats != nil {
+		ws := s.cfg.WALStats()
+		resp.Writes.WAL = &ws
+	}
+	s.snapMu.RLock()
+	resp.Snapshot.Version = s.snapshot.Version
+	resp.Snapshot.Checksum = s.snapshot.Checksum
+	s.snapMu.RUnlock()
 	si := s.db.Shard()
 	resp.Snapshot.ShardID = si.ID
 	resp.Snapshot.ShardCount = si.Count

@@ -23,6 +23,12 @@ type Partial struct {
 	NumBlocks  int            `json:"num_blocks"`
 	NumStrands int            `json:"num_strands"`
 	SigmoidK   float64        `json:"sigmoid_k"`
+	// DataGeneration and PendingWrites report live-write drift on the
+	// answering shard: a nonzero value means its corpus no longer
+	// matches the manifest's counts, and Merge refuses rather than
+	// finalize against stale multiplicities.
+	DataGeneration uint64 `json:"data_generation,omitempty"`
+	PendingWrites  int    `json:"pending_writes,omitempty"`
 	// Weights and Rows are indexed by unique query strand, in the
 	// decomposition order every shard derives identically from the
 	// query text; Rows' second index is the shard-local strand order
@@ -45,17 +51,19 @@ type TargetPartial struct {
 // FromQueryPartial converts an engine partial to wire form.
 func FromQueryPartial(qp *core.QueryPartial, si core.ShardInfo) *Partial {
 	p := &Partial{
-		ShardID:    si.ID,
-		ShardCount: si.Count,
-		Generation: si.Generation,
-		QueryName:  qp.QueryName,
-		Source:     qp.Source,
-		NumBlocks:  qp.NumBlocks,
-		NumStrands: qp.NumStrands,
-		SigmoidK:   qp.SigmoidK,
-		Weights:    qp.Weights,
-		Rows:       qp.Rows,
-		Targets:    make([]TargetPartial, len(qp.Targets)),
+		ShardID:        si.ID,
+		ShardCount:     si.Count,
+		Generation:     si.Generation,
+		DataGeneration: qp.DataGeneration,
+		PendingWrites:  qp.PendingWrites,
+		QueryName:      qp.QueryName,
+		Source:         qp.Source,
+		NumBlocks:      qp.NumBlocks,
+		NumStrands:     qp.NumStrands,
+		SigmoidK:       qp.SigmoidK,
+		Weights:        qp.Weights,
+		Rows:           qp.Rows,
+		Targets:        make([]TargetPartial, len(qp.Targets)),
 	}
 	for i, ps := range qp.Targets {
 		p.Targets[i] = TargetPartial{
@@ -206,6 +214,13 @@ func Merge(man *Manifest, parts []*Partial) (*core.Report, []int, error) {
 // query decomposition, or rows cannot be merged by index).
 func checkPartial(man *Manifest, first, p *Partial) error {
 	s := p.ShardID
+	if p.DataGeneration != 0 || p.PendingWrites != 0 {
+		// Live writes mutated the shard since its snapshot was split:
+		// the manifest's union counts no longer describe its corpus, so
+		// finalizing against them would silently corrupt scores.
+		return fmt.Errorf("shard: merge: shard %d has drifted from its snapshot (data generation %d, %d pending writes); re-split the corpus",
+			s, p.DataGeneration, p.PendingWrites)
+	}
 	if p.SigmoidK != man.SigmoidK {
 		return fmt.Errorf("shard: merge: shard %d ran sigmoid k=%g, manifest says %g", s, p.SigmoidK, man.SigmoidK)
 	}

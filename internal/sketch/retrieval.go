@@ -161,6 +161,44 @@ func BuildRetrieval(sums []Summary, cfg Config) *RetrievalIndex {
 // Len returns the number of indexed strands.
 func (rx *RetrievalIndex) Len() int { return rx.n }
 
+// Stale reports whether the table has fallen too far behind a corpus
+// that now holds total strands. The table is immutable — live writes
+// cannot batch-append into its sorted slabs — so the engine overlays
+// written-since-build strands onto every probe (ProbeDelta) and
+// rebuilds the table once the overlay exceeds maxDelta strands, the
+// point where per-probe overlay work starts to erode the table's
+// sublinearity. maxDelta < 0 means never (the overlay runs until
+// compaction rebuilds the table anyway).
+func (rx *RetrievalIndex) Stale(total, maxDelta int) bool {
+	return maxDelta >= 0 && total-rx.n > maxDelta
+}
+
+// ProbeDelta extends a Probe result with the delta overlay: strands
+// with ids in [Len(), len(sums)) — written live after the table was
+// built; the corpus arrays are append-only within a generation — are
+// tested by the same typed-input injectability criterion the sound
+// tier stores, skipping ids whose counts entry is zero (tombstoned
+// remnants). ids must be a Probe result over this table, so the
+// returned slice stays sorted and duplicate-free (all delta ids are
+// larger than any table id). Returns the extended ids and the number
+// of sound candidates appended. The overlay is a superset guarantee
+// for the heuristic tier (every delta strand passes, band-collision
+// untested) and exact for the sound tier, so sound-tier rankings stay
+// bit-identical to a scan.
+func (rx *RetrievalIndex) ProbeDelta(sum Summary, sums []Summary, counts []int, ids []int32) ([]int32, int) {
+	sound := 0
+	for j := rx.n; j < len(sums); j++ {
+		if counts[j] == 0 {
+			continue
+		}
+		if sum.Injects(sums[j]) || sums[j].Injects(sum) {
+			ids = append(ids, int32(j))
+			sound++
+		}
+	}
+	return ids, sound
+}
+
 // Config returns the banding configuration the table was built under.
 func (rx *RetrievalIndex) Config() Config { return rx.cfg }
 

@@ -223,3 +223,67 @@ func TestFromTableRejectsCorruption(t *testing.T) {
 		}
 	}
 }
+
+// TestProbeDelta pins the delta-overlay contract: a table built over a
+// prefix of the corpus, probed and then extended with ProbeDelta over
+// the full summary slice, must return exactly the sound set a table
+// over the whole corpus would (minus zero-count tombstone remnants),
+// sorted and duplicate-free.
+func TestProbeDelta(t *testing.T) {
+	cfg := Config{}.Normalized()
+	data := []byte("probe-delta-corpus-material-0123456789abcdefghijklmnop")
+	sums := synthSummaries(data, cfg)
+	if len(sums) < 8 {
+		t.Fatalf("synth corpus too small: %d", len(sums))
+	}
+	built := len(sums) - 3 // last 3 strands arrive after the build
+	rx := BuildRetrieval(sums[:built], cfg)
+	counts := make([]int, len(sums))
+	for i := range counts {
+		counts[i] = 1
+	}
+	counts[built+1] = 0 // a tombstoned delta strand
+
+	for self := range sums {
+		q := sums[self]
+		scratch := make([]bool, rx.Len())
+		ids, sound := rx.Probe(q, scratch, nil)
+		ids, deltaSound := rx.ProbeDelta(q, sums, counts, ids)
+
+		want := map[int32]bool{}
+		for id := range sums {
+			if counts[id] == 0 {
+				continue
+			}
+			if q.Injects(sums[id]) || sums[id].Injects(q) {
+				want[int32(id)] = true
+			}
+		}
+		// The table covers [0,built) exhaustively at sound settings and
+		// the overlay covers [built,len) minus zero counts.
+		got := map[int32]bool{}
+		for i, id := range ids {
+			if i > 0 && ids[i-1] >= id {
+				t.Fatalf("query %d: ids not sorted/unique at %d: %v", self, i, ids)
+			}
+			got[id] = true
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("query %d: overlaid candidates = %v, want %v", self, ids, want)
+		}
+		_ = sound
+		if deltaSound > 3 {
+			t.Fatalf("query %d: %d delta sound candidates from a 3-strand delta", self, deltaSound)
+		}
+	}
+
+	if rx.Stale(len(sums), 3) {
+		t.Fatal("delta of 3 with maxDelta 3 reported stale")
+	}
+	if !rx.Stale(len(sums), 2) {
+		t.Fatal("delta of 3 with maxDelta 2 not reported stale")
+	}
+	if rx.Stale(len(sums), -1) {
+		t.Fatal("negative maxDelta must never report stale")
+	}
+}
