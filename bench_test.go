@@ -9,10 +9,13 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"fmt"
 	"io"
 	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"strconv"
 	"testing"
 	"time"
 
@@ -290,6 +293,41 @@ func BenchmarkFingerprints(b *testing.B) {
 			kern.Fingerprints(slots)
 		}
 	})
+	// The γ-batch sweep: each iteration binds G distinct assignments and
+	// flushes them through one suffix execution, the steady-state shape
+	// of the batched γ loop. ns/op is per flush; the ns/γ metric is the
+	// amortized per-correspondence cost the dispatch floor bounds —
+	// compare it across widths (BENCH_kernel.json records the sweep).
+	for _, g := range []int{1, 4, 8, 16} {
+		b.Run(fmt.Sprintf("gamma=%d", g), func(b *testing.B) {
+			kern := prog.AcquireKernelBatch(k, g)
+			defer prog.ReleaseKernel(kern)
+			rows := make([][]int, g)
+			for r := range rows {
+				// Distinct rotations: every row is a different γ, so the
+				// refill path sees realistic per-row slot churn.
+				rot := make([]int, len(best.Inputs))
+				for i := range rot {
+					rot[i] = (i + r) % len(best.Inputs)
+				}
+				rows[r] = rot
+			}
+			for r, sl := range rows {
+				kern.BindRow(r, sl)
+			}
+			kern.FingerprintsRows(g) // prefix + lane warm-up outside the timer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for r, sl := range rows {
+					kern.BindRow(r, sl)
+				}
+				kern.FingerprintsRows(g)
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(b.Elapsed().Nanoseconds())/float64(b.N*g), "ns/γ")
+		})
+	}
 }
 
 // BenchmarkQuery measures one full query against a small database (the
@@ -300,12 +338,25 @@ func BenchmarkFingerprints(b *testing.B) {
 // sound injectability core saves (cumulative calls over all iterations
 // divided by N — the VCP memo cache makes iterations after the first
 // nearly call-free, so compare modes at equal -benchtime).
+// Set ESH_BENCH_GAMMA to sweep the γ-batch width without changing the
+// sub-benchmark names (so baseline comparisons line up across widths);
+// unset, the default width applies.
 func BenchmarkQuery(b *testing.B) {
 	prog := minic.MustParse(microSrc)
 	q := microProc(b, "clang-3.5")
+	gammaW := 0
+	if s := os.Getenv("ESH_BENCH_GAMMA"); s != "" {
+		w, err := strconv.Atoi(s)
+		if err != nil {
+			b.Fatalf("ESH_BENCH_GAMMA=%q: %v", s, err)
+		}
+		gammaW = w
+	}
 	for _, mode := range []string{core.PrefilterOff, core.PrefilterLSH} {
 		b.Run("prefilter="+mode, func(b *testing.B) {
-			db := core.NewDB(core.Options{Prefilter: mode})
+			opts := core.Options{Prefilter: mode}
+			opts.VCP.GammaBatch = gammaW
+			db := core.NewDB(opts)
 			for _, tc := range compile.Toolchains() {
 				p, err := compile.Compile(prog, "bench_fn", tc, compile.O2())
 				if err != nil {

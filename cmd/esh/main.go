@@ -48,6 +48,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "enable the heuristic prefilter tier at this estimated-containment threshold (0 = sound tier only; rankings can change when set)")
 	kernel := flag.String("kernel", "", "evaluation kernel for the verifier γ loop: batch or scalar (empty = batch; rankings are identical)")
+	gammaBatch := flag.Int("gamma-batch", 0, "γ-batch width of the batched kernel: correspondences evaluated per kernel dispatch (0 = default 8; rankings are identical at any width)")
 	retrieval := flag.String("retrieval", "scan", "stage-3 candidate retrieval: scan or probe (rankings are identical at sound settings)")
 	flag.Parse()
 
@@ -56,6 +57,10 @@ func main() {
 		fail("%v", err)
 	}
 	kernMode, err := core.NormalizeKernel(*kernel)
+	if err != nil {
+		fail("%v", err)
+	}
+	gammaW, err := core.NormalizeGammaBatch(*gammaBatch)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -96,6 +101,9 @@ func main() {
 		if err := loaded.ConfigureKernel(kernMode); err != nil {
 			fail("%v", err)
 		}
+		if err := loaded.ConfigureGammaBatch(gammaW); err != nil {
+			fail("%v", err)
+		}
 		if err := loaded.ConfigureRetrieval(retrMode); err != nil {
 			fail("%v", err)
 		}
@@ -112,6 +120,7 @@ func main() {
 			Retrieval:         retrMode,
 		}
 		opts.VCP.Kernel = kernMode
+		opts.VCP.GammaBatch = gammaW
 		db = core.NewDB(opts)
 	}
 	var query *asm.Proc

@@ -43,6 +43,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "with -save: LSH rows per band (0 = default)")
 	lshMinCont := flag.Float64("lsh-min-containment", 0, "with -save: heuristic prefilter tier threshold baked into the snapshot (0 = sound tier only)")
 	kernel := flag.String("kernel", "", "with -save: evaluation kernel baked into the snapshot: batch or scalar (empty = batch; serve-time flags can override)")
+	gammaBatch := flag.Int("gamma-batch", 0, "with -save: γ-batch width baked into the snapshot (0 = default 8; serve-time flags can override)")
 	retrieval := flag.String("retrieval", "scan", "with -save: stage-3 candidate retrieval baked into the snapshot: scan or probe (serve-time flags can override)")
 	saveShards := flag.Int("save-shards", 0, "with -save: also split the index into this many shard snapshots plus a manifest at <save>.manifest (serve each shard with eshd, coordinate with eshgw)")
 	walPath := flag.String("wal", "", "with -save: fold this write-ahead log (from eshd -wal) into the snapshot before saving")
@@ -53,6 +54,10 @@ func main() {
 		fail("%v", err)
 	}
 	kernMode, err := core.NormalizeKernel(*kernel)
+	if err != nil {
+		fail("%v", err)
+	}
+	gammaW, err := core.NormalizeGammaBatch(*gammaBatch)
 	if err != nil {
 		fail("%v", err)
 	}
@@ -127,6 +132,7 @@ func main() {
 			Retrieval:         retrMode,
 		}
 		opts.VCP.Kernel = kernMode
+		opts.VCP.GammaBatch = gammaW
 		db := core.NewDB(opts)
 		for _, p := range procs {
 			if err := db.AddTarget(p); err != nil {

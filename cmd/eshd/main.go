@@ -85,6 +85,7 @@ func main() {
 	lshRows := flag.Int("lsh-rows", 0, "LSH rows per band of the sketch prefilter (0 = snapshot's geometry)")
 	lshMinCont := flag.Float64("lsh-min-containment", -1, "heuristic prefilter tier threshold (0 = sound tier only, -1 = snapshot's setting; rankings can change when > 0)")
 	kernel := flag.String("kernel", "", "evaluation kernel for the verifier γ loop: batch or scalar (empty = snapshot's setting; rankings are identical)")
+	gammaBatch := flag.Int("gamma-batch", 0, "γ-batch width of the batched kernel: correspondences per kernel dispatch (0 = snapshot's setting; rankings are identical at any width)")
 	retrieval := flag.String("retrieval", "", "stage-3 candidate retrieval: scan or probe (empty = snapshot's setting; rankings are identical at sound settings)")
 	walPath := flag.String("wal", "", "write-ahead log path; enables the live write endpoints (empty = read-only serving)")
 	fsync := flag.String("fsync", "always", "WAL fsync policy: always (acknowledged writes survive power loss) or none (survive process crash only)")
@@ -125,6 +126,13 @@ func main() {
 		kernMode = db.Options().VCP.Kernel // keep the snapshot's setting
 	}
 	if err := db.ConfigureKernel(kernMode); err != nil {
+		fail("%v", err)
+	}
+	gammaW := *gammaBatch
+	if gammaW == 0 {
+		gammaW = db.Options().VCP.GammaBatch // keep the snapshot's setting
+	}
+	if err := db.ConfigureGammaBatch(gammaW); err != nil {
 		fail("%v", err)
 	}
 	retrMode := *retrieval
@@ -187,6 +195,7 @@ func main() {
 		"lsh_bands", st.LSHBands,
 		"lsh_rows", st.LSHRows,
 		"kernel", st.Kernel,
+		"gamma_batch", st.GammaBatch,
 		"retrieval", st.Retrieval,
 		"snapshot_version", info.Version,
 		"checksum", info.Checksum,

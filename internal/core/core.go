@@ -68,6 +68,20 @@ func NormalizeKernel(mode string) (string, error) {
 	return "", fmt.Errorf("core: unknown kernel mode %q (batch, scalar)", mode)
 }
 
+// NormalizeGammaBatch maps a user-facing γ-batch width to a canonical
+// value: 0 selects vcp.DefaultGammaBatch, widths above vcp.MaxGammaBatch
+// are rejected. Any width produces byte-identical scores (the
+// differential suite enforces it), so the knob only affects speed.
+func NormalizeGammaBatch(g int) (int, error) {
+	if g == 0 {
+		return vcp.DefaultGammaBatch, nil
+	}
+	if g < 0 || g > vcp.MaxGammaBatch {
+		return 0, fmt.Errorf("core: gamma-batch width %d out of range [1, %d]", g, vcp.MaxGammaBatch)
+	}
+	return g, nil
+}
+
 // Retrieval modes: how stage 3 finds the candidate target strands for
 // each query strand.
 const (
@@ -300,6 +314,9 @@ type DB struct {
 	mKernelNanos   *telemetry.Counter
 	mPrefixInstrs  *telemetry.Counter
 	mKernelInstrs  *telemetry.Counter
+	mGammaBatches  *telemetry.Counter
+	mGammaRows     *telemetry.Counter
+	hGammaOccup    *telemetry.Histogram
 	mProbes        *telemetry.Counter
 	mProbeCands    *telemetry.Counter
 	mProbeSound    *telemetry.Counter
@@ -331,6 +348,11 @@ func NewDB(opts Options) *DB {
 	opts.VCP.Kernel, _ = NormalizeKernel(opts.VCP.Kernel) // unknown modes read as batch
 	if opts.VCP.Kernel == "" {
 		opts.VCP.Kernel = vcp.KernelBatch
+	}
+	if g, err := NormalizeGammaBatch(opts.VCP.GammaBatch); err == nil {
+		opts.VCP.GammaBatch = g // out-of-range widths read as the default
+	} else {
+		opts.VCP.GammaBatch = vcp.DefaultGammaBatch
 	}
 	opts.Retrieval, _ = NormalizeRetrieval(opts.Retrieval) // unknown modes read as scan
 	if opts.Retrieval == "" {
@@ -377,6 +399,11 @@ func (db *DB) initMetrics() {
 	db.mKernelNanos = reg.Counter("esh_vcp_kernel_nanos_total", "Wall nanoseconds the γ loops spent inside the evaluation kernel.")
 	db.mPrefixInstrs = reg.Counter("esh_kernel_prefix_instrs_total", "γ-invariant prefix instructions across prepared strands (hoisted out of the γ loop by the batched kernel).")
 	db.mKernelInstrs = reg.Counter("esh_kernel_instrs_total", "Total compiled instructions across prepared strands.")
+	db.mGammaBatches = reg.Counter("esh_kernel_gamma_batches_total", "γ-batch kernel flushes (one suffix execution each; correspondences/batches is the mean rows per flush).")
+	db.mGammaRows = reg.Counter("esh_kernel_gamma_batch_rows_total", "Correspondence rows carried by γ-batch kernel flushes (includes rows discarded uncounted after a perfect match or the cap).")
+	db.hGammaOccup = reg.Histogram("esh_kernel_gamma_batch_occupancy",
+		"Mean γ-batch fill fraction at flush, observed once per query strand row (rows carried / (width × flushes)).",
+		[]float64{0.0625, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1.0})
 	db.hLSHCands = reg.Histogram("esh_lsh_candidate_set_size",
 		"LSH candidate-set size per query strand (prefilter on).",
 		[]float64{0, 1, 2, 5, 10, 25, 50, 100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000})
@@ -761,6 +788,24 @@ func (db *DB) ConfigureKernel(mode string) error {
 	return nil
 }
 
+// ConfigureGammaBatch sets the γ-batch width for subsequent queries
+// (0 = default). Every width produces byte-identical rankings — batching
+// only changes how many correspondences one kernel dispatch carries —
+// so, like ConfigureKernel, the switch needs no rebuild and is safe to
+// call concurrently with Query.
+func (db *DB) ConfigureGammaBatch(g int) error {
+	n, err := NormalizeGammaBatch(g)
+	if err != nil {
+		return err
+	}
+	db.writeMu.Lock()
+	defer db.writeMu.Unlock()
+	db.cfgMu.Lock()
+	db.opts.VCP.GammaBatch = n
+	db.cfgMu.Unlock()
+	return nil
+}
+
 // ConfigureRetrieval sets the stage-3 candidate source (scan or probe)
 // for subsequent queries. Switching to probe builds the retrieval table
 // if it is not already resident (adopted from a v4 snapshot or built by
@@ -916,6 +961,12 @@ type DBStats struct {
 	KernelNanos        uint64
 	KernelPrefixInstrs uint64
 	KernelInstrs       uint64
+	// GammaBatch is the configured γ-batch width G; GammaBatches the
+	// cumulative kernel flushes and GammaBatchRows the correspondences
+	// those flushes carried (rows/(G·batches) is the mean occupancy).
+	GammaBatch     int
+	GammaBatches   uint64
+	GammaBatchRows uint64
 	// Queries is the number of Query calls answered; StageSeconds holds
 	// the cumulative wall-clock seconds each pipeline stage has consumed
 	// across them.
@@ -938,6 +989,7 @@ func (db *DB) Stats() DBStats {
 	db.cfgMu.RLock()
 	prefilter := db.opts.Prefilter
 	kernel := db.opts.VCP.Kernel
+	gammaBatch := db.opts.VCP.GammaBatch
 	retrieval := db.opts.Retrieval
 	skCfg := db.sketchCfg
 	retr := db.retr
@@ -979,6 +1031,9 @@ func (db *DB) Stats() DBStats {
 		KernelNanos:              db.mKernelNanos.Value(),
 		KernelPrefixInstrs:       db.mPrefixInstrs.Value(),
 		KernelInstrs:             db.mKernelInstrs.Value(),
+		GammaBatch:               gammaBatch,
+		GammaBatches:             db.mGammaBatches.Value(),
+		GammaBatchRows:           db.mGammaRows.Value(),
 		Queries:                  db.mQueries.Value(),
 		StageSeconds:             make(map[string]float64, len(queryStages)),
 	}
@@ -1358,6 +1413,9 @@ type rowStats struct {
 	deadDirs    int   // per-direction calls avoided as provably zero
 	gamma       int   // input correspondences evaluated inside them
 	kernelNanos int64 // wall time inside the evaluation kernel
+	gammaB      int64 // γ-batch kernel flushes
+	gammaRows   int64 // correspondences those flushes carried
+	gammaWidth  int   // configured γ-batch width (for occupancy)
 }
 
 // merge folds a chunk's local counts into the row accumulator. The
@@ -1373,6 +1431,11 @@ func (rs *rowStats) merge(d rowStats) {
 	rs.deadDirs += d.deadDirs
 	rs.gamma += d.gamma
 	rs.kernelNanos += d.kernelNanos
+	rs.gammaB += d.gammaB
+	rs.gammaRows += d.gammaRows
+	if d.gammaWidth > rs.gammaWidth {
+		rs.gammaWidth = d.gammaWidth
+	}
 }
 
 // flush adds the row's counts to the DB counters and, when sp is part of
@@ -1385,6 +1448,11 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	db.mVerifierCalls.Add(uint64(rs.calls))
 	db.mGamma.Add(uint64(rs.gamma))
 	db.mKernelNanos.Add(uint64(rs.kernelNanos))
+	if rs.gammaB > 0 {
+		db.mGammaBatches.Add(uint64(rs.gammaB))
+		db.mGammaRows.Add(uint64(rs.gammaRows))
+		db.hGammaOccup.Observe(float64(rs.gammaRows) / (float64(rs.gammaWidth) * float64(rs.gammaB)))
+	}
 	if rs.lshOn {
 		db.mLSHSkipped.Add(uint64(rs.lshSkipped))
 		db.hLSHCands.Observe(float64(rs.lshCands))
@@ -1422,6 +1490,8 @@ func (db *DB) flushRowStats(rs rowStats, sp *telemetry.Span) {
 	sp.AddAttr("verifier_calls", float64(rs.calls))
 	sp.AddAttr("correspondences", float64(rs.gamma))
 	sp.AddAttr("kernel_nanos", float64(rs.kernelNanos))
+	sp.AddAttr("gamma_batches", float64(rs.gammaB))
+	sp.AddAttr("gamma_batch_rows", float64(rs.gammaRows))
 }
 
 // maxPairChunk caps the number of target strands one work-queue item
@@ -1615,7 +1685,17 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 	q := st.q
 	qKey := q.Key()
 	var rs rowStats
+	rs.gammaWidth = st.qc.opts.VCP.GammaBatch
 	var fresh map[string][2]float64
+	// One forward-direction evaluator for the whole chunk: the query
+	// strand's kernel — and its evaluated γ-invariant prefix — persists
+	// across every pair here instead of being re-acquired per pair.
+	// (Chunks of one row run on concurrent workers and kernels are not
+	// concurrency-safe, so the unit of reuse is the chunk, not the row.)
+	// The reverse direction swaps the query to the target strand each
+	// pair, so it keeps the per-call path; the pool makes that cheap.
+	fwdEval := vcp.NewEvaluator(q, st.qc.opts.VCP)
+	defer fwdEval.Close()
 	for k := lo; k < hi; k++ {
 		j := k
 		if st.candIDs != nil {
@@ -1658,11 +1738,13 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 				fwdLive, revLive = st.qSum.Injects(uSum), uSum.Injects(st.qSum)
 			}
 			if fwdLive {
-				fv, fst := vcp.ComputeWithStats(q, u, st.qc.opts.VCP)
+				fv, fst := fwdEval.Compute(u)
 				v[0] = fv
 				rs.calls++
 				rs.gamma += fst.Correspondences
 				rs.kernelNanos += fst.KernelNanos
+				rs.gammaB += fst.Batches
+				rs.gammaRows += fst.BatchRows
 			} else {
 				rs.deadDirs++
 			}
@@ -1672,6 +1754,8 @@ func (db *DB) vcpChunk(st *vcpRowState, lo, hi int, sp *telemetry.Span) {
 				rs.calls++
 				rs.gamma += rst.Correspondences
 				rs.kernelNanos += rst.KernelNanos
+				rs.gammaB += rst.Batches
+				rs.gammaRows += rst.BatchRows
 			} else {
 				rs.deadDirs++
 			}

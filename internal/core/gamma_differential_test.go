@@ -1,0 +1,137 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"repro/internal/compile"
+	"repro/internal/corpus"
+	"repro/internal/stats"
+	"repro/internal/vcp"
+)
+
+// TestGammaBatchDifferential is the end-to-end γ-batch guard: the width
+// only changes how many correspondences ride in one kernel dispatch, so
+// databases configured with G ∈ {1, 2, 8, 16} must produce rankings,
+// raw scores and γ counts byte-identical to the scalar interpreter.
+// Each width gets its own DB — the VCP cache is per-database, so every
+// width actually runs its own γ loop rather than replaying a cached
+// score. The batch accounting telemetry must engage at every width.
+func TestGammaBatchDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("differential gamma run is slow")
+	}
+	procs := buildDiffCorpus(t)
+
+	scalarOpts := Options{}
+	scalarOpts.VCP.Kernel = vcp.KernelScalar
+	dbScalar := NewDB(scalarOpts)
+	fillDB(t, dbScalar, procs)
+
+	widths := []int{1, 2, 8, 16}
+	dbs := make([]*DB, len(widths))
+	for i, g := range widths {
+		opts := Options{}
+		opts.VCP.GammaBatch = g
+		dbs[i] = NewDB(opts)
+		if got := dbs[i].Stats().GammaBatch; got != g {
+			t.Fatalf("GammaBatch = %d, want %d", got, g)
+		}
+		fillDB(t, dbs[i], procs)
+	}
+
+	qtc, ok := compile.ByName("clang-3.5")
+	if !ok {
+		t.Fatal("query toolchain missing")
+	}
+	vulns := corpus.Vulns()
+	if len(vulns) > 2 {
+		vulns = vulns[:2]
+	}
+	for _, v := range vulns {
+		q, err := corpus.CompileVuln(v, qtc, false)
+		if err != nil {
+			t.Fatalf("compile query %s: %v", v.Alias, err)
+		}
+		repScalar, err := dbScalar.Query(q)
+		if err != nil {
+			t.Fatalf("query %s (scalar): %v", v.Alias, err)
+		}
+		for i, g := range widths {
+			rep, err := dbs[i].Query(q)
+			if err != nil {
+				t.Fatalf("query %s (G=%d): %v", v.Alias, g, err)
+			}
+			for _, m := range []stats.Method{stats.Esh, stats.SLOG, stats.SVCP} {
+				if s, b := rankingNames(repScalar, m), rankingNames(rep, m); s != b {
+					t.Errorf("query %s G=%d: %v ranking diverges from scalar", v.Alias, g, m)
+				}
+			}
+			var drift []string
+			for r := range repScalar.Results {
+				s, b := repScalar.Results[r], rep.Results[r]
+				if s.Target.Name != b.Target.Name || s.GES != b.GES || s.SLOG != b.SLOG || s.SVCP != b.SVCP {
+					drift = append(drift, fmt.Sprintf(
+						"  %-52s scalar GES=%.9f G=%d GES=%.9f", s.Target.Name, s.GES, g, b.GES))
+				}
+			}
+			if len(drift) > 0 {
+				t.Errorf("query %s G=%d: %d targets with non-identical scores:\n%s",
+					v.Alias, g, len(drift), strings.Join(drift[:min(5, len(drift))], "\n"))
+			}
+		}
+	}
+
+	ss := dbScalar.Stats()
+	for i, g := range widths {
+		bs := dbs[i].Stats()
+		if bs.VerifierCorrespondences != ss.VerifierCorrespondences {
+			t.Errorf("G=%d: γ count %d diverges from scalar %d",
+				g, bs.VerifierCorrespondences, ss.VerifierCorrespondences)
+		}
+		if bs.GammaBatches == 0 {
+			t.Errorf("G=%d: batch telemetry not recorded", g)
+		}
+		if bs.GammaBatchRows < bs.GammaBatches {
+			t.Errorf("G=%d: %d rows < %d batches", g, bs.GammaBatchRows, bs.GammaBatches)
+		}
+		if bs.GammaBatchRows > bs.GammaBatches*uint64(g) {
+			t.Errorf("G=%d: %d rows over %d batches exceeds the width",
+				g, bs.GammaBatchRows, bs.GammaBatches)
+		}
+		t.Logf("G=%2d: %d γ over %d batches (%d rows, mean occupancy %.2f)",
+			g, bs.VerifierCorrespondences, bs.GammaBatches, bs.GammaBatchRows,
+			float64(bs.GammaBatchRows)/float64(bs.GammaBatches*uint64(g)))
+	}
+
+	// Runtime reconfiguration: flipping the width on a live DB must keep
+	// answers fixed, and invalid widths must be rejected.
+	if err := dbs[0].ConfigureGammaBatch(vcp.MaxGammaBatch + 1); err == nil {
+		t.Error("ConfigureGammaBatch accepted an over-limit width")
+	}
+	if err := dbs[0].ConfigureGammaBatch(-1); err == nil {
+		t.Error("ConfigureGammaBatch accepted a negative width")
+	}
+	if err := dbs[0].ConfigureGammaBatch(16); err != nil {
+		t.Fatal(err)
+	}
+	if got := dbs[0].Stats().GammaBatch; got != 16 {
+		t.Errorf("GammaBatch after reconfigure = %d, want 16", got)
+	}
+	q, err := corpus.CompileVuln(vulns[0], qtc, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repScalar, err := dbScalar.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	repFlip, err := dbs[0].Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rankingNames(repFlip, stats.Esh) != rankingNames(repScalar, stats.Esh) {
+		t.Error("ranking changed after ConfigureGammaBatch(16)")
+	}
+}

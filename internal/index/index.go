@@ -297,11 +297,11 @@ func codeType(c int) (ivl.Type, error) {
 func encodeBody(ex *core.Export) []byte {
 	var b bytes.Buffer
 	o := ex.Opts
-	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s retrieval=%s retrmaxdelta=%d\n",
+	fmt.Fprintf(&b, "options workers=%d sigmoidk=%s pathlen=%d pathmaxblocks=%d cachepairs=%d vcpsamples=%d vcpminvars=%d vcpsizeratio=%s vcpmaxcorr=%d prefilter=%s lshbands=%d lshrows=%d lshmincont=%s kernel=%s retrieval=%s retrmaxdelta=%d gammabatch=%d\n",
 		o.Workers, ftoa(o.SigmoidK), o.PathLen, o.PathMaxBlocks, o.VCPCachePairs,
 		o.VCP.Samples, o.VCP.MinVars, ftoa(o.VCP.SizeRatio), o.VCP.MaxCorrespondences,
 		o.Prefilter, o.LSHBands, o.LSHRows, ftoa(o.LSHMinContainment), o.VCP.Kernel, o.Retrieval,
-		o.RetrievalMaxDelta)
+		o.RetrievalMaxDelta, o.VCP.GammaBatch)
 
 	// Shard identity (format version 3). All zero/empty for an unsharded
 	// corpus.
@@ -829,6 +829,8 @@ func (d *decoder) decodeOptions(ex *core.Export) error {
 			ex.Opts.Retrieval = val
 		case "retrmaxdelta":
 			ex.Opts.RetrievalMaxDelta = atoi()
+		case "gammabatch":
+			ex.Opts.VCP.GammaBatch = atoi()
 		default:
 			// Unknown keys are ignored so minor option additions do not
 			// invalidate old readers within a format version.

@@ -146,7 +146,7 @@ func TestRoundTripStable(t *testing.T) {
 
 func TestOptionsPersist(t *testing.T) {
 	db := core.NewDB(core.Options{
-		VCP:      vcp.Config{MinVars: 3, SizeRatio: 0.25},
+		VCP:      vcp.Config{MinVars: 3, SizeRatio: 0.25, GammaBatch: 16},
 		SigmoidK: 7.5,
 		PathLen:  2,
 	})
@@ -159,8 +159,51 @@ func TestOptionsPersist(t *testing.T) {
 	}
 	got, want := db2.Options(), db.Options()
 	if got.SigmoidK != want.SigmoidK || got.PathLen != want.PathLen ||
-		got.VCP.MinVars != want.VCP.MinVars || got.VCP.SizeRatio != want.VCP.SizeRatio {
+		got.VCP.MinVars != want.VCP.MinVars || got.VCP.SizeRatio != want.VCP.SizeRatio ||
+		got.VCP.GammaBatch != 16 {
 		t.Fatalf("options %+v, want %+v", got, want)
+	}
+}
+
+// TestGammaBatchOptionCompat: snapshots written before the gammabatch
+// option existed must still load — the unknown-key-tolerant options
+// decoder leaves the width zero and NewDB normalizes it to the default.
+func TestGammaBatchOptionCompat(t *testing.T) {
+	snap := saveBytes(t, buildDB(t))
+	nl := bytes.IndexByte(snap, '\n')
+	if nl < 0 {
+		t.Fatal("snapshot has no header line")
+	}
+	var out []string
+	stripped := false
+	for _, ln := range strings.Split(string(snap[nl+1:]), "\n") {
+		if tag, _, _ := strings.Cut(ln, " "); tag == "options" {
+			var kept []string
+			for _, tok := range strings.Fields(ln) {
+				if strings.HasPrefix(tok, "gammabatch=") {
+					stripped = true
+					continue
+				}
+				kept = append(kept, tok)
+			}
+			ln = strings.Join(kept, " ")
+		}
+		out = append(out, ln)
+	}
+	if !stripped {
+		t.Fatal("snapshot options line does not carry gammabatch=")
+	}
+	body := strings.Join(out, "\n")
+	sum := sha256.Sum256([]byte(body))
+	old := fmt.Sprintf("%s %d %d %s\n%s", Magic, Version, len(body), hex.EncodeToString(sum[:]), body)
+
+	db2, err := Load(strings.NewReader(old))
+	if err != nil {
+		t.Fatalf("load pre-gammabatch snapshot: %v", err)
+	}
+	if got := db2.Options().VCP.GammaBatch; got != vcp.DefaultGammaBatch {
+		t.Fatalf("GammaBatch after old-snapshot load = %d, want default %d",
+			got, vcp.DefaultGammaBatch)
 	}
 }
 

@@ -983,6 +983,9 @@ type StatsResponse struct {
 		KernelSeconds           float64            `json:"kernel_seconds"`
 		KernelPrefixInstrs      uint64             `json:"kernel_prefix_instrs"`
 		KernelInstrs            uint64             `json:"kernel_instrs"`
+		GammaBatch              int                `json:"gamma_batch"`
+		GammaBatches            uint64             `json:"gamma_batches"`
+		GammaBatchRows          uint64             `json:"gamma_batch_rows"`
 		StageSeconds            map[string]float64 `json:"stage_seconds"`
 	} `json:"engine"`
 	Queries struct {
@@ -1080,6 +1083,9 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp.Engine.KernelSeconds = float64(dbs.KernelNanos) / 1e9
 	resp.Engine.KernelPrefixInstrs = dbs.KernelPrefixInstrs
 	resp.Engine.KernelInstrs = dbs.KernelInstrs
+	resp.Engine.GammaBatch = dbs.GammaBatch
+	resp.Engine.GammaBatches = dbs.GammaBatches
+	resp.Engine.GammaBatchRows = dbs.GammaBatchRows
 	resp.Engine.StageSeconds = dbs.StageSeconds
 
 	resp.Queries.Completed = s.outcomes["completed"].Value()

@@ -3,6 +3,7 @@ package smt
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/ivl"
 )
@@ -38,9 +39,34 @@ type Program struct {
 	// integer branches, or integer operators applied to memories) keep
 	// the dynamic scalar semantics and fall back to Fingerprints.
 	batchOK bool
+	// suffixOps is the static opcode histogram of the γ-dependent
+	// suffix; ReleaseKernel multiplies it by the kernel's run count to
+	// feed the package-wide dynamic-frequency profile.
+	suffixOps [nOpcodes]uint64
 	// kpool recycles kernels (lane buffers + memory arena) across
 	// fingerprint calls so the γ loop is allocation-free.
 	kpool sync.Pool
+}
+
+// nOpcodes sizes per-opcode tables; cCall is the last opcode.
+const nOpcodes = int(cCall) + 1
+
+// opProfile accumulates the measured dynamic execution frequency per
+// opcode across every kernel released in the process: for each released
+// kernel, (suffix opcode histogram) × (suffix runs since acquire). It
+// guides the profile-driven suffix scheduler for programs compiled
+// later — γ-dependent instructions of hot opcodes are issued first so
+// their lane sweeps stream back-to-back.
+var opProfile [nOpcodes]atomic.Uint64
+
+// flushProfile folds runs suffix executions of this program into the
+// package opcode profile.
+func (p *Program) flushProfile(runs uint64) {
+	for op, c := range p.suffixOps {
+		if c != 0 {
+			opProfile[op].Add(c * runs)
+		}
+	}
 }
 
 type defInfo struct {
@@ -319,6 +345,73 @@ func (p *Program) analyze() {
 	}
 	p.prefixLen = len(prefix)
 	p.code = append(prefix, suffix...)
+	for _, in := range suffix {
+		p.suffixOps[in.op]++
+	}
+	p.scheduleSuffix()
+}
+
+// scheduleSuffix reorders the γ-dependent suffix by measured dynamic
+// opcode frequency: a greedy list scheduler that repeatedly issues the
+// ready instruction (all suffix-internal operands already issued) whose
+// opcode has the highest profile weight, breaking ties by original
+// position. Reordering preserves all data dependencies — every register
+// is written exactly once and operands are only reordered after their
+// writers — so values and fingerprints are unchanged. With a cold
+// (all-zero) profile every weight ties and the tie-break reproduces the
+// original order exactly, making fresh processes deterministic.
+func (p *Program) scheduleSuffix() {
+	suffix := p.code[p.prefixLen:]
+	n := len(suffix)
+	if n <= 1 {
+		return
+	}
+	var w [nOpcodes]uint64
+	cold := true
+	for op := range w {
+		if w[op] = opProfile[op].Load(); w[op] != 0 {
+			cold = false
+		}
+	}
+	if cold {
+		return
+	}
+	// Suffix-internal dependencies. Operands written by the prefix or
+	// bound as inputs are live from the start and impose no ordering.
+	writer := make(map[int]int, n)
+	for i := range suffix {
+		writer[suffix[i].dst] = i
+	}
+	pending := make([]int, n)
+	users := make([][]int, n)
+	var sbuf [8]int
+	for i := range suffix {
+		for _, s := range suffix[i].srcs(sbuf[:0]) {
+			if j, ok := writer[s]; ok && j != i {
+				pending[i]++
+				users[j] = append(users[j], i)
+			}
+		}
+	}
+	sched := make([]cinstr, 0, n)
+	done := make([]bool, n)
+	for len(sched) < n {
+		best := -1
+		for i := 0; i < n; i++ {
+			if done[i] || pending[i] > 0 {
+				continue
+			}
+			if best < 0 || w[suffix[i].op] > w[suffix[best].op] {
+				best = i
+			}
+		}
+		done[best] = true
+		sched = append(sched, suffix[best])
+		for _, u := range users[best] {
+			pending[u]--
+		}
+	}
+	copy(suffix, sched)
 }
 
 // BatchOK reports whether the batched SoA kernel supports this program.

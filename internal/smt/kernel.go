@@ -19,15 +19,29 @@ package smt
 // the sample index — and each Run resets the arena to the prefix
 // watermark, refills the input lanes, and re-executes only the suffix.
 // After warm-up the whole γ loop performs zero heap allocations.
+//
+// γ-batched lanes: a kernel acquired with AcquireKernelBatch(k, g)
+// carries g×k lanes per register — g complete γ candidate assignments
+// side by side, each owning a contiguous k-lane row. BindRow stages one
+// assignment per row; RunRows executes the compiled suffix ONCE over
+// all staged rows (one instruction dispatch per g·k lanes instead of
+// per k), and FingerprintsRows extracts one fingerprint vector per row,
+// folding the per-row hash chains interleaved so their serial
+// multiply/mix latencies overlap across rows. A partial batch (rows <
+// g) executes only rows·k lanes — the trailing rows cost nothing.
+// g = 1 degenerates to the classic Run/Fingerprints path bit for bit.
 
 import "repro/internal/ivl"
 
 // memNode is one node of the kernel's arena-backed memory: either a
 // background root (parent < 0) or a store overlay. Semantics and hash
-// construction mirror ivl.MemVal exactly.
+// construction mirror ivl.MemVal exactly. For a root, addr holds the
+// background seed (roots have no store range; w stays 0, so the
+// overlay containment tests never fire on them) — overlays inherit
+// their chain's seed implicitly through their root, which keeps the
+// node at 32 bytes, a size the g×k-lane store traffic notices.
 type memNode struct {
 	hash   uint64
-	seed   uint64
 	addr   uint64
 	val    uint64
 	parent int32
@@ -44,58 +58,98 @@ const memHashTag = 0xDEAD_BEEF_CAFE_F00D
 const fpPrime = 0x100_0000_01b3
 
 // Kernel is a reusable SoA evaluation state for one Program at a fixed
-// sample count. It is not safe for concurrent use; acquire one per
-// goroutine via Program.AcquireKernel.
+// sample count and γ-batch width. It is not safe for concurrent use;
+// acquire one per goroutine via Program.AcquireKernel (g = 1) or
+// Program.AcquireKernelBatch.
 type Kernel struct {
 	p *Program
-	k int
-	// ints holds the integer lanes, k per register.
+	// k is the samples-per-row count; g the γ-batch width (rows); lanes
+	// the per-register lane stride g*k. Row r of a register occupies
+	// lanes [r*k, (r+1)*k) of its lane vector.
+	k, g, lanes int
+	// ints holds the integer lanes, lanes per register.
 	ints []uint64
 	// mems holds the memory lanes as arena indices (allocated only when
 	// the program touches memory).
 	mems []int32
-	// arena is the memory store-node arena; prefixArena is its length
-	// after prefix evaluation, restored at the start of every Run.
+	// arena is the memory store-node arena. The first persist nodes are
+	// permanent — the γ-invariant prefix's nodes plus one interned block
+	// of k background roots per input slot seen (rootBase maps slot to
+	// the block's first index) — and survive every run; the arena is
+	// truncated back to persist at the start of each Run, discarding only
+	// the transient store overlays the previous suffix execution built.
 	arena       []memNode
 	prefixArena int
+	persist     int
+	rootBase    map[int]int32
 	prefixDone  bool
-	// fps is the fingerprint scratch slice returned by Fingerprints.
+	// fps is the fingerprint scratch returned by Fingerprints and
+	// FingerprintsRows (rows*ndefs entries, row-major).
 	fps []uint64
+	// accs is the interleaved-fold accumulator scratch (g entries).
+	accs []uint64
 	// argHash is scratch for cCall argument hashing.
 	argHash []uint64
-	// lastSlot remembers the slot each integer input was last bound to.
+	// rowSlots stages the slot assignment per (row, input) between
+	// BindRow and RunRows.
+	rowSlots []int
+	// lastSlot remembers the slot each (row, input) was last bound to.
 	// Input registers are never written by exec (every assignment
-	// allocates a fresh register), so an integer lane whose slot is
-	// unchanged between Runs is still valid and need not be refilled.
-	// Memory lanes hold arena indices invalidated by the per-Run arena
-	// reset, so they always rebind (their entries stay -1).
+	// allocates a fresh register), and memory input lanes point at
+	// interned roots in the arena's permanent region, so a lane row
+	// whose slot is unchanged between runs is still valid and need not
+	// be refilled — the delta-refill that makes consecutive γ
+	// assignments sharing most bindings nearly free to stage.
 	lastSlot []int
+	// runs counts suffix executions since the last profile flush; it
+	// feeds the opcode-frequency profile on ReleaseKernel.
+	runs uint64
 }
 
 // AcquireKernel returns a pooled kernel for the program, sized for k
-// samples. Callers must ReleaseKernel it when done; the kernel keeps its
-// evaluated γ-invariant prefix across acquire/release cycles.
+// samples at γ-batch width 1. Callers must ReleaseKernel it when done;
+// the kernel keeps its evaluated γ-invariant prefix across
+// acquire/release cycles.
 func (p *Program) AcquireKernel(k int) *Kernel {
+	return p.AcquireKernelBatch(k, 1)
+}
+
+// AcquireKernelBatch returns a pooled kernel carrying g×k lanes per
+// register: g γ candidate rows of k samples each. g < 1 is treated as 1.
+func (p *Program) AcquireKernelBatch(k, g int) *Kernel {
+	if g < 1 {
+		g = 1
+	}
 	kn, _ := p.kpool.Get().(*Kernel)
 	if kn == nil {
 		kn = &Kernel{p: p}
 	}
-	kn.ensure(k)
+	kn.ensure(k, g)
 	return kn
 }
 
-// ReleaseKernel returns a kernel to the program's pool.
-func (p *Program) ReleaseKernel(kn *Kernel) { p.kpool.Put(kn) }
+// ReleaseKernel returns a kernel to the program's pool, folding the
+// kernel's dynamic execution counts into the package opcode profile
+// that guides suffix scheduling for later compilations.
+func (p *Program) ReleaseKernel(kn *Kernel) {
+	if kn.runs > 0 {
+		p.flushProfile(kn.runs)
+		kn.runs = 0
+	}
+	p.kpool.Put(kn)
+}
 
-// ensure sizes the lane buffers for k samples, preserving them (and the
-// prefix evaluation) when the kernel was last used with the same k.
-func (kn *Kernel) ensure(k int) {
-	if kn.k == k {
+// ensure sizes the lane buffers for k samples × g rows, preserving them
+// (and the prefix evaluation) when the kernel was last used with the
+// same shape.
+func (kn *Kernel) ensure(k, g int) {
+	if kn.k == k && kn.g == g {
 		return
 	}
-	kn.k = k
+	kn.k, kn.g = k, g
+	kn.lanes = g * k
 	kn.prefixDone = false
-	n := kn.p.nregs * k
+	n := kn.p.nregs * kn.lanes
 	if cap(kn.ints) < n {
 		kn.ints = make([]uint64, n)
 	}
@@ -106,47 +160,113 @@ func (kn *Kernel) ensure(k int) {
 		}
 		kn.mems = kn.mems[:n]
 	}
-	if cap(kn.fps) < len(kn.p.defRegs) {
-		kn.fps = make([]uint64, len(kn.p.defRegs))
+	nfp := len(kn.p.defRegs) * g
+	if cap(kn.fps) < nfp {
+		kn.fps = make([]uint64, nfp)
 	}
-	kn.fps = kn.fps[:len(kn.p.defRegs)]
-	if cap(kn.lastSlot) < len(kn.p.Inputs) {
-		kn.lastSlot = make([]int, len(kn.p.Inputs))
+	kn.fps = kn.fps[:nfp]
+	if cap(kn.accs) < g {
+		kn.accs = make([]uint64, g)
 	}
-	kn.lastSlot = kn.lastSlot[:len(kn.p.Inputs)]
+	kn.accs = kn.accs[:g]
+	ns := len(kn.p.Inputs) * g
+	if cap(kn.rowSlots) < ns {
+		kn.rowSlots = make([]int, ns)
+	}
+	kn.rowSlots = kn.rowSlots[:ns]
+	if cap(kn.lastSlot) < ns {
+		kn.lastSlot = make([]int, ns)
+	}
+	kn.lastSlot = kn.lastSlot[:ns]
 	for i := range kn.lastSlot {
 		kn.lastSlot[i] = -1
 	}
 }
 
+// BatchWidth returns the kernel's γ-batch width g.
+func (kn *Kernel) BatchWidth() int { return kn.g }
+
+// BindRow stages the slot assignment for batch row r (0 <= r < g). The
+// lanes are not filled until RunRows, which is what lets a partial
+// batch skip its unused trailing rows entirely.
+func (kn *Kernel) BindRow(r int, slotOf []int) {
+	nIn := len(kn.p.Inputs)
+	copy(kn.rowSlots[r*nIn:(r+1)*nIn], slotOf)
+}
+
 // Run evaluates the program over all k samples with input i bound to
-// slot slotOf[i]. The γ-invariant prefix is evaluated at most once per
-// kernel; Run re-executes only the suffix.
+// slot slotOf[i], using batch row 0. The γ-invariant prefix is
+// evaluated at most once per kernel; Run re-executes only the suffix.
 func (kn *Kernel) Run(slotOf []int) {
+	kn.BindRow(0, slotOf)
+	kn.RunRows(1)
+}
+
+// RunRows evaluates the compiled code over batch rows [0, rows), whose
+// assignments must have been staged with BindRow: one suffix execution
+// — one instruction dispatch per rows·k lanes — covering every staged γ
+// candidate. Integer input rows whose slot binding is unchanged since
+// their last run are not refilled.
+func (kn *Kernel) RunRows(rows int) {
 	if !kn.prefixDone {
 		kn.arena = kn.arena[:0]
-		kn.exec(0, kn.p.prefixLen)
+		// The prefix depends on neither slots nor samples: evaluate it
+		// across ALL g rows once, so any later rows count finds it live.
+		kn.exec(0, kn.p.prefixLen, kn.lanes)
 		kn.prefixArena = len(kn.arena)
+		kn.persist = kn.prefixArena
+		clear(kn.rootBase)
 		kn.prefixDone = true
 	}
-	kn.arena = kn.arena[:kn.prefixArena]
-	k := kn.k
-	for i, in := range kn.p.Inputs {
-		slot := slotOf[i]
-		if in.Type == ivl.Mem {
-			lane := kn.mems[i*k : i*k+k]
-			for s := range lane {
-				lane[s] = kn.newRoot(SlotMemSeed(s, slot))
+	kn.arena = kn.arena[:kn.persist]
+	k, L := kn.k, kn.lanes
+	nIn := len(kn.p.Inputs)
+	for r := 0; r < rows; r++ {
+		base := r * nIn
+		for i, in := range kn.p.Inputs {
+			slot := kn.rowSlots[base+i]
+			if kn.lastSlot[base+i] == slot {
+				continue
 			}
-		} else if kn.lastSlot[i] != slot {
-			kn.lastSlot[i] = slot
-			lane := kn.ints[i*k : i*k+k]
-			for s := range lane {
-				lane[s] = SlotBits(s, slot)
+			kn.lastSlot[base+i] = slot
+			if in.Type == ivl.Mem {
+				rb := kn.internRoots(slot)
+				lane := kn.mems[i*L+r*k : i*L+r*k+k]
+				for s := range lane {
+					lane[s] = rb + int32(s)
+				}
+			} else {
+				FillSlotBits(kn.ints[i*L+r*k:i*L+r*k+k], slot)
 			}
 		}
 	}
-	kn.exec(kn.p.prefixLen, len(kn.p.code))
+	kn.exec(kn.p.prefixLen, len(kn.p.code), rows*k)
+	kn.runs++
+}
+
+// internRoots returns the arena index of slot's block of k background
+// roots, appending it to the arena's permanent region on first use. The
+// blocks are identical to the roots a per-run rebuild would create —
+// node hashes depend only on (sample, slot) — so reusing them across
+// runs leaves every fingerprint unchanged while making a repeated mem
+// binding as cheap to stage as an unchanged integer one. Interning
+// happens during input refill, before the suffix appends any transient
+// overlay, so the permanent region stays a prefix of the arena.
+func (kn *Kernel) internRoots(slot int) int32 {
+	if rb, ok := kn.rootBase[slot]; ok {
+		return rb
+	}
+	if kn.rootBase == nil {
+		kn.rootBase = make(map[int]int32)
+	}
+	rb := int32(len(kn.arena))
+	for s := 0; s < kn.k; s++ {
+		seed := SlotMemSeed(s, slot)
+		kn.arena = append(kn.arena, memNode{addr: seed, hash: mix64(seed), parent: -1})
+	}
+	kn.persist = len(kn.arena)
+	kn.rootBase[slot] = rb
+	return rb
 }
 
 // Fingerprints runs the program under the slot assignment and returns
@@ -156,104 +276,222 @@ func (kn *Kernel) Run(slotOf []int) {
 // the next call and must not be retained past ReleaseKernel.
 func (kn *Kernel) Fingerprints(slotOf []int) []uint64 {
 	kn.Run(slotOf)
-	k := kn.k
-	for d, di := range kn.p.defRegs {
-		base := di.reg * k
-		var acc uint64
-		if di.isMem {
-			for s := 0; s < k; s++ {
-				h := mix64(kn.arena[kn.mems[base+s]].hash ^ memHashTag)
-				acc = mix64(acc*fpPrime ^ h)
-			}
-		} else {
-			for s := 0; s < k; s++ {
-				acc = mix64(acc*fpPrime ^ kn.ints[base+s])
-			}
-		}
-		kn.fps[d] = acc
-	}
-	return kn.fps
+	return kn.foldRows(1)
 }
 
-// DefBits returns the integer lane vector of the d-th SSA definition
-// after a Run. Valid only for integer-typed definitions; the slice
-// aliases kernel state and is overwritten by the next Run.
+// FingerprintsRows executes rows staged γ candidates in one batch and
+// returns their fingerprints row-major: entry [r*ndefs + d] is row r's
+// fingerprint for the d-th SSA definition, each byte-identical to a
+// lone Fingerprints call under that row's assignment. The returned
+// slice is kernel scratch, overwritten by the next call.
+func (kn *Kernel) FingerprintsRows(rows int) []uint64 {
+	kn.RunRows(rows)
+	return kn.foldRows(rows)
+}
+
+// foldRows reduces each active row's lane vectors to per-definition
+// fingerprints. The per-row fold is a serial hash chain (multiply, xor,
+// mix per sample); folding rows interleaved — inner loop over rows —
+// overlaps those chains' latencies, which is where most of the γ-batch
+// amortization comes from.
+func (kn *Kernel) foldRows(rows int) []uint64 {
+	k, L := kn.k, kn.lanes
+	nd := len(kn.p.defRegs)
+	fps := kn.fps[:rows*nd]
+	accs := kn.accs[:rows]
+	for d := range kn.p.defRegs {
+		di := &kn.p.defRegs[d]
+		base := di.reg * L
+		if di.isMem {
+			switch rows {
+			case 1:
+				lane := kn.mems[base : base+k]
+				var acc uint64
+				for _, m := range lane {
+					h := mix64(kn.arena[m].hash ^ memHashTag)
+					acc = mix64(acc*fpPrime ^ h)
+				}
+				fps[d] = acc
+			case 8:
+				// The default width's chains unrolled into locals: eight
+				// accumulators live in registers, so the per-sample step
+				// costs no accumulator loads/stores and the eight serial
+				// mix chains retire in parallel.
+				arena := kn.arena
+				l0, l1 := kn.mems[base:base+k], kn.mems[base+k:base+2*k]
+				l2, l3 := kn.mems[base+2*k:base+3*k], kn.mems[base+3*k:base+4*k]
+				l4, l5 := kn.mems[base+4*k:base+5*k], kn.mems[base+5*k:base+6*k]
+				l6, l7 := kn.mems[base+6*k:base+7*k], kn.mems[base+7*k:base+8*k]
+				var a0, a1, a2, a3, a4, a5, a6, a7 uint64
+				for s := 0; s < k; s++ {
+					a0 = mix64(a0*fpPrime ^ mix64(arena[l0[s]].hash^memHashTag))
+					a1 = mix64(a1*fpPrime ^ mix64(arena[l1[s]].hash^memHashTag))
+					a2 = mix64(a2*fpPrime ^ mix64(arena[l2[s]].hash^memHashTag))
+					a3 = mix64(a3*fpPrime ^ mix64(arena[l3[s]].hash^memHashTag))
+					a4 = mix64(a4*fpPrime ^ mix64(arena[l4[s]].hash^memHashTag))
+					a5 = mix64(a5*fpPrime ^ mix64(arena[l5[s]].hash^memHashTag))
+					a6 = mix64(a6*fpPrime ^ mix64(arena[l6[s]].hash^memHashTag))
+					a7 = mix64(a7*fpPrime ^ mix64(arena[l7[s]].hash^memHashTag))
+				}
+				fps[d], fps[nd+d], fps[2*nd+d], fps[3*nd+d] = a0, a1, a2, a3
+				fps[4*nd+d], fps[5*nd+d], fps[6*nd+d], fps[7*nd+d] = a4, a5, a6, a7
+			default:
+				mlane := kn.mems[base : base+rows*k]
+				arena := kn.arena
+				for r := range accs {
+					accs[r] = 0
+				}
+				for s := 0; s < k; s++ {
+					for r := 0; r < rows; r++ {
+						h := mix64(arena[mlane[r*k+s]].hash ^ memHashTag)
+						accs[r] = mix64(accs[r]*fpPrime ^ h)
+					}
+				}
+				for r := 0; r < rows; r++ {
+					fps[r*nd+d] = accs[r]
+				}
+			}
+			continue
+		}
+		switch rows {
+		case 1:
+			lane := kn.ints[base : base+k]
+			var acc uint64
+			for _, v := range lane {
+				acc = mix64(acc*fpPrime ^ v)
+			}
+			fps[d] = acc
+		case 8:
+			l0, l1 := kn.ints[base:base+k], kn.ints[base+k:base+2*k]
+			l2, l3 := kn.ints[base+2*k:base+3*k], kn.ints[base+3*k:base+4*k]
+			l4, l5 := kn.ints[base+4*k:base+5*k], kn.ints[base+5*k:base+6*k]
+			l6, l7 := kn.ints[base+6*k:base+7*k], kn.ints[base+7*k:base+8*k]
+			var a0, a1, a2, a3, a4, a5, a6, a7 uint64
+			for s := 0; s < k; s++ {
+				a0 = mix64(a0*fpPrime ^ l0[s])
+				a1 = mix64(a1*fpPrime ^ l1[s])
+				a2 = mix64(a2*fpPrime ^ l2[s])
+				a3 = mix64(a3*fpPrime ^ l3[s])
+				a4 = mix64(a4*fpPrime ^ l4[s])
+				a5 = mix64(a5*fpPrime ^ l5[s])
+				a6 = mix64(a6*fpPrime ^ l6[s])
+				a7 = mix64(a7*fpPrime ^ l7[s])
+			}
+			fps[d], fps[nd+d], fps[2*nd+d], fps[3*nd+d] = a0, a1, a2, a3
+			fps[4*nd+d], fps[5*nd+d], fps[6*nd+d], fps[7*nd+d] = a4, a5, a6, a7
+		default:
+			lane := kn.ints[base : base+rows*k]
+			for r := range accs {
+				accs[r] = 0
+			}
+			for s := 0; s < k; s++ {
+				for r := 0; r < rows; r++ {
+					accs[r] = mix64(accs[r]*fpPrime ^ lane[r*k+s])
+				}
+			}
+			for r := 0; r < rows; r++ {
+				fps[r*nd+d] = accs[r]
+			}
+		}
+	}
+	return fps
+}
+
+// DefBits returns the integer lane vector of the d-th SSA definition's
+// batch row 0 after a Run. Valid only for integer-typed definitions;
+// the slice aliases kernel state and is overwritten by the next Run.
 func (kn *Kernel) DefBits(d int) []uint64 {
 	r := kn.p.defRegs[d].reg
-	return kn.ints[r*kn.k : r*kn.k+kn.k]
+	return kn.ints[r*kn.lanes : r*kn.lanes+kn.k]
 }
 
 // newRoot appends a background memory root and returns its index.
 func (kn *Kernel) newRoot(seed uint64) int32 {
 	idx := int32(len(kn.arena))
-	kn.arena = append(kn.arena, memNode{seed: seed, hash: mix64(seed), parent: -1})
+	kn.arena = append(kn.arena, memNode{addr: seed, hash: mix64(seed), parent: -1})
 	return idx
 }
 
-// store appends a store overlay; semantics and hash match MemVal.Store.
-func (kn *Kernel) store(parent int32, addr uint64, w uint, val uint64) int32 {
-	if w < 8 {
-		val &= (uint64(1) << (8 * w)) - 1
-	}
-	p := &kn.arena[parent]
-	idx := int32(len(kn.arena))
-	kn.arena = append(kn.arena, memNode{
-		seed:   p.seed,
-		addr:   addr,
-		val:    val,
-		w:      uint8(w),
-		parent: parent,
-		hash:   mix64(p.hash ^ mix64(addr)*3 ^ mix64(val) ^ uint64(w)),
-	})
-	return idx
-}
-
-// byteAt reads one byte: newest covering store wins, the deterministic
-// background otherwise. Mirrors MemVal.byteAt.
-func (kn *Kernel) byteAt(idx int32, addr uint64) byte {
+// load reads w bytes little-endian, newest covering store winning per
+// byte and the deterministic background filling the rest — the same
+// bytes MemVal.Load's per-byte chain walks produce, but collected in a
+// single walk: each overlay node fills whichever of its bytes overlap
+// the load window and are not already claimed by a newer node, and the
+// walk stops as soon as every byte is filled.
+func (kn *Kernel) load(idx int32, addr uint64, w uint) uint64 {
 	arena := kn.arena
-	for n := idx; arena[n].parent >= 0; n = arena[n].parent {
+	var v uint64
+	var filled, need uint32
+	need = uint32(1)<<w - 1
+	n := idx
+	for ; arena[n].parent >= 0; n = arena[n].parent {
 		nd := &arena[n]
-		if addr >= nd.addr && addr < nd.addr+uint64(nd.w) {
-			return byte(nd.val >> (8 * (addr - nd.addr)))
+		// A load exactly matching the newest unshadowed store returns
+		// its (already width-masked) value outright — the common shape
+		// of spill/reload pairs in lifted code. Only valid when the
+		// store's range does not wrap the address space: byteAt's
+		// unwrapped upper-bound test makes a wrapping store invisible
+		// to every byte, so such a store must fall through to the
+		// per-byte walk below.
+		if filled == 0 && nd.addr == addr && uint(nd.w) == w && addr+uint64(w) > addr {
+			return nd.val
+		}
+		// Per-byte containment test identical to MemVal.byteAt's, so
+		// stores whose ranges wrap the address space behave exactly as
+		// the per-byte walks did.
+		for i := uint(0); i < w; i++ {
+			if filled&(1<<i) != 0 {
+				continue
+			}
+			if a := addr + uint64(i); a >= nd.addr && a < nd.addr+uint64(nd.w) {
+				filled |= 1 << i
+				v |= uint64(byte(nd.val>>(8*(a-nd.addr)))) << (8 * i)
+			}
+		}
+		if filled == need {
+			return v
 		}
 	}
-	return byte(mix64(arena[idx].seed ^ mix64(addr)))
-}
-
-// load reads w bytes little-endian. Mirrors MemVal.Load.
-func (kn *Kernel) load(idx int32, addr uint64, w uint) uint64 {
-	var v uint64
+	// n is now the chain's root, whose addr field holds the background
+	// seed.
+	seed := arena[n].addr
 	for i := uint(0); i < w; i++ {
-		v |= uint64(kn.byteAt(idx, addr+uint64(i))) << (8 * i)
+		if filled&(1<<i) == 0 {
+			v |= uint64(byte(mix64(seed^mix64(addr+uint64(i))))) << (8 * i)
+		}
 	}
 	return v
 }
 
-// exec runs code[lo:hi] over all lanes: one dispatch per instruction,
-// one tight loop per lane vector.
-func (kn *Kernel) exec(lo, hi int) {
-	k := kn.k
+// exec runs code[lo:hi] over the first nl of each register's lanes: one
+// dispatch per instruction, one tight loop per lane vector. The lane
+// stride is kn.lanes (g×k); a partial γ batch passes nl = rows·k so the
+// unused trailing rows cost nothing. Lanes beyond nl may hold stale
+// values (including dangling arena indices from a previous, longer run);
+// they are never read, because every consumer — exec itself, foldRows,
+// DefBits — bounds its sweeps by the same active lane count.
+func (kn *Kernel) exec(lo, hi, nl int) {
+	L := kn.lanes
 	code := kn.p.code
 	memReg := kn.p.memReg
 	for idx := lo; idx < hi; idx++ {
 		in := &code[idx]
-		d := in.dst * k
+		d := in.dst * L
 		switch in.op {
 		case cConst:
-			lane := kn.ints[d : d+k]
+			lane := kn.ints[d : d+nl]
 			v := in.val
 			for s := range lane {
 				lane[s] = v
 			}
 		case cBin:
 			if memReg[in.a] || memReg[in.b] {
-				kn.execBinMem(in, d)
+				kn.execBinMem(in, d, nl)
 				continue
 			}
-			evalBinLanes(in.bin, kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k], kn.ints[in.b*k:in.b*k+k])
+			evalBinLanes(in.bin, kn.ints[d:d+nl], kn.ints[in.a*L:in.a*L+nl], kn.ints[in.b*L:in.b*L+nl])
 		case cUn:
-			dst, x := kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k]
+			dst, x := kn.ints[d:d+nl], kn.ints[in.a*L:in.a*L+nl]
 			switch in.un {
 			case ivl.Not:
 				for s := range dst {
@@ -269,10 +507,10 @@ func (kn *Kernel) exec(lo, hi int) {
 				}
 			}
 		case cIte:
-			c := kn.ints[in.c*k : in.c*k+k]
+			c := kn.ints[in.c*L : in.c*L+nl]
 			if memReg[in.dst] {
-				dst := kn.mems[d : d+k]
-				a, b := kn.mems[in.a*k:in.a*k+k], kn.mems[in.b*k:in.b*k+k]
+				dst := kn.mems[d : d+nl]
+				a, b := kn.mems[in.a*L:in.a*L+nl], kn.mems[in.b*L:in.b*L+nl]
 				for s := range dst {
 					if c[s] != 0 {
 						dst[s] = a[s]
@@ -281,8 +519,8 @@ func (kn *Kernel) exec(lo, hi int) {
 					}
 				}
 			} else {
-				dst := kn.ints[d : d+k]
-				a, b := kn.ints[in.a*k:in.a*k+k], kn.ints[in.b*k:in.b*k+k]
+				dst := kn.ints[d : d+nl]
+				a, b := kn.ints[in.a*L:in.a*L+nl], kn.ints[in.b*L:in.b*L+nl]
 				for s := range dst {
 					if c[s] != 0 {
 						dst[s] = a[s]
@@ -292,7 +530,7 @@ func (kn *Kernel) exec(lo, hi int) {
 				}
 			}
 		case cTrunc:
-			dst, x := kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k]
+			dst, x := kn.ints[d:d+nl], kn.ints[in.a*L:in.a*L+nl]
 			if in.bits >= 64 {
 				copy(dst, x)
 			} else {
@@ -302,55 +540,80 @@ func (kn *Kernel) exec(lo, hi int) {
 				}
 			}
 		case cSext:
-			dst, x := kn.ints[d:d+k], kn.ints[in.a*k:in.a*k+k]
+			dst, x := kn.ints[d:d+nl], kn.ints[in.a*L:in.a*L+nl]
 			sh := 64 - in.bits
 			for s := range dst {
 				dst[s] = uint64(int64(x[s]<<sh) >> sh)
 			}
 		case cLoad:
-			dst := kn.ints[d : d+k]
-			m, a := kn.mems[in.a*k:in.a*k+k], kn.ints[in.b*k:in.b*k+k]
+			dst := kn.ints[d : d+nl]
+			m, a := kn.mems[in.a*L:in.a*L+nl], kn.ints[in.b*L:in.b*L+nl]
 			w := in.w
 			for s := range dst {
 				dst[s] = kn.load(m[s], a[s], w)
 			}
 		case cStore:
-			dst := kn.mems[d : d+k]
-			m := kn.mems[in.a*k : in.a*k+k]
-			a, v := kn.ints[in.b*k:in.b*k+k], kn.ints[in.c*k:in.c*k+k]
+			dst := kn.mems[d : d+nl]
+			m := kn.mems[in.a*L : in.a*L+nl]
+			a, v := kn.ints[in.b*L:in.b*L+nl], kn.ints[in.c*L:in.c*L+nl]
 			w := in.w
+			// One overlay per lane, appended as a block: grow the arena
+			// once and write by index, so the hot store loop carries no
+			// per-lane append or capacity checks. Semantics and hash
+			// construction mirror ivl.MemVal.Store exactly.
+			arena := kn.arena
+			base := len(arena)
+			if cap(arena) < base+nl {
+				na := make([]memNode, base, 2*cap(arena)+nl)
+				copy(na, arena)
+				arena = na
+			}
+			arena = arena[:base+nl]
+			mask := ^uint64(0)
+			if w < 8 {
+				mask = (uint64(1) << (8 * w)) - 1
+			}
 			for s := range dst {
-				dst[s] = kn.store(m[s], a[s], w, v[s])
+				val := v[s] & mask
+				arena[base+s] = memNode{
+					addr:   a[s],
+					val:    val,
+					w:      uint8(w),
+					parent: m[s],
+					hash:   mix64(arena[m[s]].hash ^ mix64(a[s])*3 ^ mix64(val) ^ uint64(w)),
+				}
+				dst[s] = int32(base + s)
 			}
+			kn.arena = arena
 		case cCall:
-			if cap(kn.argHash) < k {
-				kn.argHash = make([]uint64, k)
+			if cap(kn.argHash) < L {
+				kn.argHash = make([]uint64, L)
 			}
-			h := kn.argHash[:k]
+			h := kn.argHash[:nl]
 			sym := in.sym
 			for s := range h {
 				h[s] = sym
 			}
 			for _, ar := range in.args {
 				if memReg[ar] {
-					lane := kn.mems[ar*k : ar*k+k]
+					lane := kn.mems[ar*L : ar*L+nl]
 					for s := range h {
 						h[s] = mix64(h[s] ^ kn.arena[lane[s]].hash)
 					}
 				} else {
-					lane := kn.ints[ar*k : ar*k+k]
+					lane := kn.ints[ar*L : ar*L+nl]
 					for s := range h {
 						h[s] = mix64(h[s] ^ lane[s])
 					}
 				}
 			}
 			if in.memC {
-				dst := kn.mems[d : d+k]
+				dst := kn.mems[d : d+nl]
 				for s := range dst {
 					dst[s] = kn.newRoot(h[s])
 				}
 			} else {
-				copy(kn.ints[d:d+k], h)
+				copy(kn.ints[d:d+nl], h)
 			}
 		}
 	}
@@ -359,9 +622,9 @@ func (kn *Kernel) exec(lo, hi int) {
 // execBinMem handles the rare cBin whose operands include a memory
 // value: only (in)equality is meaningful; everything else yields 0, as
 // in the scalar path.
-func (kn *Kernel) execBinMem(in *cinstr, d int) {
-	k := kn.k
-	dst := kn.ints[d : d+k]
+func (kn *Kernel) execBinMem(in *cinstr, d, nl int) {
+	L := kn.lanes
+	dst := kn.ints[d : d+nl]
 	memA, memB := kn.p.memReg[in.a], kn.p.memReg[in.b]
 	if in.bin != ivl.Eq && in.bin != ivl.Ne {
 		for s := range dst {
@@ -377,7 +640,7 @@ func (kn *Kernel) execBinMem(in *cinstr, d int) {
 		}
 		return
 	}
-	a, b := kn.mems[in.a*k:in.a*k+k], kn.mems[in.b*k:in.b*k+k]
+	a, b := kn.mems[in.a*L:in.a*L+nl], kn.mems[in.b*L:in.b*L+nl]
 	for s := range dst {
 		eq := kn.arena[a[s]].hash == kn.arena[b[s]].hash
 		if in.bin == ivl.Ne {

@@ -1,0 +1,207 @@
+package smt
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestKernelBatchRowsMatchScalar: FingerprintsRows over every batch
+// width and fill level must reproduce the scalar reference per row —
+// including partial final batches (rows < g), interleaved with full
+// ones, over programs that exercise memory, calls, and every operator.
+func TestKernelBatchRowsMatchScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(515151))
+	for trial := 0; trial < 80; trial++ {
+		stmts, inputs := randomKernelStrand(rng, 2+rng.Intn(4), 5+rng.Intn(12))
+		prog, err := CompileStrand(stmts, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !prog.BatchOK() {
+			t.Fatalf("trial %d: well-typed program rejected", trial)
+		}
+		for _, g := range []int{1, 2, 3, 8, 16} {
+			kern := prog.AcquireKernelBatch(DefaultSamples, g)
+			if kern.BatchWidth() != g {
+				t.Fatalf("BatchWidth = %d, want %d", kern.BatchWidth(), g)
+			}
+			// Several flushes per kernel: full batches, then a partial
+			// one, exercising prefix reuse and the delta input refill
+			// across flushes.
+			for flush := 0; flush < 3; flush++ {
+				rows := 1 + rng.Intn(g)
+				if flush == 0 {
+					rows = g // at least one full batch per width
+				}
+				staged := make([][]int, rows)
+				for r := 0; r < rows; r++ {
+					staged[r] = randomSlots(rng, len(inputs))
+					kern.BindRow(r, staged[r])
+				}
+				fps := kern.FingerprintsRows(rows)
+				nd := len(fps) / rows
+				for r := 0; r < rows; r++ {
+					want := prog.Fingerprints(staged[r], DefaultSamples)
+					for d := range want {
+						if fps[r*nd+d] != want[d] {
+							t.Fatalf("trial %d g=%d flush %d row %d def %d: batch %#x scalar %#x",
+								trial, g, flush, r, d, fps[r*nd+d], want[d])
+						}
+					}
+				}
+			}
+			prog.ReleaseKernel(kern)
+		}
+	}
+}
+
+// TestKernelBatchDeltaRefill: consecutive batches whose rows share slot
+// bindings with the previous batch at the same row index (the common
+// case in DFS γ enumeration) must still evaluate exactly — the
+// lastSlot-keyed refill skip must never leave a stale lane visible.
+func TestKernelBatchDeltaRefill(t *testing.T) {
+	rng := rand.New(rand.NewSource(616161))
+	stmts, inputs := randomKernelStrand(rng, 4, 12)
+	prog, err := CompileStrand(stmts, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = 4
+	kern := prog.AcquireKernelBatch(DefaultSamples, g)
+	defer prog.ReleaseKernel(kern)
+	base := randomSlots(rng, len(inputs))
+	for flush := 0; flush < 10; flush++ {
+		staged := make([][]int, g)
+		for r := 0; r < g; r++ {
+			// Mutate at most one position of the shared base assignment,
+			// so most (row, input) bindings repeat across flushes.
+			row := append([]int(nil), base...)
+			if rng.Intn(3) > 0 {
+				row[rng.Intn(len(row))] = rng.Intn(len(inputs) + 2)
+			}
+			staged[r] = row
+			kern.BindRow(r, row)
+		}
+		fps := kern.FingerprintsRows(g)
+		nd := len(fps) / g
+		for r := 0; r < g; r++ {
+			want := prog.Fingerprints(staged[r], DefaultSamples)
+			for d := range want {
+				if fps[r*nd+d] != want[d] {
+					t.Fatalf("flush %d row %d def %d: batch %#x scalar %#x",
+						flush, r, d, fps[r*nd+d], want[d])
+				}
+			}
+		}
+	}
+}
+
+// TestKernelBatchReshape: one pooled kernel re-acquired with different
+// (samples, width) shapes must resize and re-evaluate its prefix
+// correctly each time.
+func TestKernelBatchReshape(t *testing.T) {
+	rng := rand.New(rand.NewSource(717171))
+	stmts, inputs := randomKernelStrand(rng, 3, 10)
+	prog, err := CompileStrand(stmts, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shapes := []struct{ k, g int }{
+		{DefaultSamples, 1}, {DefaultSamples, 8}, {7, 8}, {7, 2},
+		{DefaultSamples, 16}, {DefaultSamples, 1},
+	}
+	for _, sh := range shapes {
+		kern := prog.AcquireKernelBatch(sh.k, sh.g)
+		rows := 1 + rng.Intn(sh.g)
+		staged := make([][]int, rows)
+		for r := range staged {
+			staged[r] = randomSlots(rng, len(inputs))
+			kern.BindRow(r, staged[r])
+		}
+		fps := kern.FingerprintsRows(rows)
+		nd := len(fps) / rows
+		for r := 0; r < rows; r++ {
+			want := prog.Fingerprints(staged[r], sh.k)
+			for d := range want {
+				if fps[r*nd+d] != want[d] {
+					t.Fatalf("shape k=%d g=%d row %d def %d: batch %#x scalar %#x",
+						sh.k, sh.g, r, d, fps[r*nd+d], want[d])
+				}
+			}
+		}
+		prog.ReleaseKernel(kern)
+	}
+}
+
+// TestKernelBatchAllocFree: the steady-state batched γ loop — bind G
+// rows, flush, extract fingerprints — must not allocate.
+func TestKernelBatchAllocFree(t *testing.T) {
+	rng := rand.New(rand.NewSource(818181))
+	stmts, inputs := randomKernelStrand(rng, 3, 14)
+	prog, err := CompileStrand(stmts, inputs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const g = 8
+	kern := prog.AcquireKernelBatch(DefaultSamples, g)
+	defer prog.ReleaseKernel(kern)
+	slotSets := make([][]int, g)
+	for r := range slotSets {
+		slotSets[r] = randomSlots(rng, len(inputs))
+	}
+	run := func() {
+		for r := 0; r < g; r++ {
+			kern.BindRow(r, slotSets[(r+1)%g])
+		}
+		kern.FingerprintsRows(g)
+	}
+	run() // warm up lane buffers and the arena
+	run()
+	allocs := testing.AllocsPerRun(50, run)
+	if allocs != 0 {
+		t.Fatalf("batched γ loop allocates %.1f objects per flush, want 0", allocs)
+	}
+}
+
+// TestScheduleSuffixProfileStable: compiling the same strand with a cold
+// and a deliberately hot opcode profile may reorder the suffix, but
+// fingerprints must be identical — the scheduler respects all data
+// dependencies.
+func TestScheduleSuffixProfileStable(t *testing.T) {
+	rng := rand.New(rand.NewSource(919191))
+	for trial := 0; trial < 40; trial++ {
+		stmts, inputs := randomKernelStrand(rng, 3, 12)
+		before, err := CompileStrand(stmts, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Heat the profile: run and release a kernel many times so the
+		// dynamic counts dwarf whatever other tests contributed.
+		slots := randomSlots(rng, len(inputs))
+		for i := 0; i < 8; i++ {
+			kern := before.AcquireKernel(DefaultSamples)
+			for j := 0; j < 64; j++ {
+				kern.Fingerprints(slots)
+			}
+			before.ReleaseKernel(kern)
+		}
+		after, err := CompileStrand(stmts, inputs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for g := 0; g < 4; g++ {
+			sl := randomSlots(rng, len(inputs))
+			want := before.Fingerprints(sl, DefaultSamples)
+			got := after.Fingerprints(sl, DefaultSamples)
+			kern := after.AcquireKernel(DefaultSamples)
+			kfps := kern.Fingerprints(sl)
+			for d := range want {
+				if got[d] != want[d] || kfps[d] != want[d] {
+					t.Fatalf("trial %d γ %d def %d: pre-profile %#x post-profile %#x kernel %#x",
+						trial, g, d, want[d], got[d], kfps[d])
+				}
+			}
+			after.ReleaseKernel(kern)
+		}
+	}
+}

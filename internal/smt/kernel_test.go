@@ -300,5 +300,27 @@ func FuzzKernel(f *testing.F) {
 				}
 			}
 		}
+		// γ-batched rows: a partial batch through one suffix execution
+		// must match the scalar reference per row.
+		width := 2 + int(progSeed%7)
+		bkern := prog.AcquireKernelBatch(DefaultSamples, width)
+		defer prog.ReleaseKernel(bkern)
+		rows := 1 + int(slotSeed%uint64(width))
+		staged := make([][]int, rows)
+		for r := 0; r < rows; r++ {
+			staged[r] = randomSlots(srng, len(inputs))
+			bkern.BindRow(r, staged[r])
+		}
+		fps := bkern.FingerprintsRows(rows)
+		nd := len(fps) / rows
+		for r := 0; r < rows; r++ {
+			want := prog.Fingerprints(staged[r], DefaultSamples)
+			for d := range want {
+				if fps[r*nd+d] != want[d] {
+					t.Fatalf("row %d def %d: batch %#x scalar %#x (progSeed=%d slotSeed=%d width=%d)",
+						r, d, fps[r*nd+d], want[d], progSeed, slotSeed, width)
+				}
+			}
+		}
 	})
 }

@@ -60,6 +60,24 @@ func SlotBits(sample, slot int) uint64 {
 	}
 }
 
+// FillSlotBits fills lane[s] = SlotBits(s, slot) for s in [0, len(lane)),
+// with the sample-regime dispatch hoisted out of the per-lane loop: the
+// all-same prefix is a bulk copy, and the random tail hoists the
+// slot-dependent mix term. This is the kernel's input-refill primitive —
+// per γ-batch row it runs once per rebound input, so the k-length loop
+// body must stay branch-free.
+func FillSlotBits(lane []uint64, slot int) {
+	n := copy(lane, specials[:])
+	for s := n; s < len(lane) && s < allSameSpecials+rotatedSpecials; s++ {
+		j := s - allSameSpecials
+		lane[s] = specials[(j*5+slot*7+1)%len(specials)]
+	}
+	slotMix := mix64(uint64(slot) * 0xABCD)
+	for s := allSameSpecials + rotatedSpecials; s < len(lane); s++ {
+		lane[s] = mix64(sampleSeed ^ mix64(uint64(s)) ^ slotMix)
+	}
+}
+
 // SlotMemSeed is the memory half of SlotValue: the deterministic
 // background seed per (sample, slot).
 func SlotMemSeed(sample, slot int) uint64 {

@@ -43,6 +43,8 @@ type QueryRecord struct {
 	CacheHits       int64   `json:"cache_hits,omitempty"`
 	CacheMisses     int64   `json:"cache_misses,omitempty"`
 	KernelMS        float64 `json:"kernel_ms,omitempty"`
+	GammaBatches    int64   `json:"gamma_batches,omitempty"`
+	GammaBatchRows  int64   `json:"gamma_batch_rows,omitempty"`
 	// Shards holds the per-shard fan-out outcomes of a gateway query.
 	Shards []ShardOutcome `json:"shards,omitempty"`
 	// Slow marks records at or above the recorder's threshold; only
@@ -84,6 +86,10 @@ func (rec *QueryRecord) adoptAttrs(attrs map[string]float64) {
 			rec.CacheMisses += int64(v)
 		case "kernel_nanos":
 			rec.KernelMS += v / 1e6
+		case "gamma_batches":
+			rec.GammaBatches += int64(v)
+		case "gamma_batch_rows":
+			rec.GammaBatchRows += int64(v)
 		}
 	}
 }

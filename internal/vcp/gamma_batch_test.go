@@ -1,0 +1,88 @@
+package vcp_test
+
+// Differential guard for γ-batching at the corpus level: the batch
+// width G is a dispatch knob, not a semantic one, so every width must
+// produce Float64bits-identical VCP values and identical γ counts
+// against the scalar reference over real lifted strand pairs — through
+// both the one-shot ComputeWithStats path and the persistent Evaluator
+// that core's pair loop uses.
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/vcp"
+)
+
+// TestGammaBatchDifferential pins that G ∈ {1, 2, 8, 16} all agree with
+// the scalar interpreter on raw scores (bit-equal) and Correspondences
+// over every compatible corpus strand pairing, and that the batch
+// accounting is arithmetically consistent (a flush never carries more
+// than G rows, and every counted correspondence rode in some flush).
+func TestGammaBatchDifferential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("corpus differential is slow")
+	}
+	strands := corpusStrands(t)
+	if len(strands) > 16 {
+		strands = strands[:16]
+	}
+
+	scalarCfg := vcp.Config{Kernel: vcp.KernelScalar}
+	scalarPrep := make([]*vcp.Prepared, len(strands))
+	for i, s := range strands {
+		scalarPrep[i] = vcp.Prepare(s, scalarCfg)
+		if err := scalarPrep[i].Err(); err != nil {
+			t.Fatalf("prepare %d (scalar): %v", i, err)
+		}
+	}
+	// Scalar reference, computed once.
+	type ref struct {
+		v  float64
+		st vcp.Stats
+	}
+	refs := make([][]ref, len(strands))
+	for i := range strands {
+		refs[i] = make([]ref, len(strands))
+		for j := range strands {
+			v, st := vcp.ComputeWithStats(scalarPrep[i], scalarPrep[j], scalarCfg)
+			refs[i][j] = ref{v, st}
+		}
+	}
+
+	for _, g := range []int{1, 2, 8, 16} {
+		cfg := vcp.Config{Kernel: vcp.KernelBatch, GammaBatch: g}
+		prep := make([]*vcp.Prepared, len(strands))
+		for i, s := range strands {
+			prep[i] = vcp.Prepare(s, cfg)
+			if err := prep[i].Err(); err != nil {
+				t.Fatalf("prepare %d (G=%d): %v", i, g, err)
+			}
+		}
+		for i := range strands {
+			// The Evaluator persists one kernel across every pairing of
+			// this query — exactly core's stage-3 loop shape.
+			ev := vcp.NewEvaluator(prep[i], cfg)
+			for j := range strands {
+				v, st := ev.Compute(prep[j])
+				want := refs[i][j]
+				if math.Float64bits(v) != math.Float64bits(want.v) {
+					t.Fatalf("pair (%d,%d) G=%d: VCP %v != scalar %v", i, j, g, v, want.v)
+				}
+				if st.Correspondences != want.st.Correspondences {
+					t.Fatalf("pair (%d,%d) G=%d: %d γ != scalar %d γ",
+						i, j, g, st.Correspondences, want.st.Correspondences)
+				}
+				if st.BatchRows < int64(st.Correspondences) {
+					t.Fatalf("pair (%d,%d) G=%d: %d batch rows < %d counted γ",
+						i, j, g, st.BatchRows, st.Correspondences)
+				}
+				if st.BatchRows > st.Batches*int64(g) {
+					t.Fatalf("pair (%d,%d) G=%d: %d rows over %d batches exceeds width",
+						i, j, g, st.BatchRows, st.Batches)
+				}
+			}
+			ev.Close()
+		}
+	}
+}

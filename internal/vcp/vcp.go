@@ -49,7 +49,24 @@ type Config struct {
 	// or KernelScalar. Both produce byte-identical fingerprints; the
 	// choice never affects rankings.
 	Kernel string
+	// GammaBatch is the γ-batch width G: the batched kernel accumulates
+	// up to G complete correspondences and evaluates them through one
+	// suffix execution over G×Samples lanes. 0 selects
+	// DefaultGammaBatch; 1 evaluates per correspondence (the classic
+	// path). Any width produces byte-identical scores and identical
+	// Correspondences counts — batching changes dispatch, not semantics.
+	GammaBatch int
 }
+
+// DefaultGammaBatch is the γ-batch width used when Config.GammaBatch is
+// zero: wide enough to amortize instruction dispatch and overlap the
+// fingerprint fold chains, narrow enough that a typical pair (a handful
+// of correspondences) still fills most of its final batch.
+const DefaultGammaBatch = 8
+
+// MaxGammaBatch bounds the configurable width; beyond this the lane
+// buffers outgrow L1 for typical strands and wider stops paying.
+const MaxGammaBatch = 64
 
 // Default returns the configuration used in the paper's experiments.
 func Default() Config {
@@ -78,6 +95,12 @@ func (c Config) normalized() Config {
 	}
 	if c.Kernel == "" {
 		c.Kernel = KernelBatch
+	}
+	if c.GammaBatch <= 0 {
+		c.GammaBatch = DefaultGammaBatch
+	}
+	if c.GammaBatch > MaxGammaBatch {
+		c.GammaBatch = MaxGammaBatch
 	}
 	return c
 }
@@ -245,12 +268,18 @@ func SizeCompatible(q, t *strand.Strand, ratio float64) bool {
 // Stats reports the work one Compute call performed, for telemetry:
 // Correspondences is the number of input correspondences γ whose
 // evaluation vectors were computed and matched (each one is a
-// probabilistic-verifier invocation); KernelNanos is the wall time the
-// γ loop spent inside the evaluation kernel (both kernels are timed, so
-// the scalar/batch speedup is directly observable).
+// probabilistic-verifier invocation); KernelNanos is the wall time
+// spent strictly inside kernel/interpreter evaluation — batch flushes
+// or scalar interpreter passes — excluding candidate ordering, the
+// enumeration itself, and fpSet matching, so the metric built on it
+// does not overcount. Batches counts kernel flushes and BatchRows the
+// correspondences they carried; BatchRows/(GammaBatch·Batches) is the
+// mean batch occupancy.
 type Stats struct {
 	Correspondences int
 	KernelNanos     int64
+	Batches         int64
+	BatchRows       int64
 }
 
 // Compute returns VCP(q, t): the maximal fraction of q's variables with
@@ -265,7 +294,53 @@ func Compute(q, t *Prepared, cfg Config) float64 {
 // ComputeWithStats is Compute plus a work report, so call sites can
 // account verifier effort without a second pass.
 func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
+	ev := NewEvaluator(q, cfg)
+	defer ev.Close()
+	return ev.Compute(t)
+}
+
+// Evaluator computes VCP(q, ·) for one query strand against many
+// targets, holding the query's evaluation kernel — and its evaluated
+// γ-invariant prefix — across pairs. One acquire per query row instead
+// of one per pair; the prefix is re-evaluated only when the pooled
+// kernel's shape actually changes. Not safe for concurrent use.
+type Evaluator struct {
+	q    *Prepared
+	cfg  Config
+	kern *smt.Kernel
+	g    int
+}
+
+// NewEvaluator prepares a reusable evaluator for the query strand.
+// Callers must Close it to return the kernel to the program pool.
+func NewEvaluator(q *Prepared, cfg Config) *Evaluator {
 	cfg = cfg.normalized()
+	ev := &Evaluator{q: q, cfg: cfg, g: 1}
+	if q.err == nil && q.prog != nil && useBatch(q.prog, cfg) {
+		ev.g = cfg.GammaBatch
+		ev.kern = q.prog.AcquireKernelBatch(cfg.Samples, ev.g)
+	}
+	return ev
+}
+
+// Close releases the held kernel. The evaluator must not be used after.
+func (ev *Evaluator) Close() {
+	if ev.kern != nil {
+		ev.q.prog.ReleaseKernel(ev.kern)
+		ev.kern = nil
+	}
+}
+
+// Compute returns VCP(ev.q, t) plus the work report. Scores, rankings
+// and Correspondences counts are Float64bits-identical across every
+// GammaBatch width and the scalar interpreter: γ candidates are
+// enumerated in the same order, a batch row buffered after a perfect
+// match or past the MaxCorrespondences cap is discarded uncounted at
+// flush — exactly the candidates the unbatched loop would never have
+// evaluated — and fingerprints per row are bit-equal to a lone
+// evaluation under that row's assignment.
+func (ev *Evaluator) Compute(t *Prepared) (float64, Stats) {
+	q, cfg := ev.q, ev.cfg
 	if q.err != nil || t.err != nil || q.S.NumVars() == 0 {
 		return 0, Stats{}
 	}
@@ -281,6 +356,7 @@ func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 	usedSlot := make([]bool, len(tIn))
 	best := 0.0
 	tried := 0
+	var st Stats
 	nVars := float64(q.S.NumVars())
 
 	// Candidate slots per query input, equal-role-signature slots first:
@@ -303,38 +379,93 @@ func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 		candidates[i] = append(same, other...)
 	}
 
-	// The γ loop: each complete assignment re-evaluates only the
-	// compiled suffix through the pooled batched kernel (kern != nil),
-	// allocation-free after warm-up; -kernel=scalar and programs the
-	// kernel's static typing rejects take the reference interpreter.
-	var kern *smt.Kernel
-	if useBatch(q.prog, cfg) {
-		kern = q.prog.AcquireKernel(cfg.Samples)
-		defer q.prog.ReleaseKernel(kern)
+	// score matches one correspondence's fingerprints against the
+	// target set and advances best. Counting (tried++) happens at the
+	// caller so both paths charge correspondences identically.
+	score := func(fps []uint64) {
+		matched := 0
+		for _, h := range fps {
+			if t.fpSet[h] {
+				matched++
+			}
+		}
+		if v := float64(matched) / nVars; v > best {
+			best = v
+		}
 	}
-	start := time.Now()
 
+	if ev.kern == nil {
+		// Scalar reference interpreter: one full pass per sample, one
+		// evaluation per correspondence. Only the interpreter call is
+		// timed (satellite of the overcounting fix: candidate ordering
+		// and fpSet matching used to pollute KernelNanos).
+		var rec func(i int)
+		rec = func(i int) {
+			if best >= 1.0 || tried >= cfg.MaxCorrespondences {
+				return
+			}
+			if i == len(qIn) {
+				tried++
+				t0 := time.Now()
+				fps := q.prog.Fingerprints(assignment, cfg.Samples)
+				st.KernelNanos += time.Since(t0).Nanoseconds()
+				score(fps)
+				return
+			}
+			for _, slot := range candidates[i] {
+				if usedSlot[slot] {
+					continue
+				}
+				usedSlot[slot] = true
+				assignment[i] = slot
+				rec(i + 1)
+				usedSlot[slot] = false
+			}
+		}
+		rec(0)
+		st.Correspondences = tried
+		return best, st
+	}
+
+	// The batched γ loop: complete assignments accumulate into kernel
+	// rows and flush through ONE suffix execution over buffered·k lanes.
+	kern, g := ev.kern, ev.g
+	buffered := 0
+	flush := func() {
+		if buffered == 0 {
+			return
+		}
+		rows := buffered
+		buffered = 0
+		t0 := time.Now()
+		fps := kern.FingerprintsRows(rows)
+		st.KernelNanos += time.Since(t0).Nanoseconds()
+		st.Batches++
+		st.BatchRows += int64(rows)
+		nd := len(fps) / rows
+		for r := 0; r < rows; r++ {
+			// A perfect match or the cap mid-batch discards the
+			// remaining rows uncounted: the unbatched loop would have
+			// stopped before evaluating them.
+			if best >= 1.0 || tried >= cfg.MaxCorrespondences {
+				break
+			}
+			tried++
+			score(fps[r*nd : (r+1)*nd])
+		}
+	}
 	var rec func(i int)
 	rec = func(i int) {
-		if best >= 1.0 || tried >= cfg.MaxCorrespondences {
+		// Count buffered rows against the cap so enumeration halts at
+		// exactly the candidate where the unbatched loop would.
+		if best >= 1.0 || tried+buffered >= cfg.MaxCorrespondences {
 			return
 		}
 		if i == len(qIn) {
-			tried++
-			var fps []uint64
-			if kern != nil {
-				fps = kern.Fingerprints(assignment)
-			} else {
-				fps = q.prog.Fingerprints(assignment, cfg.Samples)
-			}
-			matched := 0
-			for _, h := range fps {
-				if t.fpSet[h] {
-					matched++
-				}
-			}
-			if v := float64(matched) / nVars; v > best {
-				best = v
+			kern.BindRow(buffered, assignment)
+			buffered++
+			if buffered == g {
+				flush()
 			}
 			return
 		}
@@ -349,5 +480,7 @@ func ComputeWithStats(q, t *Prepared, cfg Config) (float64, Stats) {
 		}
 	}
 	rec(0)
-	return best, Stats{Correspondences: tried, KernelNanos: time.Since(start).Nanoseconds()}
+	flush() // partial final batch
+	st.Correspondences = tried
+	return best, st
 }
